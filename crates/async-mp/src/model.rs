@@ -1,0 +1,534 @@
+//! The asynchronous message-passing model under the *permutation layering*
+//! `S^per` (Section 5.1 of the paper).
+//!
+//! A local phase of process `i` is a send step (at most one message per
+//! destination, computed from `i`'s state at the start of the phase)
+//! followed by a receive step (absorb every outstanding message). The
+//! environment schedules local phases with actions of three shapes:
+//!
+//! * `[p₁, …, pₙ]` — a full permutation: everyone takes a phase, in order;
+//! * `[p₁, …, p_{n−1}]` — drop-last: one process is skipped entirely;
+//! * `[p₁, …, {p_k, p_{k+1}}, …, pₙ]` — full, but one adjacent pair acts
+//!   *concurrently*: both send before either receives, so each sees the
+//!   other's current-phase message.
+//!
+//! This is the message-passing analogue of immediate-snapshot executions
+//! (the paper notes no such analogue had been proposed before). The three
+//! structural facts driving valence connectivity of a layer are all
+//! executable here:
+//!
+//! * [`MpModel::transposition_bridges`] — sequential and concurrent
+//!   versions of an adjacent pair agree modulo a single process;
+//! * [`MpModel::diamond_identity_holds`] — the two-layer diamond
+//!   `x[p₁…pₙ][p₁…p_{n−1}] = x[p₁…p_{n−1}][pₙ, p₁…p_{n−1}]` is an exact
+//!   state equality ("the FLP diamond argument reduced to its bare
+//!   minimum");
+//! * the footnote that `x[p₁…pₙ] ≁_s x[p₁…p_{n−1}]` — their differences
+//!   spill into other processes' mailboxes.
+
+use std::collections::HashSet;
+
+use layered_core::{LayeredModel, Pid, Value};
+use layered_protocols::MpProtocol;
+
+use crate::perm::{drop_last_arrangements, permutations};
+use crate::state::MpState;
+
+/// An environment action of the permutation layering.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MpAction {
+    /// Processes take local phases strictly in the given order. A full
+    /// action lists all `n` processes; a drop-last action lists `n − 1`.
+    Sequential(Vec<Pid>),
+    /// All `n` processes take phases in order, except that the pair at
+    /// positions `(at, at + 1)` acts concurrently (both send, then both
+    /// receive).
+    Concurrent {
+        /// The full order (length `n`).
+        order: Vec<Pid>,
+        /// Position of the first element of the concurrent pair
+        /// (`at + 1 < n`).
+        at: usize,
+    },
+}
+
+/// The asynchronous message-passing model, parameterized by a deterministic
+/// phase protocol.
+///
+/// # Examples
+///
+/// ```
+/// use layered_core::check_consensus;
+/// use layered_protocols::MpFloodMin;
+/// use layered_async_mp::MpModel;
+///
+/// let m = MpModel::new(3, MpFloodMin::new(2));
+/// // FLP via the permutation layering: the checker exhibits a violation
+/// // for this candidate at its own deadline.
+/// assert!(!check_consensus(&m, 2, 1).passed());
+/// ```
+#[derive(Clone, Debug)]
+pub struct MpModel<P: MpProtocol> {
+    n: usize,
+    protocol: P,
+    obligation: Option<u16>,
+}
+
+impl<P: MpProtocol> MpModel<P> {
+    /// A model with `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn new(n: usize, protocol: P) -> Self {
+        assert!(n >= 2, "the paper assumes n >= 2");
+        MpModel {
+            n,
+            protocol,
+            obligation: None,
+        }
+    }
+
+    /// Obliges every process with at least `phases` completed local phases
+    /// to have decided at horizon states.
+    #[must_use]
+    pub fn with_obligation(mut self, phases: u16) -> Self {
+        self.obligation = Some(phases);
+        self
+    }
+
+    /// The protocol under analysis.
+    #[must_use]
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// All actions available in a layer: `n!` full, `n!` drop-last, and
+    /// `(n−1)·n!` concurrent-pair actions.
+    #[must_use]
+    pub fn actions(&self) -> Vec<MpAction> {
+        let mut out = Vec::new();
+        for p in permutations(self.n) {
+            for at in 0..self.n.saturating_sub(1) {
+                out.push(MpAction::Concurrent {
+                    order: p.clone(),
+                    at,
+                });
+            }
+            out.push(MpAction::Sequential(p));
+        }
+        for a in drop_last_arrangements(self.n) {
+            out.push(MpAction::Sequential(a));
+        }
+        out
+    }
+
+    /// One local phase of `p`: send from the pre-phase state, deliver into
+    /// mailboxes, then drain and absorb the own mailbox.
+    fn run_phase(&self, state: &mut MpState<P::LocalState, P::Msg>, p: Pid) {
+        self.send_step(state, p);
+        self.receive_step(state, p);
+    }
+
+    fn send_step(&self, state: &mut MpState<P::LocalState, P::Msg>, p: Pid) {
+        let sends = self.protocol.send(&state.locals[p.index()], p, self.n);
+        let mut dests = HashSet::new();
+        for (to, msg) in sends {
+            assert_ne!(to, p, "protocols do not send to themselves");
+            assert!(
+                dests.insert(to),
+                "at most one message per destination per phase"
+            );
+            let mailbox = &mut state.mailboxes[to.index()];
+            mailbox.push((p, msg));
+            // Canonical mailbox order: channels are FIFO per sender but
+            // unordered across senders, so mailboxes are kept sender-sorted
+            // (stable, preserving per-sender FIFO). This keeps states of
+            // schedules that differ only in cross-sender arrival order equal.
+            mailbox.sort_by_key(|&(from, _)| from);
+        }
+    }
+
+    fn receive_step(&self, state: &mut MpState<P::LocalState, P::Msg>, p: Pid) {
+        let delivered = std::mem::take(&mut state.mailboxes[p.index()]);
+        let ls = self
+            .protocol
+            .absorb(state.locals[p.index()].clone(), p, &delivered);
+        if state.decided[p.index()].is_none() {
+            state.decided[p.index()] = self.protocol.decide(&ls);
+        }
+        state.locals[p.index()] = ls;
+        state.phases_done[p.index()] += 1;
+    }
+
+    /// Applies an environment action (one layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action is malformed (wrong length, repeated processes,
+    /// or a concurrent position out of range).
+    #[must_use]
+    pub fn apply(
+        &self,
+        x: &MpState<P::LocalState, P::Msg>,
+        action: &MpAction,
+    ) -> MpState<P::LocalState, P::Msg> {
+        let mut state = x.clone();
+        match action {
+            MpAction::Sequential(order) => {
+                assert!(
+                    order.len() == self.n || order.len() + 1 == self.n,
+                    "sequential actions list n or n-1 processes"
+                );
+                assert_distinct(order);
+                for &p in order {
+                    self.run_phase(&mut state, p);
+                }
+            }
+            MpAction::Concurrent { order, at } => {
+                assert_eq!(order.len(), self.n, "concurrent actions are full");
+                assert_distinct(order);
+                assert!(at + 1 < self.n, "pair position out of range");
+                for (pos, &p) in order.iter().enumerate() {
+                    if pos == *at {
+                        // Both send before either receives.
+                        let q = order[*at + 1];
+                        self.send_step(&mut state, p);
+                        self.send_step(&mut state, q);
+                        self.receive_step(&mut state, p);
+                        self.receive_step(&mut state, q);
+                    } else if pos == *at + 1 {
+                        // handled together with `at`
+                    } else {
+                        self.run_phase(&mut state, p);
+                    }
+                }
+            }
+        }
+        state.round = x.round + 1;
+        state
+    }
+
+    /// The layer `S^per(x)`, deduplicated.
+    #[must_use]
+    pub fn layer(&self, x: &MpState<P::LocalState, P::Msg>) -> Vec<MpState<P::LocalState, P::Msg>> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for action in self.actions() {
+            let y = self.apply(x, &action);
+            if seen.insert(y.clone()) {
+                out.push(y);
+            }
+        }
+        out
+    }
+
+    /// Checks the two similarity bridges around an adjacent pair at
+    /// positions `(at, at+1)` of `order`:
+    ///
+    /// * `x[…, p_k, p_{k+1}, …]` agrees modulo `p_k` with the concurrent
+    ///   version (only `p_k` sees `p_{k+1}`'s fresh message in the latter);
+    /// * the concurrent version agrees modulo `p_{k+1}` with
+    ///   `x[…, p_{k+1}, p_k, …]`.
+    ///
+    /// Returns `(first_holds, second_holds)`.
+    #[must_use]
+    pub fn transposition_bridges(
+        &self,
+        x: &MpState<P::LocalState, P::Msg>,
+        order: &[Pid],
+        at: usize,
+    ) -> (bool, bool) {
+        let seq = self.apply(x, &MpAction::Sequential(order.to_vec()));
+        let conc = self.apply(
+            x,
+            &MpAction::Concurrent {
+                order: order.to_vec(),
+                at,
+            },
+        );
+        let mut swapped = order.to_vec();
+        swapped.swap(at, at + 1);
+        let seq_swapped = self.apply(x, &MpAction::Sequential(swapped));
+        (
+            self.agree_modulo(&seq, &conc, order[at]),
+            self.agree_modulo(&conc, &seq_swapped, order[at + 1]),
+        )
+    }
+
+    /// Checks the paper's diamond identity at `x` for the given full order:
+    /// `x[p₁…pₙ][p₁…p_{n−1}] = x[p₁…p_{n−1}][pₙ, p₁…p_{n−1}]`.
+    #[must_use]
+    pub fn diamond_identity_holds(&self, x: &MpState<P::LocalState, P::Msg>, order: &[Pid]) -> bool {
+        assert_eq!(order.len(), self.n, "diamond needs a full order");
+        let dropped: Vec<Pid> = order[..self.n - 1].to_vec();
+        let last = order[self.n - 1];
+        let mut rotated = vec![last];
+        rotated.extend_from_slice(&dropped);
+
+        let left = self.apply(
+            &self.apply(x, &MpAction::Sequential(order.to_vec())),
+            &MpAction::Sequential(dropped.clone()),
+        );
+        let right = self.apply(
+            &self.apply(x, &MpAction::Sequential(dropped)),
+            &MpAction::Sequential(rotated),
+        );
+        left == right
+    }
+}
+
+fn assert_distinct(order: &[Pid]) {
+    let mut seen = HashSet::new();
+    for &p in order {
+        assert!(seen.insert(p), "processes in an action must be distinct");
+    }
+}
+
+impl<P: MpProtocol> LayeredModel for MpModel<P> {
+    type State = MpState<P::LocalState, P::Msg>;
+
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn max_failures(&self) -> usize {
+        1
+    }
+
+    fn initial_state(&self, inputs: &[Value]) -> Self::State {
+        assert_eq!(inputs.len(), self.n, "one input per process");
+        let locals: Vec<P::LocalState> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| self.protocol.init(self.n, Pid::new(i), v))
+            .collect();
+        let decided = locals.iter().map(|ls| self.protocol.decide(ls)).collect();
+        MpState {
+            round: 0,
+            inputs: inputs.to_vec(),
+            locals,
+            decided,
+            phases_done: vec![0; self.n],
+            mailboxes: vec![Vec::new(); self.n],
+        }
+    }
+
+    fn successors(&self, x: &Self::State) -> Vec<Self::State> {
+        self.layer(x)
+    }
+
+    fn depth(&self, x: &Self::State) -> usize {
+        usize::from(x.round)
+    }
+
+    fn inputs_of(&self, x: &Self::State) -> Vec<Value> {
+        x.inputs.clone()
+    }
+
+    fn decision(&self, x: &Self::State, i: Pid) -> Option<Value> {
+        x.decided[i.index()]
+    }
+
+    fn failed_at(&self, _x: &Self::State, _i: Pid) -> bool {
+        // No finite failure: a skipped process can always resume.
+        false
+    }
+
+    fn agree_modulo(&self, x: &Self::State, y: &Self::State, j: Pid) -> bool {
+        // Mailboxes are receiver-attributed: mailbox[i] is part of i's
+        // extended local state (see `MpState` docs).
+        x.round == y.round
+            && (0..self.n).all(|i| {
+                i == j.index()
+                    || (x.locals[i] == y.locals[i]
+                        && x.decided[i] == y.decided[i]
+                        && x.inputs[i] == y.inputs[i]
+                        && x.phases_done[i] == y.phases_done[i]
+                        && x.mailboxes[i] == y.mailboxes[i])
+            })
+    }
+
+    fn crash_step(&self, x: &Self::State, j: Pid) -> Self::State {
+        let order: Vec<Pid> = Pid::all(self.n).filter(|&p| p != j).collect();
+        self.apply(x, &MpAction::Sequential(order))
+    }
+
+    fn obligated(&self, x: &Self::State) -> Vec<Pid> {
+        match self.obligation {
+            Some(r) => Pid::all(self.n)
+                .filter(|i| x.phases_done[i.index()] >= r)
+                .collect(),
+            None => x.always_proper().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use layered_core::{
+        check_crash_display, check_fault_independence, check_graded, valence_report,
+        LayeredModel, ValenceSolver,
+    };
+    use layered_protocols::{MpCollectMin, MpFloodMin};
+
+    use super::*;
+    use crate::perm::permutations;
+
+    fn model(n: usize, phases: u16) -> MpModel<MpFloodMin> {
+        MpModel::new(n, MpFloodMin::new(phases))
+    }
+
+    #[test]
+    fn initial_states_form_con0() {
+        let m = model(3, 2);
+        let inits = m.initial_states();
+        assert_eq!(inits.len(), 8);
+        assert!(inits.iter().all(|x| x.in_transit() == 0));
+    }
+
+    #[test]
+    fn structural_contracts_hold() {
+        let m = model(3, 2);
+        assert_eq!(check_graded(&m, 1), None);
+        assert_eq!(check_fault_independence(&m, 1), None);
+        assert_eq!(check_crash_display(&m, 1), None);
+    }
+
+    #[test]
+    fn action_count_matches_paper() {
+        // n! full + n! drop-last + (n−1)·n! concurrent.
+        let m = model(3, 2);
+        assert_eq!(m.actions().len(), 6 + 6 + 2 * 6);
+    }
+
+    #[test]
+    fn full_action_behaves_like_a_round() {
+        // After x[p1,p2,p3], later processes saw earlier fresh messages.
+        let m = model(3, 1);
+        let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
+        let order: Vec<Pid> = Pid::all(3).collect();
+        let y = m.apply(&x, &MpAction::Sequential(order));
+        // p1 sent its 0 before p2 and p3 received: both decide 0.
+        assert_eq!(y.decided[1], Some(Value::ZERO));
+        assert_eq!(y.decided[2], Some(Value::ZERO));
+        // p1 received nothing fresh (it acted first): decides its own 0.
+        assert_eq!(y.decided[0], Some(Value::ZERO));
+    }
+
+    #[test]
+    fn drop_last_skips_a_process() {
+        let m = model(3, 1);
+        let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
+        // p1 (holding 0) is dropped: the others decide 1.
+        let y = m.apply(
+            &x,
+            &MpAction::Sequential(vec![Pid::new(1), Pid::new(2)]),
+        );
+        assert_eq!(y.decided[0], None);
+        assert_eq!(y.decided[1], Some(Value::ONE));
+        assert_eq!(y.decided[2], Some(Value::ONE));
+        assert_eq!(y.phases_done, vec![0, 1, 1]);
+        // p1's input is unknown to the others; messages TO p1 are pending.
+        assert!(y.mailboxes[0].len() == 2);
+    }
+
+    #[test]
+    fn concurrent_pair_sees_each_other() {
+        let m = model(2, 1);
+        let x = m.initial_state(&[Value::ZERO, Value::ONE]);
+        let order: Vec<Pid> = Pid::all(2).collect();
+        // Sequential [p1, p2]: p1 receives nothing, p2 sees p1's 0.
+        let seq = m.apply(&x, &MpAction::Sequential(order.clone()));
+        assert_eq!(seq.decided[0], Some(Value::ZERO));
+        assert_eq!(seq.decided[1], Some(Value::ZERO));
+        // Concurrent {p1, p2}: both send first, so both see each other.
+        let conc = m.apply(&x, &MpAction::Concurrent { order, at: 0 });
+        assert_eq!(conc.decided[0], Some(Value::ZERO));
+        assert_eq!(conc.decided[1], Some(Value::ZERO));
+        // In seq, p1 never saw p2's 1.
+        assert_ne!(seq.locals[0], conc.locals[0]);
+        assert_eq!(seq.locals[1], conc.locals[1]);
+    }
+
+    #[test]
+    fn transposition_bridges_hold_everywhere() {
+        // The Section 5.1 similarity chain, checked exhaustively at depth 0
+        // and for a sample state at depth 1.
+        let m = model(3, 3);
+        for x in m.initial_states() {
+            for order in permutations(3) {
+                for at in 0..2 {
+                    let (a, b) = m.transposition_bridges(&x, &order, at);
+                    assert!(a && b, "bridge failed at {order:?}/{at} from {x:?}");
+                }
+            }
+        }
+        let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
+        let x1 = m.apply(&x, &MpAction::Sequential(vec![Pid::new(2), Pid::new(0)]));
+        for order in permutations(3) {
+            for at in 0..2 {
+                let (a, b) = m.transposition_bridges(&x1, &order, at);
+                assert!(a && b);
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_identity_holds_everywhere() {
+        let m = model(3, 3);
+        for x in m.initial_states().into_iter().take(4) {
+            for order in permutations(3) {
+                assert!(
+                    m.diamond_identity_holds(&x, &order),
+                    "diamond failed for {order:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_and_drop_last_are_not_similar() {
+        // The paper's footnote: x[p1..pn] and x[p1..p_{n-1}] do NOT agree
+        // modulo p_n — p_n's messages sit in other processes' mailboxes.
+        let m = model(3, 3);
+        let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
+        let order: Vec<Pid> = Pid::all(3).collect();
+        let full = m.apply(&x, &MpAction::Sequential(order.clone()));
+        let dropped = m.apply(&x, &MpAction::Sequential(order[..2].to_vec()));
+        assert!(!m.agree_modulo(&full, &dropped, Pid::new(2)));
+    }
+
+    #[test]
+    fn layer_is_valence_connected() {
+        let m = model(3, 2);
+        let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
+        let mut solver = ValenceSolver::new(&m, 2);
+        let layer = m.layer(&x);
+        let rep = valence_report(&m, &mut solver, &layer);
+        assert!(rep.connected, "S^per(x) must be valence connected");
+    }
+
+    #[test]
+    fn collect_quorum_n_never_decides_under_drops() {
+        // MpCollectMin with quorum n: repeatedly dropping p1 leaves everyone
+        // else unable to decide — the Decision face of FLP.
+        let m = MpModel::new(3, MpCollectMin::new(3)).with_obligation(2);
+        let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
+        let drop_p1 = MpAction::Sequential(vec![Pid::new(1), Pid::new(2)]);
+        let y = m.apply(&m.apply(&x, &drop_p1), &drop_p1);
+        assert!(y.decided.iter().all(Option::is_none));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn repeated_process_in_action_rejected() {
+        let m = model(2, 1);
+        let x = m.initial_state(&[Value::ZERO, Value::ZERO]);
+        let _ = m.apply(
+            &x,
+            &MpAction::Sequential(vec![Pid::new(0), Pid::new(0)]),
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Permutation and arrangement generators for the permutation layering.
+
+use layered_core::Pid;
+
+/// All permutations of the `n` process identifiers, in lexicographic order.
+///
+/// # Examples
+///
+/// ```
+/// use layered_async_mp::permutations;
+/// assert_eq!(permutations(3).len(), 6);
+/// assert_eq!(permutations(1).len(), 1);
+/// ```
+#[must_use]
+pub fn permutations(n: usize) -> Vec<Vec<Pid>> {
+    let mut out = Vec::new();
+    let mut current: Vec<Pid> = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    fn rec(n: usize, used: &mut [bool], current: &mut Vec<Pid>, out: &mut Vec<Vec<Pid>>) {
+        if current.len() == n {
+            out.push(current.clone());
+            return;
+        }
+        for i in 0..n {
+            if !used[i] {
+                used[i] = true;
+                current.push(Pid::new(i));
+                rec(n, used, current, out);
+                current.pop();
+                used[i] = false;
+            }
+        }
+    }
+    rec(n, &mut used, &mut current, &mut out);
+    out
+}
+
+/// All arrangements (ordered selections) of `n − 1` of the `n` process
+/// identifiers — the orders of the paper's drop-last actions
+/// `[p₁, …, p_{n−1}]`.
+///
+/// There are exactly `n!` of them (the omitted process is determined by the
+/// arrangement, and each permutation truncates to a distinct arrangement).
+#[must_use]
+pub fn drop_last_arrangements(n: usize) -> Vec<Vec<Pid>> {
+    permutations(n)
+        .into_iter()
+        .map(|mut p| {
+            p.pop();
+            p
+        })
+        .collect()
+}
+
+/// The sequence of adjacent transpositions that sorts `from` into `to`,
+/// expressed as the intermediate permutations (inclusive endpoints).
+///
+/// This is the spanning path used in the paper's argument that the
+/// full-action successors of a state are similarity connected ("the fact
+/// that transpositions span all permutations").
+///
+/// # Panics
+///
+/// Panics if `from` and `to` are not permutations of the same set.
+#[must_use]
+pub fn transposition_path(from: &[Pid], to: &[Pid]) -> Vec<Vec<Pid>> {
+    let mut check_from = from.to_vec();
+    let mut check_to = to.to_vec();
+    check_from.sort();
+    check_to.sort();
+    assert_eq!(check_from, check_to, "inputs must permute the same set");
+
+    let mut path = vec![from.to_vec()];
+    let mut cur = from.to_vec();
+    // Selection-sort `cur` into `to` using adjacent swaps (bubble the right
+    // element leftwards), recording every intermediate permutation.
+    for (i, &target) in to.iter().enumerate() {
+        let pos = cur
+            .iter()
+            .position(|&p| p == target)
+            .expect("same element set");
+        for k in (i..pos).rev() {
+            cur.swap(k, k + 1);
+            path.push(cur.clone());
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_counts() {
+        assert_eq!(permutations(2).len(), 2);
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(permutations(4).len(), 24);
+        // All distinct.
+        let mut ps = permutations(4);
+        ps.sort();
+        ps.dedup();
+        assert_eq!(ps.len(), 24);
+    }
+
+    #[test]
+    fn drop_last_counts_and_distinctness() {
+        let ds = drop_last_arrangements(3);
+        assert_eq!(ds.len(), 6);
+        let mut sorted = ds.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6, "each arrangement appears exactly once");
+        assert!(ds.iter().all(|d| d.len() == 2));
+    }
+
+    #[test]
+    fn transposition_path_endpoints_and_steps() {
+        let perms = permutations(4);
+        for a in perms.iter().take(6) {
+            for b in perms.iter().rev().take(6) {
+                let path = transposition_path(a, b);
+                assert_eq!(&path[0], a);
+                assert_eq!(path.last().expect("non-empty"), b);
+                for w in path.windows(2) {
+                    let diffs: Vec<usize> = (0..4).filter(|&i| w[0][i] != w[1][i]).collect();
+                    assert_eq!(diffs.len(), 2, "adjacent transposition");
+                    assert_eq!(diffs[1], diffs[0] + 1, "swap positions adjacent");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same set")]
+    fn transposition_path_rejects_mismatched_sets() {
+        let _ = transposition_path(&[Pid::new(0)], &[Pid::new(1)]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Global states of the asynchronous message-passing model.
+
+use layered_core::{Pid, Value};
+
+/// A global state of the asynchronous message-passing model under the
+/// permutation layering.
+///
+/// # Representation of messages in transit
+///
+/// Each undelivered message sits in its **receiver's mailbox**, and for the
+/// purposes of `agree modulo j` the mailbox of process `i` is treated as
+/// part of `i`'s (extended) local state. This is the bookkeeping under which
+/// the paper's Section 5.1 similarity claims hold at the state level:
+///
+/// * adjacent-transposition layer states differ only in one process's
+///   protocol state *and mailbox* — so they agree modulo that process;
+/// * `x[p₁…pₙ]` and `x[p₁…p_{n−1}]` do **not** agree modulo `pₙ`, because
+///   `pₙ`'s sent messages sit in *other* processes' mailboxes — which is
+///   precisely why the diamond (common-successor) argument is needed there.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MpState<L, M> {
+    /// Completed layers.
+    pub round: u16,
+    /// The run's input assignment.
+    pub inputs: Vec<Value>,
+    /// Per-process protocol local states.
+    pub locals: Vec<L>,
+    /// Per-process write-once decision variables `d_i`.
+    pub decided: Vec<Option<Value>>,
+    /// Per-process count of completed local phases.
+    pub phases_done: Vec<u16>,
+    /// Per-process mailboxes of undelivered messages, in arrival order.
+    pub mailboxes: Vec<Vec<(Pid, M)>>,
+}
+
+impl<L, M> MpState<L, M> {
+    /// Number of processes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Whether the state is degenerate (no processes). Never true for
+    /// model-produced states.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.locals.is_empty()
+    }
+
+    /// The decision of process `i`, if made.
+    #[must_use]
+    pub fn decision(&self, i: Pid) -> Option<Value> {
+        self.decided[i.index()]
+    }
+
+    /// Total number of undelivered messages.
+    #[must_use]
+    pub fn in_transit(&self) -> usize {
+        self.mailboxes.iter().map(Vec::len).sum()
+    }
+
+    /// Processes that completed every local phase so far.
+    pub fn always_proper(&self) -> impl Iterator<Item = Pid> + '_ {
+        let round = self.round;
+        self.phases_done
+            .iter()
+            .enumerate()
+            .filter(move |(_, &c)| c == round)
+            .map(|(i, _)| Pid::new(i))
+    }
+}

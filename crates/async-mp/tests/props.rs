@@ -1,0 +1,117 @@
+//! Property tests for the permutation layering: the Section 5.1 structural
+//! identities must hold at arbitrary reachable states and orders.
+
+use proptest::prelude::*;
+
+use layered_core::{LayeredModel, Pid, Value};
+use layered_protocols::{MpFloodMin, MpProtocol};
+use layered_async_mp::{MpAction, MpModel, MpState};
+
+type State = MpState<<MpFloodMin as MpProtocol>::LocalState, <MpFloodMin as MpProtocol>::Msg>;
+
+fn arb_inputs(n: usize) -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec(0u32..2, n).prop_map(|v| v.into_iter().map(Value::new).collect())
+}
+
+/// A random permutation of `0..n` via sorting random keys.
+fn arb_perm(n: usize) -> impl Strategy<Value = Vec<Pid>> {
+    proptest::collection::vec(0u64..1_000_000, n).prop_map(move |keys| {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by_key(|&i| (keys[i], i));
+        idx.into_iter().map(Pid::new).collect()
+    })
+}
+
+fn arb_action(n: usize) -> impl Strategy<Value = MpAction> {
+    (arb_perm(n), 0..(2 * n)).prop_map(move |(perm, sel)| {
+        if sel < n - 1 {
+            MpAction::Concurrent { order: perm, at: sel }
+        } else if sel == n - 1 {
+            let mut p = perm;
+            p.pop();
+            MpAction::Sequential(p)
+        } else {
+            MpAction::Sequential(perm)
+        }
+    })
+}
+
+fn walk(m: &MpModel<MpFloodMin>, inputs: &[Value], actions: &[MpAction]) -> Vec<State> {
+    let mut states = vec![m.initial_state(inputs)];
+    for a in actions {
+        let next = m.apply(states.last().unwrap(), a);
+        states.push(next);
+    }
+    states
+}
+
+proptest! {
+    /// The transposition bridges hold at arbitrary reachable states, for
+    /// arbitrary orders and positions.
+    #[test]
+    fn transposition_bridges_everywhere(
+        inputs in arb_inputs(3),
+        actions in proptest::collection::vec(arb_action(3), 0..2),
+        order in arb_perm(3),
+        at in 0usize..2,
+    ) {
+        let m = MpModel::new(3, MpFloodMin::new(8));
+        let states = walk(&m, &inputs, &actions);
+        let (a, b) = m.transposition_bridges(states.last().unwrap(), &order, at);
+        prop_assert!(a, "seq ~s conc failed");
+        prop_assert!(b, "conc ~s swapped failed");
+    }
+
+    /// The diamond identity holds at arbitrary reachable states for
+    /// arbitrary full orders.
+    #[test]
+    fn diamond_everywhere(
+        inputs in arb_inputs(3),
+        actions in proptest::collection::vec(arb_action(3), 0..2),
+        order in arb_perm(3),
+    ) {
+        let m = MpModel::new(3, MpFloodMin::new(8));
+        let states = walk(&m, &inputs, &actions);
+        prop_assert!(m.diamond_identity_holds(states.last().unwrap(), &order));
+    }
+
+    /// Run invariants: grading, write-once decisions, mailbox conservation
+    /// (messages only enter mailboxes at sends and leave at receives).
+    #[test]
+    fn run_invariants(
+        inputs in arb_inputs(3),
+        actions in proptest::collection::vec(arb_action(3), 1..3),
+    ) {
+        let m = MpModel::new(3, MpFloodMin::new(2));
+        let states = walk(&m, &inputs, &actions);
+        for (d, w) in states.windows(2).enumerate() {
+            prop_assert_eq!(m.depth(&w[1]), d + 1);
+            for i in 0..3 {
+                if let Some(v) = w[0].decided[i] {
+                    prop_assert_eq!(w[1].decided[i], Some(v));
+                }
+            }
+            // Mailboxes stay sender-sorted (canonical form).
+            for mb in &w[1].mailboxes {
+                let senders: Vec<Pid> = mb.iter().map(|(p, _)| *p).collect();
+                let mut sorted = senders.clone();
+                sorted.sort();
+                prop_assert_eq!(senders, sorted);
+            }
+        }
+    }
+
+    /// A full action leaves exactly the messages sent to earlier-ordered
+    /// processes... precisely: everyone's mailbox is drained at their own
+    /// phase, so only messages from later-ordered processes remain.
+    #[test]
+    fn full_action_mailbox_shape(inputs in arb_inputs(3), order in arb_perm(3)) {
+        let m = MpModel::new(3, MpFloodMin::new(2));
+        let x = m.initial_state(&inputs);
+        let y = m.apply(&x, &MpAction::Sequential(order.clone()));
+        for (pos, &p) in order.iter().enumerate() {
+            // p's mailbox holds exactly one message per later-ordered process.
+            prop_assert_eq!(y.mailboxes[p.index()].len(), 2 - pos);
+        }
+    }
+}

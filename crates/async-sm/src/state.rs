@@ -1,0 +1,59 @@
+//! Global states of the asynchronous read/write shared-memory model.
+
+use layered_core::{Pid, Value};
+
+/// A global state of `M^rw` under the synchronic layering.
+///
+/// The environment's local state is the register array `regs` (the paper:
+/// "the shared variables are assumed to be part of the environment's local
+/// state") — note that `V_j` therefore counts as *environment*, not as part
+/// of process `j`'s local state, which is exactly why `x(j, n)` and
+/// `x(j, A)` do **not** agree modulo `j` and the bridge argument of
+/// Lemma 5.3 is needed.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SmState<L, R> {
+    /// Completed virtual rounds (layers).
+    pub phase: u16,
+    /// The run's input assignment.
+    pub inputs: Vec<Value>,
+    /// Single-writer registers `V_1, …, V_n`; `None` = never written.
+    pub regs: Vec<Option<R>>,
+    /// Per-process protocol local states.
+    pub locals: Vec<L>,
+    /// Per-process write-once decision variables `d_i`.
+    pub decided: Vec<Option<Value>>,
+    /// Per-process count of completed local phases (a process absent in a
+    /// layer does not advance).
+    pub phases_done: Vec<u16>,
+}
+
+impl<L, R> SmState<L, R> {
+    /// Number of processes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Whether the state is degenerate (no processes). Never true for
+    /// model-produced states.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.locals.is_empty()
+    }
+
+    /// The decision of process `i`, if made.
+    #[must_use]
+    pub fn decision(&self, i: Pid) -> Option<Value> {
+        self.decided[i.index()]
+    }
+
+    /// Processes that completed every local phase so far (never absent).
+    pub fn always_proper(&self) -> impl Iterator<Item = Pid> + '_ {
+        let phase = self.phase;
+        self.phases_done
+            .iter()
+            .enumerate()
+            .filter(move |(_, &c)| c == phase)
+            .map(|(i, _)| Pid::new(i))
+    }
+}

@@ -1,0 +1,59 @@
+//! Exhaustive consensus-checking cost: the verification half (FloodMin at
+//! `t + 1` over all `S^t`-runs) and the refutation half (finding the first
+//! violation in each model).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use layered_core::check_consensus;
+use layered_protocols::{FloodMin, FullInfoMin, MpFloodMin, SmFloodMin};
+use layered_async_mp::MpModel;
+use layered_async_sm::SmModel;
+use layered_sync_crash::CrashModel;
+use layered_sync_mobile::MobileModel;
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_floodmin_t_plus_1");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+
+    for &(n, t) in &[(3usize, 1usize), (4, 1), (4, 2)] {
+        let m = CrashModel::new(n, t, FloodMin::new((t + 1) as u16));
+        group.bench_with_input(
+            BenchmarkId::new("sync", format!("n{n}_t{t}")),
+            &(n, t),
+            |b, _| b.iter(|| check_consensus(&m, t + 1, 1).passed()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_refutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refute_first_violation");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+
+    group.bench_function("mobile_floodmin2", |b| {
+        let m = MobileModel::new(3, FloodMin::new(2));
+        b.iter(|| check_consensus(&m, 2, 1).passed())
+    });
+    group.bench_function("sharedmem_floodmin2", |b| {
+        let m = SmModel::new(3, SmFloodMin::new(2));
+        b.iter(|| check_consensus(&m, 2, 1).passed())
+    });
+    group.bench_function("msgpassing_floodmin2", |b| {
+        let m = MpModel::new(3, MpFloodMin::new(2));
+        b.iter(|| check_consensus(&m, 2, 1).passed())
+    });
+    group.bench_function("mobile_fullinfo2", |b| {
+        // Full-information states are the worst-case workload.
+        let m = MobileModel::new(3, FullInfoMin::new(2));
+        b.iter(|| check_consensus(&m, 2, 1).passed())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification, bench_refutation);
+criterion_main!(benches);

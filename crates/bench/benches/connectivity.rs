@@ -1,0 +1,86 @@
+//! Connectivity analysis cost: similarity graphs over `Con₀` and over
+//! layers, chain-certificate extraction, and s-diameter sweeps.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use layered_core::{
+    similarity_chain_between, similarity_report, s_diameter, LayeredModel, Value,
+};
+use layered_protocols::{FloodMin, SmFloodMin};
+use layered_async_sm::SmModel;
+use layered_sync_mobile::MobileModel;
+use layered_topology::diameter_sweep;
+
+fn bench_con0(c: &mut Criterion) {
+    let mut group = c.benchmark_group("con0_similarity");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for n in [3usize, 4, 5, 6] {
+        let m = MobileModel::new(n, FloodMin::new(2));
+        let inits = m.initial_states();
+        group.bench_with_input(BenchmarkId::new("report", n), &n, |b, _| {
+            b.iter(|| similarity_report(&m, &inits).connected)
+        });
+        group.bench_with_input(BenchmarkId::new("diameter", n), &n, |b, _| {
+            b.iter(|| s_diameter(&m, &inits))
+        });
+    }
+    group.finish();
+}
+
+fn bench_layer_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layer_similarity");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for n in [3usize, 4, 5] {
+        let m = SmModel::new(n, SmFloodMin::new(2));
+        let inputs: Vec<Value> = (0..n)
+            .map(|i| if i == 0 { Value::ZERO } else { Value::ONE })
+            .collect();
+        let layer = m.layer(&m.initial_state(&inputs));
+        group.bench_with_input(
+            BenchmarkId::new("srw_layer_report", n),
+            &n,
+            |b, _| b.iter(|| similarity_report(&m, &layer).components),
+        );
+    }
+    group.finish();
+}
+
+fn bench_certificates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity_certificates");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let m = MobileModel::new(4, FloodMin::new(2));
+    let inits = m.initial_states();
+    group.bench_function("extract_and_verify_con0_chain", |b| {
+        b.iter(|| {
+            let chain = similarity_chain_between(&m, &inits, 0, inits.len() - 1)
+                .expect("Con₀ connected");
+            chain.verify(&m).is_ok()
+        })
+    });
+    group.finish();
+}
+
+fn bench_diameter_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diameter_sweep");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    group.bench_function("mobile_n3_depth2", |b| {
+        let m = MobileModel::new(3, FloodMin::new(3));
+        b.iter(|| diameter_sweep(&m, 2).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_con0,
+    bench_layer_connectivity,
+    bench_certificates,
+    bench_diameter_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Layer-generation throughput: how fast each model produces `S(x)`.
+//!
+//! This is the inner loop of every analysis in the workspace; the four
+//! models differ by orders of magnitude in branching (prefix actions vs.
+//! permutation actions), which these benchmarks quantify.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use layered_core::{LayeredModel, Value};
+use layered_protocols::{FloodMin, MpFloodMin, SmFloodMin};
+use layered_async_mp::MpModel;
+use layered_async_sm::SmModel;
+use layered_sync_crash::CrashModel;
+use layered_sync_mobile::MobileModel;
+
+fn mixed_inputs(n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| if i == 0 { Value::ZERO } else { Value::ONE })
+        .collect()
+}
+
+fn bench_layers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layer_generation");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for n in [3usize, 4, 5] {
+        let m = MobileModel::new(n, FloodMin::new(2));
+        let x = m.initial_state(&mixed_inputs(n));
+        group.bench_with_input(BenchmarkId::new("mobile_s1", n), &n, |b, _| {
+            b.iter(|| m.s1_layer(&x).len())
+        });
+
+        let m = SmModel::new(n, SmFloodMin::new(2));
+        let x = m.initial_state(&mixed_inputs(n));
+        group.bench_with_input(BenchmarkId::new("sharedmem_srw", n), &n, |b, _| {
+            b.iter(|| m.layer(&x).len())
+        });
+
+        if n <= 4 {
+            let m = MpModel::new(n, MpFloodMin::new(2));
+            let x = m.initial_state(&mixed_inputs(n));
+            group.bench_with_input(BenchmarkId::new("msgpassing_sper", n), &n, |b, _| {
+                b.iter(|| m.layer(&x).len())
+            });
+        }
+
+        if n >= 3 {
+            let m = CrashModel::new(n, 1, FloodMin::new(2));
+            let x = m.initial_state(&mixed_inputs(n));
+            group.bench_with_input(BenchmarkId::new("sync_st", n), &n, |b, _| {
+                b.iter(|| m.layer(&x).len())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_full_vs_s1(c: &mut Criterion) {
+    // The submodel payoff: S₁ layers vs. the exponential full M^mf layers.
+    let mut group = c.benchmark_group("mobile_s1_vs_full");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for n in [3usize, 4] {
+        let m = MobileModel::new(n, FloodMin::new(2));
+        let x = m.initial_state(&mixed_inputs(n));
+        group.bench_with_input(BenchmarkId::new("s1", n), &n, |b, _| {
+            b.iter(|| m.s1_layer(&x).len())
+        });
+        group.bench_with_input(BenchmarkId::new("full", n), &n, |b, _| {
+            b.iter(|| m.full_layer(&x).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layers, bench_full_vs_s1);
+criterion_main!(benches);

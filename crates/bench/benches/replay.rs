@@ -1,0 +1,62 @@
+//! Base-model interpreter cost: replaying synchronic layers as atomic
+//! read/write schedules (the Lemma 5.3(i) soundness machinery), and one
+//! full layer-soundness sweep.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use layered_core::{LayeredModel, Pid, Value};
+use layered_protocols::SmFloodMin;
+use layered_async_sm::{layer_action_is_legal_schedule, replay, schedule_for, SmAction, SmModel};
+
+fn mixed_inputs(n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| if i == 0 { Value::ZERO } else { Value::ONE })
+        .collect()
+}
+
+fn bench_schedule_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atomic_replay");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for n in [3usize, 4, 5, 6] {
+        let m = SmModel::new(n, SmFloodMin::new(2));
+        let x = m.initial_state(&mixed_inputs(n));
+        let action = SmAction::Staggered {
+            j: Pid::new(0),
+            k: n / 2,
+        };
+        let ops = schedule_for(m.protocol(), &x, action);
+        group.bench_with_input(
+            BenchmarkId::new("replay_one_layer", n),
+            &n,
+            |b, _| b.iter(|| replay(m.protocol(), &x, &ops, 1).is_ok()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("layered_apply", n),
+            &n,
+            |b, _| b.iter(|| m.apply(&x, action)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_soundness_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layer_soundness_sweep");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    group.bench_function("all_actions_n3", |b| {
+        let m = SmModel::new(3, SmFloodMin::new(2));
+        let x = m.initial_state(&mixed_inputs(3));
+        b.iter(|| {
+            m.actions()
+                .into_iter()
+                .all(|a| layer_action_is_legal_schedule(&m, &x, a))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule_replay, bench_soundness_sweep);
+criterion_main!(benches);

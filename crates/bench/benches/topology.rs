@@ -1,0 +1,79 @@
+//! Section 7 machinery cost: building task spans, k-thick-connectivity on
+//! structured and random complexes, and the generalized valence solver.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use layered_core::{LayeredModel, Pid, Value};
+use layered_protocols::MpFloodMin;
+use layered_async_mp::MpModel;
+use layered_topology::{
+    covering_bivalent_run, tasks, Complex, Covering, CoveringSolver, Simplex,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_complex(n: usize, facets: usize, values: u32, seed: u64) -> Complex {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Complex::from_facets((0..facets).map(|_| {
+        Simplex::from_pairs(
+            (0..n).map(|i| (Pid::new(i), Value::new(rng.random_range(0..values)))),
+        )
+    }))
+}
+
+fn bench_task_spans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("task_spans");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for n in [3usize, 4] {
+        group.bench_with_input(BenchmarkId::new("consensus_span", n), &n, |b, _| {
+            b.iter(|| tasks::consensus(n).full_span().facet_count())
+        });
+        group.bench_with_input(BenchmarkId::new("2set_span", n), &n, |b, _| {
+            b.iter(|| tasks::k_set_agreement(n, 2).full_span().facet_count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_thick_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thick_connectivity");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for n in [3usize, 4] {
+        let span = tasks::k_set_agreement(n, 2).full_span();
+        group.bench_with_input(BenchmarkId::new("2set", n), &n, |b, _| {
+            b.iter(|| span.is_k_thick_connected(n, 1))
+        });
+    }
+    for facets in [16usize, 64, 128] {
+        let cpx = random_complex(4, facets, 3, 42);
+        group.bench_with_input(
+            BenchmarkId::new("random_n4", facets),
+            &facets,
+            |b, _| b.iter(|| cpx.is_k_thick_connected(4, 1)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_covering_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("covering_valence");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    group.bench_function("mp_consensus_covering_run", |b| {
+        let m = MpModel::new(3, MpFloodMin::new(2));
+        let cov = Covering::consensus(3);
+        b.iter(|| {
+            let mut solver = CoveringSolver::new(&m, &cov, 2);
+            let roots = m.initial_states();
+            covering_bivalent_run(&mut solver, &roots, 1).reached_target()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_task_spans, bench_thick_connectivity, bench_covering_solver);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Valence-solving cost: classifying all initial states (and thereby
+//! memoizing the reachable graph) per model and horizon.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use layered_core::{build_bivalent_run, LayeredModel, ValenceSolver};
+use layered_protocols::{FloodMin, MpFloodMin, SmFloodMin};
+use layered_async_mp::MpModel;
+use layered_async_sm::SmModel;
+use layered_sync_crash::CrashModel;
+use layered_sync_mobile::MobileModel;
+
+fn bench_valence_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("valence_classification");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+
+    let horizon = 2usize;
+
+    let m = MobileModel::new(3, FloodMin::new(horizon as u16));
+    group.bench_function(BenchmarkId::new("mobile", 3), |b| {
+        b.iter(|| {
+            let mut solver = ValenceSolver::new(&m, horizon);
+            m.initial_states()
+                .iter()
+                .filter(|x| solver.is_bivalent(x))
+                .count()
+        })
+    });
+
+    let m = SmModel::new(3, SmFloodMin::new(horizon as u16));
+    group.bench_function(BenchmarkId::new("sharedmem", 3), |b| {
+        b.iter(|| {
+            let mut solver = ValenceSolver::new(&m, horizon);
+            m.initial_states()
+                .iter()
+                .filter(|x| solver.is_bivalent(x))
+                .count()
+        })
+    });
+
+    let m = MpModel::new(3, MpFloodMin::new(horizon as u16));
+    group.bench_function(BenchmarkId::new("msgpassing", 3), |b| {
+        b.iter(|| {
+            let mut solver = ValenceSolver::new(&m, horizon);
+            m.initial_states()
+                .iter()
+                .filter(|x| solver.is_bivalent(x))
+                .count()
+        })
+    });
+
+    let m = CrashModel::new(4, 2, FloodMin::new(3));
+    group.bench_function(BenchmarkId::new("sync_n4_t2", 4), |b| {
+        b.iter(|| {
+            let mut solver = ValenceSolver::new(&m, 3);
+            m.initial_states()
+                .iter()
+                .filter(|x| solver.is_bivalent(x))
+                .count()
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_bivalent_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bivalent_run_construction");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+
+    group.bench_function("mobile_3_steps2", |b| {
+        let m = MobileModel::new(3, FloodMin::new(3));
+        b.iter(|| {
+            let mut solver = ValenceSolver::new(&m, 3);
+            build_bivalent_run(&mut solver, 2).reached_target()
+        })
+    });
+    group.bench_function("sharedmem_3_steps2", |b| {
+        let m = SmModel::new(3, SmFloodMin::new(3));
+        b.iter(|| {
+            let mut solver = ValenceSolver::new(&m, 3);
+            build_bivalent_run(&mut solver, 2).reached_target()
+        })
+    });
+    group.bench_function("msgpassing_3_steps1", |b| {
+        let m = MpModel::new(3, MpFloodMin::new(2));
+        b.iter(|| {
+            let mut solver = ValenceSolver::new(&m, 2);
+            build_bivalent_run(&mut solver, 1).reached_target()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_valence_classification, bench_bivalent_run);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Runs every experiment and prints its paper-vs-measured table.
+
+use layered_bench::{all_experiments, Scope};
+
+fn main() {
+    let scope = if std::env::args().any(|a| a == "quick") {
+        Scope::Quick
+    } else {
+        Scope::Full
+    };
+    println!("Layered analysis of consensus — experiment harness ({scope:?} scope)");
+    println!("Reproducing Moses & Rajsbaum, PODC 1998, claim by claim.\n");
+    let mut failures = 0;
+    for exp in all_experiments(scope) {
+        println!("[{}] {}", exp.id, exp.claim);
+        println!("{}", exp.table);
+        if exp.ok {
+            println!("  => OK\n");
+        } else {
+            failures += 1;
+            println!("  => MISMATCH\n");
+        }
+    }
+    if failures == 0 {
+        println!("All experiments match the paper's claims.");
+    } else {
+        println!("{failures} experiment(s) deviated from the paper's claims.");
+        std::process::exit(1);
+    }
+}

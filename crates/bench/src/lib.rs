@@ -1,0 +1,79 @@
+//! Experiment harness regenerating every numbered claim of the paper.
+//!
+//! The paper has no tables or figures; its reproducible units are the
+//! lemmas, theorems and corollaries. Each experiment here verifies one of
+//! them by exhaustive enumeration on finite instances and prints a
+//! paper-vs-measured table. Run all of them with the `experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p layered-bench --bin experiments          # full
+//! cargo run --release -p layered-bench --bin experiments -- quick # small
+//! ```
+//!
+//! The functions are also exposed as a library so the workspace integration
+//! tests can assert that every experiment reports `ok`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use layered_core::report::Table;
+
+mod experiments {
+    pub mod decision_tasks;
+    pub mod foundations;
+    pub mod impossibility;
+    pub mod synchronous;
+}
+
+pub use experiments::decision_tasks::{bivalence_profile, covering_sanity, diameter, lemma_7_1, lemma_7_4, task_solvability};
+pub use experiments::foundations::{census, lemma_3_1, lemma_3_6, theorem_4_2};
+pub use experiments::impossibility::{iis, message_passing, mobile, shared_memory};
+pub use experiments::synchronous::{early_stopping, lemma_6_4, lemmas_6_1_6_2, lower_bound};
+
+/// How large an instance each experiment should use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scope {
+    /// Small instances (CI-friendly, sub-second each).
+    Quick,
+    /// The sizes reported in EXPERIMENTS.md.
+    Full,
+}
+
+/// One experiment: a paper claim, the measured table, and an overall
+/// pass/fail verdict.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Experiment identifier (`E-<claim>`): see DESIGN.md's index.
+    pub id: &'static str,
+    /// The paper claim being reproduced.
+    pub claim: &'static str,
+    /// The measured table.
+    pub table: Table,
+    /// Whether every row matched the paper's claim.
+    pub ok: bool,
+}
+
+/// Runs every experiment at the given scope, in paper order.
+#[must_use]
+pub fn all_experiments(scope: Scope) -> Vec<Experiment> {
+    vec![
+        lemma_3_1(scope),
+        lemma_3_6(scope),
+        theorem_4_2(scope),
+        census(scope),
+        mobile(scope),
+        shared_memory(scope),
+        message_passing(scope),
+        iis(scope),
+        lower_bound(scope),
+        lemmas_6_1_6_2(scope),
+        lemma_6_4(scope),
+        early_stopping(scope),
+        task_solvability(scope),
+        lemma_7_1(scope),
+        lemma_7_4(scope),
+        bivalence_profile(scope),
+        covering_sanity(scope),
+        diameter(scope),
+    ]
+}

@@ -1,0 +1,71 @@
+//! Model-independent kernel for the *layered analysis* of consensus.
+//!
+//! This crate is the executable core of Moses & Rajsbaum, *"The Unified
+//! Structure of Consensus: a Layered Analysis Approach"* (PODC 1998). The
+//! paper analyzes consensus once, abstractly, in terms of *layerings* —
+//! successor functions `S : G → 2^G` over global states — and then derives
+//! the classical impossibility results and lower bounds in four models by
+//! exhibiting suitable layerings. This crate implements the abstract side:
+//!
+//! * global states, runs and executions over a model ([`model`]),
+//! * valence of states — 0-valent / 1-valent / bivalent ([`valence`]),
+//! * similarity and valence connectivity with machine-checkable
+//!   certificates ([`connectivity`]),
+//! * the layering engine: Lemma 4.1 and the Theorem 4.2 bivalent-run
+//!   construction ([`layering`]),
+//! * exhaustive checking of Decision / Agreement / Validity and of the
+//!   abstract failure-model properties ([`checker`]).
+//!
+//! The concrete models live in sibling crates (`layered-sync-mobile`,
+//! `layered-async-sm`, `layered-async-mp`, `layered-sync-crash`), protocols
+//! in `layered-protocols`, and the Section 7 decision-task machinery in
+//! `layered-topology`.
+//!
+//! # Quick example
+//!
+//! Build a toy layered model and run the Theorem 4.2 engine on it:
+//!
+//! ```
+//! use layered_core::{build_bivalent_run, LayeredModel, ValenceSolver};
+//! use layered_core::testkit::flp_diamond;
+//!
+//! let model = flp_diamond();
+//! let mut solver = ValenceSolver::new(&model, 2);
+//! let outcome = build_bivalent_run(&mut solver, 0);
+//! // The diamond's initial state is bivalent: the engine finds it.
+//! assert!(outcome.reached_target());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod connectivity;
+pub mod graph;
+mod model;
+mod pid;
+pub mod report;
+pub mod stats;
+pub mod testkit;
+mod valence;
+mod witness;
+
+pub mod layering;
+
+pub use checker::{
+    check_consensus, check_crash_display, check_fault_independence, check_graded, trace_to,
+    ConsensusReport, Violation,
+};
+pub use connectivity::{
+    input_interpolation, s_diameter, similar, similarity_chain_between, similarity_graph,
+    similarity_report, similarity_witness, valence_graph, valence_report, ConnectivityReport,
+    SimilarityChain, SimilarityWitness,
+};
+pub use layering::{
+    bivalent_successor, build_bivalent_run, check_lemma_3_1, check_lemma_3_2,
+    extend_bivalent_run, scan_layer_valence_connectivity, BivalentRunOutcome, LayerScan, Stuck,
+};
+pub use model::{explore, states_at_depth, ExecutionTrace, Exploration, LayeredModel};
+pub use pid::{binary_input_vectors, Pid, Value};
+pub use valence::{undecided_non_failed, Valence, ValenceSolver, Valences};
+pub use witness::{ImpossibilityWitness, WitnessError};

@@ -1,0 +1,248 @@
+//! Process identifiers and decision values.
+//!
+//! The paper fixes a finite set of `n >= 2` processes named `1, 2, …, n` and
+//! an environment `e`. Internally we index processes from `0`; the
+//! [`Pid::display_index`] accessor recovers the paper's 1-based name.
+
+use std::fmt;
+
+/// A process identifier, `0`-based.
+///
+/// The paper names processes `1..=n`; we store `i - 1`. A [`Pid`] is a plain
+/// index and is meaningful only relative to a model with a known process
+/// count.
+///
+/// # Examples
+///
+/// ```
+/// use layered_core::Pid;
+///
+/// let p = Pid::new(0);
+/// assert_eq!(p.index(), 0);
+/// assert_eq!(p.display_index(), 1); // the paper would call this process "1"
+/// assert_eq!(p.to_string(), "p1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Pid(u8);
+
+impl Pid {
+    /// Creates a process identifier from a `0`-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u8::MAX` (models in this workspace are
+    /// finite instances with at most a few dozen processes).
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        assert!(index <= u8::MAX as usize, "process index out of range");
+        Pid(index as u8)
+    }
+
+    /// The `0`-based index of this process.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The `1`-based index used by the paper's notation.
+    #[must_use]
+    pub fn display_index(self) -> usize {
+        self.index() + 1
+    }
+
+    /// Iterates over all `n` process identifiers `p1, …, pn`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use layered_core::Pid;
+    /// let all: Vec<Pid> = Pid::all(3).collect();
+    /// assert_eq!(all, vec![Pid::new(0), Pid::new(1), Pid::new(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = Pid> + Clone {
+        (0..n).map(Pid::new)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.display_index())
+    }
+}
+
+impl From<Pid> for usize {
+    fn from(pid: Pid) -> usize {
+        pid.index()
+    }
+}
+
+/// A decision (or input) value.
+///
+/// Binary consensus uses [`Value::ZERO`] and [`Value::ONE`]; general decision
+/// tasks (Section 7 of the paper) may use a larger range.
+///
+/// # Examples
+///
+/// ```
+/// use layered_core::Value;
+///
+/// assert_ne!(Value::ZERO, Value::ONE);
+/// assert_eq!(Value::new(0), Value::ZERO);
+/// assert_eq!(Value::ONE.get(), 1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Value(u32);
+
+impl Value {
+    /// The binary value `0`.
+    pub const ZERO: Value = Value(0);
+    /// The binary value `1`.
+    pub const ONE: Value = Value(1);
+
+    /// Creates a value from its numeric representation.
+    #[must_use]
+    pub const fn new(v: u32) -> Self {
+        Value(v)
+    }
+
+    /// The numeric representation of the value.
+    #[must_use]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// For a binary value, the other binary value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not binary.
+    #[must_use]
+    pub fn flipped(self) -> Value {
+        match self {
+            Value::ZERO => Value::ONE,
+            Value::ONE => Value::ZERO,
+            other => panic!("flipped() called on non-binary value {other:?}"),
+        }
+    }
+
+    /// Whether this is one of the two binary values.
+    #[must_use]
+    pub const fn is_binary(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value(v)
+    }
+}
+
+/// Enumerates all `2^n` binary input vectors, in lexicographic order with
+/// process `p1` as the most significant position.
+///
+/// These are exactly the input assignments of the consensus initial-state set
+/// `Con₀` from Section 3 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use layered_core::{binary_input_vectors, Value};
+///
+/// let vecs = binary_input_vectors(2);
+/// assert_eq!(vecs.len(), 4);
+/// assert_eq!(vecs[0], vec![Value::ZERO, Value::ZERO]);
+/// assert_eq!(vecs[3], vec![Value::ONE, Value::ONE]);
+/// ```
+#[must_use]
+pub fn binary_input_vectors(n: usize) -> Vec<Vec<Value>> {
+    assert!(n < usize::BITS as usize, "too many processes");
+    let mut out = Vec::with_capacity(1 << n);
+    for mask in 0..(1usize << n) {
+        let mut v = Vec::with_capacity(n);
+        for i in 0..n {
+            let bit = (mask >> (n - 1 - i)) & 1;
+            v.push(if bit == 1 { Value::ONE } else { Value::ZERO });
+        }
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_roundtrip() {
+        for i in 0..8 {
+            let p = Pid::new(i);
+            assert_eq!(p.index(), i);
+            assert_eq!(p.display_index(), i + 1);
+        }
+    }
+
+    #[test]
+    fn pid_display_uses_paper_numbering() {
+        assert_eq!(Pid::new(0).to_string(), "p1");
+        assert_eq!(Pid::new(4).to_string(), "p5");
+    }
+
+    #[test]
+    fn pid_all_yields_n_distinct() {
+        let all: Vec<Pid> = Pid::all(5).collect();
+        assert_eq!(all.len(), 5);
+        for (i, p) in all.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "process index out of range")]
+    fn pid_overflow_panics() {
+        let _ = Pid::new(300);
+    }
+
+    #[test]
+    fn value_binary_helpers() {
+        assert!(Value::ZERO.is_binary());
+        assert!(Value::ONE.is_binary());
+        assert!(!Value::new(7).is_binary());
+        assert_eq!(Value::ZERO.flipped(), Value::ONE);
+        assert_eq!(Value::ONE.flipped(), Value::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-binary")]
+    fn value_flip_nonbinary_panics() {
+        let _ = Value::new(2).flipped();
+    }
+
+    #[test]
+    fn binary_vectors_count_and_extremes() {
+        for n in 1..=5 {
+            let vecs = binary_input_vectors(n);
+            assert_eq!(vecs.len(), 1 << n);
+            assert!(vecs[0].iter().all(|&v| v == Value::ZERO));
+            assert!(vecs[(1 << n) - 1].iter().all(|&v| v == Value::ONE));
+            // all distinct
+            let mut sorted = vecs.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), vecs.len());
+        }
+    }
+
+    #[test]
+    fn binary_vectors_msb_is_process_one() {
+        let vecs = binary_input_vectors(3);
+        // index 4 = 0b100 -> p1 gets 1, others 0
+        assert_eq!(vecs[4], vec![Value::ONE, Value::ZERO, Value::ZERO]);
+    }
+}

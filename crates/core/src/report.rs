@@ -1,0 +1,156 @@
+//! Plain-text tables for the experiment harness.
+//!
+//! Every experiment in this workspace prints a fixed-width table with a
+//! caption tying it back to the paper claim it reproduces (the paper has no
+//! numbered tables, so claims play that role). Kept deliberately free of
+//! dependencies.
+
+use std::fmt;
+
+/// A fixed-width text table.
+///
+/// # Examples
+///
+/// ```
+/// use layered_core::report::Table;
+///
+/// let mut t = Table::new("Lemma 3.6 (Con₀ connectivity)", &["n", "|Con₀|", "sim-connected"]);
+/// t.row(&["2", "4", "yes"]);
+/// t.row(&["3", "8", "yes"]);
+/// let s = t.to_string();
+/// assert!(s.contains("Lemma 3.6"));
+/// assert!(s.contains("sim-connected"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    caption: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a caption and column headers.
+    #[must_use]
+    pub fn new(caption: &str, header: &[&str]) -> Self {
+        Table {
+            caption: caption.to_string(),
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(ToString::to_string).collect());
+    }
+
+    /// Appends a row of already-owned cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        writeln!(f, "== {} ==", self.caption)?;
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let pad = widths[i].saturating_sub(c.chars().count());
+                    format!("{c}{}", " ".repeat(pad))
+                })
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.header))?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a boolean as `yes` / `NO` (violations stand out in experiment
+/// output).
+#[must_use]
+pub fn yes_no(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "NO"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_formats_alignment() {
+        let mut t = Table::new("cap", &["a", "bbbb"]);
+        t.row(&["xxx", "y"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "== cap ==");
+        assert!(lines[1].starts_with("a  "));
+        assert!(lines[3].starts_with("xxx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("cap", &["a", "b"]);
+        t.row(&["only one"]);
+    }
+
+    #[test]
+    fn yes_no_rendering() {
+        assert_eq!(yes_no(true), "yes");
+        assert_eq!(yes_no(false), "NO");
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut t = Table::new("c", &["x"]);
+        assert!(t.is_empty());
+        t.row(&["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! State-space census: quantitative structure of a layered model.
+//!
+//! The submodels the layerings induce are drastically smaller than the full
+//! models (that is their point — compare `S₁`'s `n² + 1` actions with
+//! `M^mf`'s `n·2ⁿ`). This module measures the induced state spaces level by
+//! level: distinct states, layer sizes, deduplication factors, and decided
+//! fractions; the experiment harness tabulates them per model.
+
+use std::collections::HashSet;
+
+use crate::{LayeredModel, Pid};
+
+/// Census of one depth level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LevelCensus {
+    /// Depth (layers from the initial states).
+    pub depth: usize,
+    /// Distinct states at this depth.
+    pub states: usize,
+    /// Successor edges leaving this level (with multiplicity).
+    pub edges: usize,
+    /// Minimum layer size over the level.
+    pub min_layer: usize,
+    /// Maximum layer size over the level.
+    pub max_layer: usize,
+    /// States at this level in which at least one process has decided.
+    pub with_decisions: usize,
+}
+
+impl LevelCensus {
+    /// Average layer size (edges per state).
+    #[must_use]
+    pub fn avg_layer(&self) -> f64 {
+        if self.states == 0 {
+            0.0
+        } else {
+            self.edges as f64 / self.states as f64
+        }
+    }
+
+    /// Deduplication factor: edges emitted vs. distinct states produced at
+    /// the next level (filled by [`census`]; `1.0` means no merging).
+    #[must_use]
+    pub fn dedup_factor(&self, next_states: usize) -> f64 {
+        if next_states == 0 {
+            0.0
+        } else {
+            self.edges as f64 / next_states as f64
+        }
+    }
+}
+
+/// Census of a model's induced state space, level by level.
+pub fn census<M: LayeredModel>(model: &M, depth: usize) -> Vec<LevelCensus> {
+    let n = model.num_processes();
+    let mut out = Vec::with_capacity(depth + 1);
+    let mut level = model.initial_states();
+    for d in 0..=depth {
+        let mut edges = 0usize;
+        let mut min_layer = usize::MAX;
+        let mut max_layer = 0usize;
+        let mut next = Vec::new();
+        let mut seen = HashSet::new();
+        let with_decisions = level
+            .iter()
+            .filter(|x| Pid::all(n).any(|i| model.decision(x, i).is_some()))
+            .count();
+        if d < depth {
+            for x in &level {
+                let layer = model.successors(x);
+                edges += layer.len();
+                min_layer = min_layer.min(layer.len());
+                max_layer = max_layer.max(layer.len());
+                for y in layer {
+                    if seen.insert(y.clone()) {
+                        next.push(y);
+                    }
+                }
+            }
+        }
+        out.push(LevelCensus {
+            depth: d,
+            states: level.len(),
+            edges,
+            min_layer: if min_layer == usize::MAX { 0 } else { min_layer },
+            max_layer,
+            with_decisions,
+        });
+        level = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{flp_diamond, CounterModel};
+
+    #[test]
+    fn counter_census_counts() {
+        let m = CounterModel::new(2, 3);
+        let rows = census(&m, 2);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].depth, 0);
+        assert_eq!(rows[0].states, 4); // 2^2 inputs
+        assert_eq!(rows[0].edges, 12); // 3 successors each
+        assert_eq!(rows[0].min_layer, 3);
+        assert_eq!(rows[0].max_layer, 3);
+        assert_eq!(rows[1].states, 12); // labels distinct per input vector
+        assert_eq!(rows[0].with_decisions, 0);
+        // Terminal level measures no edges.
+        assert_eq!(rows[2].edges, 0);
+    }
+
+    #[test]
+    fn diamond_census_sees_decisions() {
+        let m = flp_diamond();
+        let rows = census(&m, 2);
+        assert_eq!(rows[0].states, 1);
+        assert_eq!(rows[1].states, 2);
+        assert_eq!(rows[2].states, 2);
+        assert_eq!(rows[2].with_decisions, 2);
+        assert_eq!(rows[1].with_decisions, 0);
+    }
+
+    #[test]
+    fn avg_and_dedup_factors() {
+        let m = CounterModel::new(2, 3);
+        let rows = census(&m, 1);
+        assert!((rows[0].avg_layer() - 3.0).abs() < 1e-9);
+        assert!((rows[0].dedup_factor(rows[1].states) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,301 @@
+//! Valence of states (Section 3 of the paper, "Decisions and valence").
+//!
+//! With respect to a system `R`, a state `x` is *v-valent* if there is an
+//! execution of `R` extending `x` in which at least one nonfaulty process
+//! decides `v`; *v-univalent* if it is `v`-valent for exactly one `v`; and
+//! *bivalent* if it is both 0-valent and 1-valent.
+//!
+//! # Finite-horizon semantics
+//!
+//! The paper quantifies over infinite executions. The executable counterpart
+//! quantifies over all `S`-executions within a *horizon* `H` (total layers
+//! from the initial states): `x` is `v`-valent iff some state `y` reachable
+//! from `x` at depth ≤ `H` has a process `i` with `d_i = v` that is
+//! *non-failed at* `y`. By fault independence such an `i` is nonfaulty in
+//! some run through `y`, so finite-horizon valence is sound. It coincides
+//! with the paper's notion whenever the protocol under analysis decides in
+//! all executions by depth `H` — which is precisely the situation in every
+//! lower-bound argument (the protocol claims a deadline, and the analysis
+//! refutes it). Executions that reach the horizon undecided are themselves
+//! *Decision*-violation witnesses and are surfaced by the
+//! [checker](crate::checker).
+
+use std::collections::HashMap;
+
+use crate::{LayeredModel, Pid, Value};
+
+/// Which of the two binary decision values are reachable-by-a-nonfaulty
+/// decision from a state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Valences {
+    /// The state is 0-valent.
+    pub zero: bool,
+    /// The state is 1-valent.
+    pub one: bool,
+}
+
+impl Valences {
+    /// No reachable nonfaulty decision at all.
+    pub const NONE: Valences = Valences {
+        zero: false,
+        one: false,
+    };
+
+    /// Union of reachable decisions.
+    #[must_use]
+    pub fn union(self, other: Valences) -> Valences {
+        Valences {
+            zero: self.zero || other.zero,
+            one: self.one || other.one,
+        }
+    }
+
+    /// Is the state `v`-valent?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not binary.
+    #[must_use]
+    pub fn is_valent(self, v: Value) -> bool {
+        match v {
+            Value::ZERO => self.zero,
+            Value::ONE => self.one,
+            other => panic!("binary valence queried with non-binary value {other:?}"),
+        }
+    }
+
+    /// The classification induced by the flags.
+    #[must_use]
+    pub fn classify(self) -> Valence {
+        match (self.zero, self.one) {
+            (true, true) => Valence::Bivalent,
+            (true, false) => Valence::Univalent(Value::ZERO),
+            (false, true) => Valence::Univalent(Value::ONE),
+            (false, false) => Valence::NoValence,
+        }
+    }
+}
+
+/// The valence classification of a state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Valence {
+    /// `v`-valent and not `v'`-valent for `v' ≠ v`.
+    Univalent(Value),
+    /// Both 0-valent and 1-valent.
+    Bivalent,
+    /// No nonfaulty decision is reachable within the horizon. For a protocol
+    /// that claims to decide within the horizon this already refutes the
+    /// *Decision* requirement.
+    NoValence,
+}
+
+impl Valence {
+    /// Whether the classification is [`Valence::Bivalent`].
+    #[must_use]
+    pub fn is_bivalent(self) -> bool {
+        self == Valence::Bivalent
+    }
+}
+
+/// Memoizing valence solver over the graded successor graph of a model.
+///
+/// # Examples
+///
+/// ```
+/// use layered_core::{LayeredModel, Valence, ValenceSolver, Value};
+/// use layered_core::testkit::flp_diamond;
+///
+/// let m = flp_diamond();
+/// let mut solver = ValenceSolver::new(&m, 2);
+/// let x0 = m.initial_states().remove(0);
+/// assert_eq!(solver.valence(&x0), Valence::Bivalent);
+/// ```
+pub struct ValenceSolver<'a, M: LayeredModel> {
+    model: &'a M,
+    horizon: usize,
+    memo: HashMap<M::State, Valences>,
+}
+
+impl<'a, M: LayeredModel> ValenceSolver<'a, M> {
+    /// Creates a solver that explores to total depth `horizon` from the
+    /// initial states.
+    #[must_use]
+    pub fn new(model: &'a M, horizon: usize) -> Self {
+        ValenceSolver {
+            model,
+            horizon,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The analysis horizon.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// The decisions visible *locally* at `x` by processes non-failed at `x`.
+    ///
+    /// Non-binary decision values are ignored by the binary-valence solver
+    /// (Section 7's generalized valence handles them).
+    pub fn local_valences(&self, x: &M::State) -> Valences {
+        let mut flags = Valences::NONE;
+        for i in Pid::all(self.model.num_processes()) {
+            if self.model.failed_at(x, i) {
+                continue;
+            }
+            match self.model.decision(x, i) {
+                Some(Value::ZERO) => flags.zero = true,
+                Some(Value::ONE) => flags.one = true,
+                _ => {}
+            }
+        }
+        flags
+    }
+
+    /// The valence flags of `x` (memoized).
+    pub fn valences(&mut self, x: &M::State) -> Valences {
+        if let Some(&v) = self.memo.get(x) {
+            return v;
+        }
+        let mut flags = self.local_valences(x);
+        if self.model.depth(x) < self.horizon && !(flags.zero && flags.one) {
+            for y in self.model.successors(x) {
+                flags = flags.union(self.valences(&y));
+                if flags.zero && flags.one {
+                    break;
+                }
+            }
+        }
+        self.memo.insert(x.clone(), flags);
+        flags
+    }
+
+    /// The valence classification of `x`.
+    pub fn valence(&mut self, x: &M::State) -> Valence {
+        self.valences(x).classify()
+    }
+
+    /// Whether `x` is bivalent.
+    pub fn is_bivalent(&mut self, x: &M::State) -> bool {
+        self.valence(x).is_bivalent()
+    }
+
+    /// Whether `x` and `y` have a *shared valence* (`x ∼_v y`,
+    /// Definition 3.1): some `w ∈ {0,1}` such that both are `w`-valent.
+    pub fn shared_valence(&mut self, x: &M::State, y: &M::State) -> bool {
+        let a = self.valences(x);
+        let b = self.valences(y);
+        (a.zero && b.zero) || (a.one && b.one)
+    }
+
+    /// Number of memoized states (useful to report exploration effort).
+    #[must_use]
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// The underlying model.
+    #[must_use]
+    pub fn model(&self) -> &'a M {
+        self.model
+    }
+
+    /// Scans the initial states for a bivalent one, in order.
+    ///
+    /// By Lemma 3.6 a system for consensus that satisfies *decision* and
+    /// *validity* and displays an arbitrary crash failure with respect to
+    /// `Con₀` must have one; returning `None` therefore certifies that the
+    /// protocol violates decision or validity already at the horizon.
+    pub fn bivalent_initial_state(&mut self) -> Option<M::State> {
+        self.model
+            .initial_states()
+            .into_iter()
+            .find(|x0| self.is_bivalent(x0))
+    }
+}
+
+/// Caveat-free enumeration of undecided, non-failed processes at a state —
+/// the quantity bounded from below by Lemma 3.1.
+pub fn undecided_non_failed<M: LayeredModel>(model: &M, x: &M::State) -> Vec<Pid> {
+    Pid::all(model.num_processes())
+        .filter(|&i| !model.failed_at(x, i) && model.decision(x, i).is_none())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{flp_diamond, ScriptedModelBuilder};
+
+    #[test]
+    fn diamond_root_is_bivalent_children_univalent() {
+        let m = flp_diamond();
+        let mut s = ValenceSolver::new(&m, 2);
+        let x0 = m.initial_states().remove(0);
+        assert_eq!(s.valence(&x0), Valence::Bivalent);
+        let succ = m.successors(&x0);
+        let vals: Vec<Valence> = succ.iter().map(|y| s.valence(y)).collect();
+        assert!(vals.contains(&Valence::Univalent(Value::ZERO)));
+        assert!(vals.contains(&Valence::Univalent(Value::ONE)));
+    }
+
+    #[test]
+    fn memo_is_populated_and_reused() {
+        let m = flp_diamond();
+        let mut s = ValenceSolver::new(&m, 2);
+        let x0 = m.initial_states().remove(0);
+        let _ = s.valence(&x0);
+        let before = s.memo_len();
+        let _ = s.valence(&x0);
+        assert_eq!(s.memo_len(), before);
+        assert!(before >= 1);
+    }
+
+    #[test]
+    fn horizon_truncates_lookahead() {
+        // Decision only appears at depth 2; with horizon 1 nothing is
+        // reachable, so the root has no valence.
+        let m = flp_diamond();
+        let x0 = m.initial_states().remove(0);
+        let mut shallow = ValenceSolver::new(&m, 1);
+        assert_eq!(shallow.valence(&x0), Valence::NoValence);
+        let mut deep = ValenceSolver::new(&m, 2);
+        assert_eq!(deep.valence(&x0), Valence::Bivalent);
+    }
+
+    #[test]
+    fn failed_process_decision_does_not_count() {
+        // One state where the only decided process is failed-at: no valence.
+        let m = ScriptedModelBuilder::new(2, 1)
+            .initial(&[Value::ZERO, Value::ZERO], 0)
+            .decision(0, 0, Value::ZERO)
+            .failed(0, 0)
+            .depth(0, 0)
+            .build();
+        let mut s = ValenceSolver::new(&m, 0);
+        assert_eq!(s.valence(&0), Valence::NoValence);
+    }
+
+    #[test]
+    fn shared_valence_matches_definition() {
+        let m = flp_diamond();
+        let mut s = ValenceSolver::new(&m, 2);
+        let x0 = m.initial_states().remove(0);
+        let succ = m.successors(&x0);
+        // The root is bivalent, so it shares a valence with every successor
+        // that has any valence.
+        for y in &succ {
+            if s.valence(y) != Valence::NoValence {
+                assert!(s.shared_valence(&x0, y));
+            }
+        }
+    }
+
+    #[test]
+    fn undecided_non_failed_counts() {
+        let m = flp_diamond();
+        let x0 = m.initial_states().remove(0);
+        assert_eq!(undecided_non_failed(&m, &x0).len(), m.num_processes());
+    }
+}

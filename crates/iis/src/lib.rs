@@ -1,0 +1,40 @@
+//! The iterated immediate snapshot (IIS) model under skip-one layers —
+//! the extension the paper's full version announces at the end of
+//! Section 7 ("we use the same techniques to extend the equivalence to
+//! snapshot shared memory, iterated immediate snapshot, and related
+//! models").
+//!
+//! A round is a fresh one-shot immediate-snapshot object scheduled by an
+//! [`OrderedPartition`]: block members write concurrently, then snapshot,
+//! observing their own and all earlier blocks. The layering lets the
+//! environment skip at most one process per round, mirroring the paper's
+//! other 1-resilient layerings. Protocols are ordinary
+//! [`SmProtocol`](layered_protocols::SmProtocol)s.
+//!
+//! The crate reproduces, in this model, the same pipeline as the paper's
+//! named models: bivalent initial states, valence-connected layers,
+//! ever-bivalent runs, and checker refutation of every consensus
+//! candidate. The classical immediate-snapshot connectivity move —
+//! splitting one process into a preceding singleton block changes only
+//! that process's view — is [`IisModel::singleton_split_bridge`].
+//!
+//! # Example
+//!
+//! ```
+//! use layered_core::{build_bivalent_run, ValenceSolver};
+//! use layered_protocols::SmFloodMin;
+//! use layered_iis::IisModel;
+//!
+//! let m = IisModel::new(3, SmFloodMin::new(2));
+//! let mut solver = ValenceSolver::new(&m, 2);
+//! assert!(build_bivalent_run(&mut solver, 1).reached_target());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod partition;
+
+pub use model::{IisModel, IisState};
+pub use partition::{ordered_partitions, OrderedPartition};

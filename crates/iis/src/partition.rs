@@ -1,0 +1,156 @@
+//! Ordered set partitions — the schedules of immediate-snapshot rounds.
+
+use layered_core::Pid;
+
+/// An ordered partition of a set of processes into non-empty blocks.
+///
+/// In an immediate-snapshot round scheduled by `B₁, …, B_k`, the processes
+/// of each block write concurrently and then snapshot, seeing the writes of
+/// their own and all earlier blocks.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct OrderedPartition {
+    blocks: Vec<Vec<Pid>>,
+}
+
+impl OrderedPartition {
+    /// Creates a partition from blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block is empty or a process appears twice.
+    #[must_use]
+    pub fn new(blocks: Vec<Vec<Pid>>) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for b in &blocks {
+            assert!(!b.is_empty(), "blocks must be non-empty");
+            for &p in b {
+                assert!(seen.insert(p), "process appears in two blocks");
+            }
+        }
+        let mut blocks = blocks;
+        for b in &mut blocks {
+            b.sort();
+        }
+        OrderedPartition { blocks }
+    }
+
+    /// The blocks in order.
+    #[must_use]
+    pub fn blocks(&self) -> &[Vec<Pid>] {
+        &self.blocks
+    }
+
+    /// All processes taking part, in block order.
+    pub fn participants(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.blocks.iter().flatten().copied()
+    }
+
+    /// Number of participating processes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the partition has no blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The index of the block containing `p`, if participating.
+    #[must_use]
+    pub fn block_of(&self, p: Pid) -> Option<usize> {
+        self.blocks.iter().position(|b| b.contains(&p))
+    }
+
+    /// The partition with process `p` split out of its block into a new
+    /// singleton block placed immediately *before* the remainder — the
+    /// refinement under which only `p`'s view changes (the classical
+    /// immediate-snapshot connectivity move).
+    ///
+    /// Returns `None` if `p` does not participate or is already alone.
+    #[must_use]
+    pub fn split_first(&self, p: Pid) -> Option<OrderedPartition> {
+        let at = self.block_of(p)?;
+        if self.blocks[at].len() == 1 {
+            return None;
+        }
+        let mut blocks = self.blocks.clone();
+        blocks[at].retain(|&q| q != p);
+        blocks.insert(at, vec![p]);
+        Some(OrderedPartition { blocks })
+    }
+}
+
+/// All ordered partitions of the given processes (Fubini-number many).
+#[must_use]
+pub fn ordered_partitions(processes: &[Pid]) -> Vec<OrderedPartition> {
+    fn rec(rest: &[Pid], acc: &mut Vec<Vec<Pid>>, out: &mut Vec<OrderedPartition>) {
+        if rest.is_empty() {
+            out.push(OrderedPartition::new(acc.clone()));
+            return;
+        }
+        // Choose the first block: any non-empty subset containing rest[0]?
+        // No — ordered partitions choose ANY non-empty subset as the next
+        // block. Enumerate subsets of `rest` by bitmask (rest is small).
+        let m = rest.len();
+        for mask in 1..(1u32 << m) {
+            let block: Vec<Pid> = (0..m).filter(|&i| (mask >> i) & 1 == 1).map(|i| rest[i]).collect();
+            let remainder: Vec<Pid> =
+                (0..m).filter(|&i| (mask >> i) & 1 == 0).map(|i| rest[i]).collect();
+            acc.push(block);
+            rec(&remainder, acc, out);
+            acc.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(processes, &mut Vec::new(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pids(n: usize) -> Vec<Pid> {
+        Pid::all(n).collect()
+    }
+
+    #[test]
+    fn fubini_counts() {
+        assert_eq!(ordered_partitions(&pids(1)).len(), 1);
+        assert_eq!(ordered_partitions(&pids(2)).len(), 3);
+        assert_eq!(ordered_partitions(&pids(3)).len(), 13);
+        assert_eq!(ordered_partitions(&pids(4)).len(), 75);
+    }
+
+    #[test]
+    fn partitions_are_distinct_and_cover() {
+        let parts = ordered_partitions(&pids(3));
+        let mut seen = std::collections::HashSet::new();
+        for p in &parts {
+            assert!(seen.insert(p.clone()), "duplicate partition");
+            assert_eq!(p.len(), 3);
+            let mut all: Vec<Pid> = p.participants().collect();
+            all.sort();
+            assert_eq!(all, pids(3));
+        }
+    }
+
+    #[test]
+    fn split_first_moves_one_process() {
+        let part = OrderedPartition::new(vec![pids(3)]);
+        let split = part.split_first(Pid::new(1)).expect("block has 3 members");
+        assert_eq!(split.blocks().len(), 2);
+        assert_eq!(split.blocks()[0], vec![Pid::new(1)]);
+        assert_eq!(split.blocks()[1], vec![Pid::new(0), Pid::new(2)]);
+        // A singleton cannot be split further.
+        assert!(split.split_first(Pid::new(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "two blocks")]
+    fn duplicate_process_rejected() {
+        let _ = OrderedPartition::new(vec![vec![Pid::new(0)], vec![Pid::new(0)]]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Quorum-collect protocols for the asynchronous message-passing model.
+//!
+//! [`MpCollectMin`] waits until it knows the inputs of a *quorum* of
+//! processes (its own included) and then decides the minimum of those
+//! inputs. The quorum parameter spans the interesting spectrum:
+//!
+//! * `quorum = n` — never terminates when one process is silent: the
+//!   Decision-violation face of the FLP impossibility.
+//! * `quorum = n − 1` — always terminates 1-resiliently but decides at most
+//!   two distinct values: it *violates* consensus agreement (the checker
+//!   finds the run), yet *solves* 2-set agreement, the classical example of
+//!   a decision problem solvable 1-resiliently (Section 7 / Corollary 7.3).
+
+use std::collections::BTreeMap;
+
+use layered_core::{Pid, Value};
+
+use crate::traits::MpProtocol;
+
+/// Local state of [`MpCollectMin`]: the inputs known per process, and the
+/// completed phase count.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CollectState {
+    /// Known (process, input) pairs, always including the own input.
+    pub known: BTreeMap<Pid, Value>,
+    /// Completed local phases.
+    pub completed: u16,
+}
+
+/// Collect-then-decide-min with a configurable quorum.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MpCollectMin {
+    quorum: usize,
+}
+
+impl MpCollectMin {
+    /// A protocol that decides the minimum input among the first `quorum`
+    /// processes whose inputs it learns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quorum == 0`.
+    #[must_use]
+    pub fn new(quorum: usize) -> Self {
+        assert!(quorum > 0, "quorum must be positive");
+        MpCollectMin { quorum }
+    }
+
+    /// The quorum size.
+    #[must_use]
+    pub fn quorum(&self) -> usize {
+        self.quorum
+    }
+}
+
+impl MpProtocol for MpCollectMin {
+    type LocalState = CollectState;
+    /// Messages carry the sender's full known map.
+    type Msg = BTreeMap<Pid, Value>;
+
+    fn init(&self, _n: usize, me: Pid, input: Value) -> CollectState {
+        CollectState {
+            known: BTreeMap::from([(me, input)]),
+            completed: 0,
+        }
+    }
+
+    fn send(&self, ls: &CollectState, me: Pid, n: usize) -> Vec<(Pid, BTreeMap<Pid, Value>)> {
+        Pid::all(n)
+            .filter(|&p| p != me)
+            .map(|p| (p, ls.known.clone()))
+            .collect()
+    }
+
+    fn absorb(
+        &self,
+        mut ls: CollectState,
+        _me: Pid,
+        delivered: &[(Pid, BTreeMap<Pid, Value>)],
+    ) -> CollectState {
+        for (_, msg) in delivered {
+            for (&p, &v) in msg {
+                ls.known.entry(p).or_insert(v);
+            }
+        }
+        ls.completed += 1;
+        ls
+    }
+
+    fn decide(&self, ls: &CollectState) -> Option<Value> {
+        (ls.known.len() >= self.quorum)
+            .then(|| *ls.known.values().min().expect("known is non-empty"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decides_once_quorum_known() {
+        let p = MpCollectMin::new(2);
+        let ls = p.init(3, Pid::new(0), Value::ONE);
+        assert_eq!(p.decide(&ls), None);
+        let sends = p.send(&ls, Pid::new(0), 3);
+        assert_eq!(sends.len(), 2); // broadcast to the other two
+        let msg = BTreeMap::from([(Pid::new(1), Value::ZERO)]);
+        let ls = p.absorb(ls, Pid::new(0), &[(Pid::new(1), msg)]);
+        assert_eq!(p.decide(&ls), Some(Value::ZERO));
+    }
+
+    #[test]
+    fn quorum_n_waits_for_everyone() {
+        let p = MpCollectMin::new(3);
+        let ls = p.init(3, Pid::new(0), Value::ONE);
+        let msg = BTreeMap::from([(Pid::new(1), Value::ZERO)]);
+        let ls = p.absorb(ls, Pid::new(0), &[(Pid::new(1), msg)]);
+        assert_eq!(p.decide(&ls), None); // still missing p3's input
+    }
+
+    #[test]
+    fn first_learned_value_sticks() {
+        let p = MpCollectMin::new(2);
+        let ls = p.init(2, Pid::new(0), Value::ONE);
+        let m1 = BTreeMap::from([(Pid::new(1), Value::ZERO)]);
+        let ls = p.absorb(ls, Pid::new(0), &[(Pid::new(1), m1)]);
+        // Re-learning a different value for p2 must not overwrite.
+        let m2 = BTreeMap::from([(Pid::new(1), Value::new(9))]);
+        let ls = p.absorb(ls, Pid::new(0), &[(Pid::new(1), m2)]);
+        assert_eq!(ls.known[&Pid::new(1)], Value::ZERO);
+    }
+}

@@ -1,0 +1,220 @@
+//! Exponential Information Gathering (EIG) consensus.
+//!
+//! The classical t+1-round agreement protocol built on the EIG tree: node
+//! labels are strings of distinct process ids; `val(σ·j)` is the value `j`
+//! reported for node `σ`. For crash/omission failures, deciding the
+//! minimum value present anywhere in the tree yields consensus in `t + 1`
+//! rounds — behaviorally matching FloodMin but carrying the full
+//! who-said-what structure, which makes it (a) a second, independently
+//! structured witness that the Dolev–Strong bound is tight, and (b) a
+//! heavier state-space workload for the engine.
+
+use std::collections::BTreeMap;
+
+use layered_core::{Pid, Value};
+
+use crate::traits::SyncProtocol;
+
+/// An EIG tree: labels (strings of distinct pids, root = empty) mapped to
+/// reported values (`None` = no report, e.g. the reporter was silenced).
+pub type EigTree = BTreeMap<Vec<Pid>, Option<Value>>;
+
+/// Local state of [`Eig`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct EigState {
+    /// The gathered tree.
+    pub tree: EigTree,
+    /// Completed rounds.
+    pub completed: u16,
+    /// The process's own id (labels ending in `me` are own reports).
+    pub me: Pid,
+}
+
+impl EigState {
+    /// The frontier of the tree at depth `level`.
+    fn frontier(&self, level: usize) -> BTreeMap<Vec<Pid>, Option<Value>> {
+        self.tree
+            .iter()
+            .filter(|(label, _)| label.len() == level)
+            .map(|(l, v)| (l.clone(), *v))
+            .collect()
+    }
+
+    /// The minimum value present anywhere in the tree.
+    #[must_use]
+    pub fn min_value(&self) -> Value {
+        self.tree
+            .values()
+            .flatten()
+            .min()
+            .copied()
+            .expect("the root always holds the own input")
+    }
+}
+
+/// EIG consensus with a decision deadline of `rounds` rounds.
+///
+/// `Eig::new(t + 1)` solves t-resilient consensus in the synchronous
+/// model; `Eig::new(t)` is refuted by the checker, like truncated FloodMin.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Eig {
+    rounds: u16,
+}
+
+impl Eig {
+    /// An EIG protocol deciding after exactly `rounds` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    #[must_use]
+    pub fn new(rounds: u16) -> Self {
+        assert!(rounds > 0, "EIG needs at least one round");
+        Eig { rounds }
+    }
+
+    /// The decision deadline in rounds.
+    #[must_use]
+    pub fn rounds(&self) -> u16 {
+        self.rounds
+    }
+}
+
+impl SyncProtocol for Eig {
+    type LocalState = EigState;
+    /// Each round a process relays its current tree frontier.
+    type Msg = BTreeMap<Vec<Pid>, Option<Value>>;
+
+    fn init(&self, _n: usize, me: Pid, input: Value) -> EigState {
+        let mut tree = EigTree::new();
+        tree.insert(Vec::new(), Some(input));
+        EigState {
+            tree,
+            completed: 0,
+            me,
+        }
+    }
+
+    fn message(&self, ls: &EigState, _to: Pid) -> Self::Msg {
+        ls.frontier(usize::from(ls.completed))
+    }
+
+    fn transition(&self, mut ls: EigState, me: Pid, received: &[Option<Self::Msg>]) -> EigState {
+        let level = usize::from(ls.completed);
+        for (from, msg) in received.iter().enumerate() {
+            let from = Pid::new(from);
+            match msg {
+                Some(frontier) => {
+                    for (label, v) in frontier {
+                        if label.len() == level && !label.contains(&from) && from != me {
+                            let mut child = label.clone();
+                            child.push(from);
+                            ls.tree.insert(child, *v);
+                        }
+                    }
+                }
+                None => {
+                    // The sender was silenced: mark every child label it
+                    // would have reported as absent.
+                    let labels: Vec<Vec<Pid>> = ls
+                        .tree
+                        .keys()
+                        .filter(|l| l.len() == level && !l.contains(&from))
+                        .cloned()
+                        .collect();
+                    if from != me {
+                        for label in labels {
+                            let mut child = label;
+                            child.push(from);
+                            ls.tree.insert(child, None);
+                        }
+                    }
+                }
+            }
+        }
+        ls.completed += 1;
+        ls
+    }
+
+    fn decide(&self, ls: &EigState) -> Option<Value> {
+        (ls.completed >= self.rounds).then(|| ls.min_value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg_of(ls: &EigState, p: &Eig) -> BTreeMap<Vec<Pid>, Option<Value>> {
+        p.message(ls, Pid::new(0))
+    }
+
+    #[test]
+    fn tree_grows_one_level_per_round() {
+        let p = Eig::new(2);
+        let n = 3;
+        let states: Vec<EigState> = (0..n)
+            .map(|i| p.init(n, Pid::new(i), Value::new(i as u32)))
+            .collect();
+        let msgs: Vec<_> = states.iter().map(|ls| Some(msg_of(ls, &p))).collect();
+        let ls = p.transition(states[0].clone(), Pid::new(0), &msgs);
+        // Level 1: one node per other process.
+        assert_eq!(
+            ls.tree.keys().filter(|l| l.len() == 1).count(),
+            2,
+            "own report is not duplicated as a child"
+        );
+        assert_eq!(ls.tree[&vec![Pid::new(1)]], Some(Value::new(1)));
+        assert_eq!(ls.tree[&vec![Pid::new(2)]], Some(Value::new(2)));
+    }
+
+    #[test]
+    fn silence_recorded_as_none() {
+        let p = Eig::new(1);
+        let n = 3;
+        let ls = p.init(n, Pid::new(0), Value::ONE);
+        let other = p.init(n, Pid::new(2), Value::ZERO);
+        let msgs = vec![Some(msg_of(&ls, &p)), None, Some(msg_of(&other, &p))];
+        let ls = p.transition(ls, Pid::new(0), &msgs);
+        assert_eq!(ls.tree[&vec![Pid::new(1)]], None);
+        assert_eq!(p.decide(&ls), Some(Value::ZERO));
+    }
+
+    #[test]
+    fn labels_never_repeat_processes() {
+        let p = Eig::new(2);
+        let n = 3;
+        let mut states: Vec<EigState> = (0..n)
+            .map(|i| p.init(n, Pid::new(i), Value::new(i as u32)))
+            .collect();
+        for _ in 0..2 {
+            let msgs: Vec<_> = states.iter().map(|ls| Some(msg_of(ls, &p))).collect();
+            states = states
+                .into_iter()
+                .enumerate()
+                .map(|(i, ls)| p.transition(ls, Pid::new(i), &msgs))
+                .collect();
+        }
+        for ls in &states {
+            for label in ls.tree.keys() {
+                let mut sorted = label.clone();
+                sorted.sort();
+                sorted.dedup();
+                assert_eq!(sorted.len(), label.len(), "distinct pids per label");
+                assert!(label.len() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn decides_min_at_deadline() {
+        let p = Eig::new(1);
+        let n = 3;
+        let states: Vec<EigState> = (0..n)
+            .map(|i| p.init(n, Pid::new(i), Value::new(2 - i as u32)))
+            .collect();
+        let msgs: Vec<_> = states.iter().map(|ls| Some(msg_of(ls, &p))).collect();
+        let ls = p.transition(states[0].clone(), Pid::new(0), &msgs);
+        assert_eq!(p.decide(&ls), Some(Value::ZERO));
+    }
+}

@@ -1,0 +1,307 @@
+//! The FloodSet/FloodMin protocol family.
+//!
+//! FloodMin is the classical flooding consensus protocol: every process
+//! maintains the set of input values it has heard of, forwards that set
+//! every round (phase), and after a fixed number of rounds decides the
+//! minimum of its set. With deadline `t + 1` rounds it solves t-resilient
+//! consensus in the synchronous model — witnessing that the Dolev–Strong
+//! lower bound reproduced by Corollary 6.3 is *tight*. With any shorter
+//! deadline, or in any of the asynchronous models, the layered-analysis
+//! engine finds explicit violations, as the paper's impossibility results
+//! dictate.
+//!
+//! Variants for all three model families are provided: [`FloodMin`]
+//! (synchronous rounds), [`SmFloodMin`] (shared-memory phases), and
+//! [`MpFloodMin`] (message-passing phases).
+
+use std::collections::BTreeSet;
+
+use layered_core::{Pid, Value};
+
+use crate::traits::{MpProtocol, SmProtocol, SyncProtocol};
+
+/// Local state of every FloodMin variant: the set of known input values and
+/// the number of completed rounds/phases.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct FloodState {
+    /// Input values heard of so far (always contains the own input).
+    pub known: BTreeSet<Value>,
+    /// Completed rounds (synchronous) or local phases (asynchronous).
+    pub completed: u16,
+}
+
+impl FloodState {
+    fn new(input: Value) -> Self {
+        FloodState {
+            known: BTreeSet::from([input]),
+            completed: 0,
+        }
+    }
+
+    fn min_known(&self) -> Value {
+        *self.known.iter().next().expect("known always contains own input")
+    }
+}
+
+/// Synchronous FloodMin with a decision deadline of `rounds` rounds.
+///
+/// `FloodMin::new(t + 1)` solves consensus t-resiliently; `FloodMin::new(t)`
+/// is the *truncated* variant whose agreement violation the Section 6
+/// experiments exhibit.
+///
+/// # Examples
+///
+/// ```
+/// use layered_protocols::{FloodMin, SyncProtocol};
+/// use layered_core::{Pid, Value};
+///
+/// let p = FloodMin::new(2);
+/// let ls = p.init(3, Pid::new(0), Value::ONE);
+/// assert_eq!(p.decide(&ls), None); // undecided before the deadline
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FloodMin {
+    rounds: u16,
+}
+
+impl FloodMin {
+    /// A FloodMin deciding after exactly `rounds` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0` (use [`HastyMin`](crate::HastyMin) for the
+    /// degenerate protocol that decides immediately).
+    #[must_use]
+    pub fn new(rounds: u16) -> Self {
+        assert!(rounds > 0, "FloodMin needs at least one round");
+        FloodMin { rounds }
+    }
+
+    /// The decision deadline in rounds.
+    #[must_use]
+    pub fn rounds(&self) -> u16 {
+        self.rounds
+    }
+}
+
+impl SyncProtocol for FloodMin {
+    type LocalState = FloodState;
+    type Msg = BTreeSet<Value>;
+
+    fn init(&self, _n: usize, _me: Pid, input: Value) -> FloodState {
+        FloodState::new(input)
+    }
+
+    fn message(&self, ls: &FloodState, _to: Pid) -> BTreeSet<Value> {
+        ls.known.clone()
+    }
+
+    fn transition(&self, mut ls: FloodState, _me: Pid, received: &[Option<BTreeSet<Value>>]) -> FloodState {
+        for msg in received.iter().flatten() {
+            ls.known.extend(msg.iter().copied());
+        }
+        ls.completed += 1;
+        ls
+    }
+
+    fn decide(&self, ls: &FloodState) -> Option<Value> {
+        (ls.completed >= self.rounds).then(|| ls.min_known())
+    }
+}
+
+/// A protocol that decides its own input immediately, without communicating.
+///
+/// Violates Agreement on every mixed-input run; used to validate that the
+/// checker reports agreement violations (and as the paper's reminder that
+/// Validity alone is trivial to satisfy).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HastyMin;
+
+impl SyncProtocol for HastyMin {
+    type LocalState = FloodState;
+    type Msg = BTreeSet<Value>;
+
+    fn init(&self, _n: usize, _me: Pid, input: Value) -> FloodState {
+        FloodState::new(input)
+    }
+
+    fn message(&self, ls: &FloodState, _to: Pid) -> BTreeSet<Value> {
+        ls.known.clone()
+    }
+
+    fn transition(&self, mut ls: FloodState, _me: Pid, received: &[Option<BTreeSet<Value>>]) -> FloodState {
+        for msg in received.iter().flatten() {
+            ls.known.extend(msg.iter().copied());
+        }
+        ls.completed += 1;
+        ls
+    }
+
+    fn decide(&self, ls: &FloodState) -> Option<Value> {
+        Some(ls.min_known())
+    }
+}
+
+/// Shared-memory FloodMin: write the known set, read all registers, union
+/// them in; decide the minimum after `phases` local phases.
+///
+/// In the synchronic layering `S^rw` this protocol cannot solve consensus
+/// (Corollary 5.4): the experiments exhibit its agreement/decision
+/// violations for every deadline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SmFloodMin {
+    phases: u16,
+}
+
+impl SmFloodMin {
+    /// A shared-memory FloodMin deciding after `phases` local phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases == 0`.
+    #[must_use]
+    pub fn new(phases: u16) -> Self {
+        assert!(phases > 0, "SmFloodMin needs at least one phase");
+        SmFloodMin { phases }
+    }
+
+    /// The decision deadline in local phases.
+    #[must_use]
+    pub fn phases(&self) -> u16 {
+        self.phases
+    }
+}
+
+impl SmProtocol for SmFloodMin {
+    type LocalState = FloodState;
+    type Reg = BTreeSet<Value>;
+
+    fn init(&self, _n: usize, _me: Pid, input: Value) -> FloodState {
+        FloodState::new(input)
+    }
+
+    fn write_value(&self, ls: &FloodState) -> Option<BTreeSet<Value>> {
+        Some(ls.known.clone())
+    }
+
+    fn absorb(&self, mut ls: FloodState, _me: Pid, regs: &[Option<BTreeSet<Value>>]) -> FloodState {
+        for reg in regs.iter().flatten() {
+            ls.known.extend(reg.iter().copied());
+        }
+        ls.completed += 1;
+        ls
+    }
+
+    fn decide(&self, ls: &FloodState) -> Option<Value> {
+        (ls.completed >= self.phases).then(|| ls.min_known())
+    }
+}
+
+/// Message-passing FloodMin: broadcast the known set each local phase;
+/// decide the minimum after `phases` local phases.
+///
+/// The FLP-style impossibility under the permutation layering `S^per`
+/// guarantees this protocol cannot solve consensus for any deadline; the
+/// experiments exhibit its violations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MpFloodMin {
+    phases: u16,
+}
+
+impl MpFloodMin {
+    /// A message-passing FloodMin deciding after `phases` local phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases == 0`.
+    #[must_use]
+    pub fn new(phases: u16) -> Self {
+        assert!(phases > 0, "MpFloodMin needs at least one phase");
+        MpFloodMin { phases }
+    }
+
+    /// The decision deadline in local phases.
+    #[must_use]
+    pub fn phases(&self) -> u16 {
+        self.phases
+    }
+}
+
+impl MpProtocol for MpFloodMin {
+    type LocalState = FloodState;
+    type Msg = BTreeSet<Value>;
+
+    fn init(&self, _n: usize, _me: Pid, input: Value) -> FloodState {
+        FloodState::new(input)
+    }
+
+    fn send(&self, ls: &FloodState, me: Pid, n: usize) -> Vec<(Pid, BTreeSet<Value>)> {
+        Pid::all(n)
+            .filter(|&p| p != me)
+            .map(|p| (p, ls.known.clone()))
+            .collect()
+    }
+
+    fn absorb(
+        &self,
+        mut ls: FloodState,
+        _me: Pid,
+        delivered: &[(Pid, BTreeSet<Value>)],
+    ) -> FloodState {
+        for (_, msg) in delivered {
+            ls.known.extend(msg.iter().copied());
+        }
+        ls.completed += 1;
+        ls
+    }
+
+    fn decide(&self, ls: &FloodState) -> Option<Value> {
+        (ls.completed >= self.phases).then(|| ls.min_known())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flood_state_tracks_minimum() {
+        let mut s = FloodState::new(Value::new(3));
+        assert_eq!(s.min_known(), Value::new(3));
+        s.known.insert(Value::ZERO);
+        assert_eq!(s.min_known(), Value::ZERO);
+    }
+
+    #[test]
+    fn floodmin_decides_only_at_deadline() {
+        let p = FloodMin::new(2);
+        let mut ls = p.init(3, Pid::new(0), Value::ONE);
+        assert_eq!(p.decide(&ls), None);
+        ls = p.transition(ls, Pid::new(0), &[None, None, None]);
+        assert_eq!(p.decide(&ls), None);
+        ls = p.transition(ls, Pid::new(0), &[None, None, None]);
+        assert_eq!(p.decide(&ls), Some(Value::ONE));
+    }
+
+    #[test]
+    fn floodmin_unions_received_sets() {
+        let p = FloodMin::new(1);
+        let ls = p.init(2, Pid::new(0), Value::ONE);
+        let msg = BTreeSet::from([Value::ZERO]);
+        let ls = p.transition(ls, Pid::new(0), &[None, Some(msg)]);
+        assert_eq!(p.decide(&ls), Some(Value::ZERO));
+    }
+
+    #[test]
+    fn hasty_decides_immediately() {
+        let p = HastyMin;
+        let ls = p.init(2, Pid::new(1), Value::ONE);
+        assert_eq!(p.decide(&ls), Some(Value::ONE));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn floodmin_zero_rounds_rejected() {
+        let _ = FloodMin::new(0);
+    }
+}

@@ -1,0 +1,175 @@
+//! The full-information protocol for synchronous round-based models.
+//!
+//! Each process's local state is its *view*: the complete history of what it
+//! has seen. Every round it sends its entire view to everyone and stacks the
+//! received views into a new root node. Full-information protocols are the
+//! canonical "hardest to fool" protocols: any protocol's behavior is a
+//! function of the full-information view, so lower bounds exhibited against
+//! full-information deciders (here: decide the minimum input visible in the
+//! view at a deadline) carry the most structure. The paper appeals to
+//! full-information protocols when arguing that the synchronic submodel is
+//! "very close to being synchronous" (Section 5.1).
+
+use std::collections::BTreeSet;
+
+use layered_core::{Pid, Value};
+
+use crate::traits::SyncProtocol;
+
+/// A process's complete knowledge after some number of rounds.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum View {
+    /// The initial view: own identity and input.
+    Input(Pid, Value),
+    /// One round of exchange: own identity plus the views received from each
+    /// process (`None` = message lost).
+    Round(Pid, Vec<Option<View>>),
+}
+
+impl View {
+    /// The owner of this view.
+    #[must_use]
+    pub fn owner(&self) -> Pid {
+        match self {
+            View::Input(p, _) | View::Round(p, _) => *p,
+        }
+    }
+
+    /// Number of completed rounds recorded in the view.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        match self {
+            View::Input(..) => 0,
+            View::Round(_, received) => {
+                1 + received
+                    .iter()
+                    .flatten()
+                    .map(View::rounds)
+                    .max()
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    /// All input values visible anywhere in the view.
+    #[must_use]
+    pub fn visible_inputs(&self) -> BTreeSet<Value> {
+        let mut out = BTreeSet::new();
+        self.collect_inputs(&mut out);
+        out
+    }
+
+    fn collect_inputs(&self, out: &mut BTreeSet<Value>) {
+        match self {
+            View::Input(_, v) => {
+                out.insert(*v);
+            }
+            View::Round(_, received) => {
+                for sub in received.iter().flatten() {
+                    sub.collect_inputs(out);
+                }
+            }
+        }
+    }
+}
+
+/// The full-information protocol with a min-of-visible-inputs decision rule
+/// at a deadline of `rounds` rounds.
+///
+/// Behaviorally equivalent to [`FloodMin`](crate::FloodMin) in what it
+/// decides, but its state space is the full view structure — useful for
+/// validating that the layered analysis does not depend on protocol state
+/// granularity, and as the worst-case workload for the benchmarks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FullInfoMin {
+    rounds: u16,
+}
+
+impl FullInfoMin {
+    /// A full-information protocol deciding after `rounds` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    #[must_use]
+    pub fn new(rounds: u16) -> Self {
+        assert!(rounds > 0, "FullInfoMin needs at least one round");
+        FullInfoMin { rounds }
+    }
+
+    /// The decision deadline in rounds.
+    #[must_use]
+    pub fn rounds(&self) -> u16 {
+        self.rounds
+    }
+}
+
+impl SyncProtocol for FullInfoMin {
+    type LocalState = View;
+    type Msg = View;
+
+    fn init(&self, _n: usize, me: Pid, input: Value) -> View {
+        View::Input(me, input)
+    }
+
+    fn message(&self, ls: &View, _to: Pid) -> View {
+        ls.clone()
+    }
+
+    fn transition(&self, _ls: View, me: Pid, received: &[Option<View>]) -> View {
+        View::Round(me, received.to_vec())
+    }
+
+    fn decide(&self, ls: &View) -> Option<Value> {
+        (ls.rounds() >= usize::from(self.rounds)).then(|| {
+            *ls.visible_inputs()
+                .iter()
+                .next()
+                .expect("a view always contains the own input")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_round_counting() {
+        let p = FullInfoMin::new(2);
+        let v0 = p.init(2, Pid::new(0), Value::ZERO);
+        assert_eq!(v0.rounds(), 0);
+        let w0 = p.init(2, Pid::new(1), Value::ONE);
+        let v1 = p.transition(v0.clone(), Pid::new(0), &[Some(v0.clone()), Some(w0)]);
+        assert_eq!(v1.rounds(), 1);
+        assert_eq!(v1.owner(), Pid::new(0));
+    }
+
+    #[test]
+    fn visible_inputs_accumulate() {
+        let p = FullInfoMin::new(1);
+        let v0 = p.init(2, Pid::new(0), Value::ONE);
+        let w0 = p.init(2, Pid::new(1), Value::ZERO);
+        let v1 = p.transition(v0.clone(), Pid::new(0), &[Some(v0), Some(w0)]);
+        assert_eq!(
+            v1.visible_inputs(),
+            BTreeSet::from([Value::ZERO, Value::ONE])
+        );
+        assert_eq!(p.decide(&v1), Some(Value::ZERO));
+    }
+
+    #[test]
+    fn lost_messages_hide_inputs() {
+        let p = FullInfoMin::new(1);
+        let v0 = p.init(2, Pid::new(0), Value::ONE);
+        let v1 = p.transition(v0.clone(), Pid::new(0), &[Some(v0), None]);
+        assert_eq!(p.decide(&v1), Some(Value::ONE));
+    }
+
+    #[test]
+    fn undecided_before_deadline() {
+        let p = FullInfoMin::new(3);
+        let v0 = p.init(2, Pid::new(0), Value::ZERO);
+        assert_eq!(p.decide(&v0), None);
+    }
+}

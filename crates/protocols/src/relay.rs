@@ -1,0 +1,280 @@
+//! The RelayRace protocol family: agreement-safe, schedule-dependent
+//! deciders.
+//!
+//! A fixed leader (process `p1`) adopts the input of the first other
+//! process it hears from and then announces the decision; everyone else
+//! decides on hearing the announcement. These protocols satisfy *Agreement*
+//! and *Validity* in **every** run (the adopted value is unique and is
+//! somebody's input) while sacrificing *Decision* (a silent leader blocks
+//! everyone) — exactly the hypothesis profile of Lemma 3.2, whose
+//! conclusion (a bivalent state has no decided processes) the experiments
+//! check against these protocols. They are genuinely bivalent at mixed
+//! inputs: the scheduler decides whose input reaches the leader first.
+//!
+//! Variants: [`SyncRelayRace`] (synchronous rounds, including `M^mf`),
+//! [`SmRelayRace`] (shared-memory phases), [`MpRelayRace`] (message-passing
+//! phases).
+
+use layered_core::{Pid, Value};
+
+use crate::traits::{MpProtocol, SmProtocol, SyncProtocol};
+
+/// The leader is always process `p1`.
+const LEADER: Pid = Pid::new(0);
+
+/// Local state of every RelayRace variant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RelayState {
+    /// The own input.
+    pub input: Value,
+    /// The leader's adopted value (leader only; `None` before the race is
+    /// won).
+    pub chosen: Option<Value>,
+    /// The announced decision, once heard.
+    pub heard: Option<Value>,
+}
+
+impl RelayState {
+    fn new(input: Value) -> Self {
+        RelayState {
+            input,
+            chosen: None,
+            heard: None,
+        }
+    }
+}
+
+/// Messages of the RelayRace protocols.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RelayMsg {
+    /// A non-leader's input offer.
+    Input(Value),
+    /// The leader's decision announcement.
+    Decide(Value),
+    /// Padding for rounds in which nothing is said (synchronous variant).
+    Silence,
+}
+
+/// RelayRace for synchronous round models (`M^mf`, t-resilient).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SyncRelayRace;
+
+/// The decision of a process is held in the local state; the model latches
+/// it. We track `me` implicitly: `init` stores nothing extra because the
+/// leader test uses the pid passed to each callback.
+impl SyncProtocol for SyncRelayRace {
+    type LocalState = RelayState;
+    type Msg = RelayMsg;
+
+    fn init(&self, _n: usize, _me: Pid, input: Value) -> RelayState {
+        RelayState::new(input)
+    }
+
+    fn message(&self, ls: &RelayState, _to: Pid) -> RelayMsg {
+        // The leader announces once it has chosen; everyone else keeps
+        // offering their input. (A non-leader's `chosen` is always None.)
+        match ls.chosen.or(ls.heard) {
+            Some(v) => RelayMsg::Decide(v),
+            None => RelayMsg::Input(ls.input),
+        }
+    }
+
+    fn transition(&self, mut ls: RelayState, me: Pid, received: &[Option<RelayMsg>]) -> RelayState {
+        if me == LEADER {
+            if ls.chosen.is_none() {
+                ls.chosen = received
+                    .iter()
+                    .enumerate()
+                    .filter(|&(from, _)| from != LEADER.index())
+                    .find_map(|(_, msg)| match msg {
+                        Some(RelayMsg::Input(v)) => Some(*v),
+                        _ => None,
+                    });
+            }
+        } else if ls.heard.is_none() {
+            ls.heard = received
+                .iter()
+                .flatten()
+                .find_map(|msg| match msg {
+                    RelayMsg::Decide(v) => Some(*v),
+                    _ => None,
+                });
+        }
+        ls
+    }
+
+    fn decide(&self, ls: &RelayState) -> Option<Value> {
+        // `decide` has no pid; leader state is distinguishable because only
+        // the leader ever sets `chosen`.
+        ls.chosen.or(ls.heard)
+    }
+}
+
+/// RelayRace for the shared-memory synchronic layering.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SmRelayRace;
+
+impl SmProtocol for SmRelayRace {
+    type LocalState = RelayState;
+    type Reg = RelayMsg;
+
+    fn init(&self, _n: usize, _me: Pid, input: Value) -> RelayState {
+        RelayState::new(input)
+    }
+
+    fn write_value(&self, ls: &RelayState) -> Option<RelayMsg> {
+        match ls.chosen.or(ls.heard) {
+            Some(v) => Some(RelayMsg::Decide(v)),
+            None => Some(RelayMsg::Input(ls.input)),
+        }
+    }
+
+    fn absorb(&self, mut ls: RelayState, me: Pid, regs: &[Option<RelayMsg>]) -> RelayState {
+        if me == LEADER {
+            if ls.chosen.is_none() {
+                ls.chosen = regs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != LEADER.index())
+                    .find_map(|(_, reg)| match reg {
+                        Some(RelayMsg::Input(v)) => Some(*v),
+                        _ => None,
+                    });
+            }
+        } else if ls.heard.is_none() {
+            ls.heard = match regs[LEADER.index()] {
+                Some(RelayMsg::Decide(v)) => Some(v),
+                _ => None,
+            };
+        }
+        ls
+    }
+
+    fn decide(&self, ls: &RelayState) -> Option<Value> {
+        ls.chosen.or(ls.heard)
+    }
+}
+
+/// RelayRace for the message-passing permutation layering.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MpRelayRace;
+
+impl MpProtocol for MpRelayRace {
+    type LocalState = RelayState;
+    type Msg = RelayMsg;
+
+    fn init(&self, _n: usize, _me: Pid, input: Value) -> RelayState {
+        RelayState::new(input)
+    }
+
+    fn send(&self, ls: &RelayState, me: Pid, n: usize) -> Vec<(Pid, RelayMsg)> {
+        if me == LEADER {
+            match ls.chosen {
+                Some(v) => Pid::all(n)
+                    .filter(|&p| p != me)
+                    .map(|p| (p, RelayMsg::Decide(v)))
+                    .collect(),
+                None => Vec::new(),
+            }
+        } else if ls.heard.is_none() {
+            vec![(LEADER, RelayMsg::Input(ls.input))]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn absorb(&self, mut ls: RelayState, me: Pid, delivered: &[(Pid, RelayMsg)]) -> RelayState {
+        if me == LEADER {
+            if ls.chosen.is_none() {
+                ls.chosen = delivered.iter().find_map(|(_, msg)| match msg {
+                    RelayMsg::Input(v) => Some(*v),
+                    _ => None,
+                });
+            }
+        } else if ls.heard.is_none() {
+            ls.heard = delivered.iter().find_map(|(_, msg)| match msg {
+                RelayMsg::Decide(v) => Some(*v),
+                _ => None,
+            });
+        }
+        ls
+    }
+
+    fn decide(&self, ls: &RelayState) -> Option<Value> {
+        ls.chosen.or(ls.heard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_leader_adopts_first_input_by_sender_order() {
+        let p = SyncRelayRace;
+        let ls = p.init(3, LEADER, Value::ZERO);
+        let received = vec![
+            Some(RelayMsg::Input(Value::ZERO)), // own
+            Some(RelayMsg::Input(Value::ONE)),  // p2
+            Some(RelayMsg::Input(Value::ZERO)), // p3
+        ];
+        let ls = p.transition(ls, LEADER, &received);
+        assert_eq!(ls.chosen, Some(Value::ONE), "min non-leader sender wins");
+        assert_eq!(p.decide(&ls), Some(Value::ONE));
+    }
+
+    #[test]
+    fn sync_leader_waits_when_nothing_arrives() {
+        let p = SyncRelayRace;
+        let ls = p.init(3, LEADER, Value::ZERO);
+        let ls = p.transition(ls, LEADER, &[Some(RelayMsg::Input(Value::ZERO)), None, None]);
+        assert_eq!(p.decide(&ls), None);
+    }
+
+    #[test]
+    fn sync_follower_decides_on_announcement() {
+        let p = SyncRelayRace;
+        let me = Pid::new(2);
+        let ls = p.init(3, me, Value::ZERO);
+        let ls = p.transition(
+            ls,
+            me,
+            &[Some(RelayMsg::Decide(Value::ONE)), None, Some(RelayMsg::Input(Value::ZERO))],
+        );
+        assert_eq!(p.decide(&ls), Some(Value::ONE));
+        // And the decision is sticky.
+        let ls = p.transition(ls, me, &[Some(RelayMsg::Decide(Value::ZERO)), None, None]);
+        assert_eq!(p.decide(&ls), Some(Value::ONE));
+    }
+
+    #[test]
+    fn mp_leader_race_depends_on_delivery() {
+        let p = MpRelayRace;
+        let ls = p.init(3, LEADER, Value::ZERO);
+        // Only p3's offer arrives.
+        let (ls, _) = (
+            p.absorb(ls, LEADER, &[(Pid::new(2), RelayMsg::Input(Value::ONE))]),
+            (),
+        );
+        assert_eq!(p.decide(&ls), Some(Value::ONE));
+    }
+
+    #[test]
+    fn mp_followers_offer_only_to_leader() {
+        let p = MpRelayRace;
+        let ls = p.init(3, Pid::new(1), Value::ONE);
+        let sends = p.send(&ls, Pid::new(1), 3);
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].0, LEADER);
+    }
+
+    #[test]
+    fn sm_follower_reads_leader_register() {
+        let p = SmRelayRace;
+        let me = Pid::new(1);
+        let ls = p.init(3, me, Value::ZERO);
+        let regs = vec![Some(RelayMsg::Decide(Value::ONE)), None, None];
+        let ls = p.absorb(ls, me, &regs);
+        assert_eq!(p.decide(&ls), Some(Value::ONE));
+    }
+}

@@ -1,0 +1,121 @@
+//! Protocol interfaces for the three model families of the paper.
+//!
+//! The paper fixes a deterministic protocol `A` and analyzes the system
+//! `R(A, M)` of its runs in a model `M`. These traits are the executable
+//! protocol interfaces; the model crates (`layered-sync-mobile`,
+//! `layered-async-sm`, `layered-async-mp`, `layered-sync-crash`) turn a
+//! protocol into a [`LayeredModel`](layered_core::LayeredModel) by pairing
+//! it with a layering.
+//!
+//! Protocols are *deterministic* (Section 5: "we will focus on deterministic
+//! protocols") and *full-information-capable*: local states can grow without
+//! bound, and the environment (scheduler) is the only source of
+//! nondeterminism.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use layered_core::{Pid, Value};
+
+/// A protocol for synchronous round-based models (`M^mf` of Section 5 and
+/// the t-resilient synchronous model of Section 6).
+///
+/// In every round each process sends one message to every other process
+/// (computed by [`message`](SyncProtocol::message)), then moves to a new
+/// local state based on the vector of received messages
+/// ([`transition`](SyncProtocol::transition)); the environment decides which
+/// messages are lost. A `None` entry in the received vector means the
+/// message was lost (or the sender is silenced); a process always "receives"
+/// its own message.
+pub trait SyncProtocol {
+    /// The protocol's local state.
+    type LocalState: Clone + Eq + Hash + Debug;
+    /// The message type.
+    type Msg: Clone + Eq + Hash + Debug;
+
+    /// Initial local state of process `me` with input `input` in an
+    /// `n`-process system.
+    fn init(&self, n: usize, me: Pid, input: Value) -> Self::LocalState;
+
+    /// The message `ls`'s owner sends to `to` this round.
+    fn message(&self, ls: &Self::LocalState, to: Pid) -> Self::Msg;
+
+    /// The next local state after receiving `received` (indexed by sender;
+    /// `received[me]` is the process's own message).
+    fn transition(&self, ls: Self::LocalState, me: Pid, received: &[Option<Self::Msg>])
+        -> Self::LocalState;
+
+    /// The protocol's decision at `ls`, if any. Decisions are latched
+    /// (write-once) by the model; returning `None` after having returned
+    /// `Some` does not un-decide.
+    fn decide(&self, ls: &Self::LocalState) -> Option<Value>;
+}
+
+/// A protocol for the asynchronous single-writer/multi-reader shared-memory
+/// model `M^rw` under the synchronic layering `S^rw` (Section 5.1).
+///
+/// A *local phase* of process `i` is: at most one `write_i` action followed
+/// by a maximal sequence of reads in which no variable is read twice —
+/// i.e. one optional write of `V_i` and then a read of every variable. The
+/// layering schedules whole local phases; the protocol only specifies what
+/// to write and how to absorb the read vector.
+pub trait SmProtocol {
+    /// The protocol's local state.
+    type LocalState: Clone + Eq + Hash + Debug;
+    /// The register value type (contents of the single-writer variables).
+    type Reg: Clone + Eq + Hash + Debug;
+
+    /// Initial local state of process `me` with input `input`.
+    fn init(&self, n: usize, me: Pid, input: Value) -> Self::LocalState;
+
+    /// The value to write into `V_me` at the start of this local phase, or
+    /// `None` to skip the write.
+    fn write_value(&self, ls: &Self::LocalState) -> Option<Self::Reg>;
+
+    /// Absorbs the vector of register values read during the phase
+    /// (`regs[i]` is `V_i`'s value at read time; `None` = never written).
+    fn absorb(&self, ls: Self::LocalState, me: Pid, regs: &[Option<Self::Reg>])
+        -> Self::LocalState;
+
+    /// The protocol's decision at `ls`, if any (latched by the model).
+    fn decide(&self, ls: &Self::LocalState) -> Option<Value>;
+}
+
+/// A protocol for the asynchronous message-passing model under the
+/// permutation layering `S^per` (Section 5.1).
+///
+/// A *local phase* of process `i` consists of a send step and a receive
+/// step: `i` emits at most one message per destination — computed from its
+/// local state at the *start* of the phase — and then absorbs every message
+/// outstanding for it. This is the message-passing analogue of an immediate
+/// snapshot's write-then-read phase ([5, 25, 4] in the paper): when two
+/// processes are scheduled concurrently, both send before either receives,
+/// so each sees the other's current-phase message; when scheduled
+/// sequentially, only the later one sees the earlier one's message. These
+/// one-process differences are exactly what make adjacent-transposition
+/// states similar (Section 5.1).
+pub trait MpProtocol {
+    /// The protocol's local state.
+    type LocalState: Clone + Eq + Hash + Debug;
+    /// The message type.
+    type Msg: Clone + Eq + Hash + Debug;
+
+    /// Initial local state of process `me` with input `input`.
+    fn init(&self, n: usize, me: Pid, input: Value) -> Self::LocalState;
+
+    /// The send step: messages to emit this phase, at most one per
+    /// destination, destinations drawn from the `n` processes (never `me`).
+    fn send(&self, ls: &Self::LocalState, me: Pid, n: usize) -> Vec<(Pid, Self::Msg)>;
+
+    /// The receive step: absorbs every outstanding message (`delivered` in
+    /// arrival order, tagged with senders) and completes the phase.
+    fn absorb(
+        &self,
+        ls: Self::LocalState,
+        me: Pid,
+        delivered: &[(Pid, Self::Msg)],
+    ) -> Self::LocalState;
+
+    /// The protocol's decision at `ls`, if any (latched by the model).
+    fn decide(&self, ls: &Self::LocalState) -> Option<Value>;
+}

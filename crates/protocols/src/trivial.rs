@@ -1,0 +1,97 @@
+//! Trivial message-passing protocols: decide without coordination.
+//!
+//! These solve the *solvable* corners of the Section 7 task library —
+//! [`MpIdentity`] solves the identity task and [`MpConstant`] the constant
+//! task, both wait-free (no communication at all) — and double as
+//! calibration protocols for the task checker.
+
+use layered_core::{Pid, Value};
+
+use crate::traits::MpProtocol;
+
+/// Local state of the trivial protocols: just the own input.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TrivialState {
+    /// The process's input value.
+    pub input: Value,
+}
+
+/// Decides the own input immediately; sends nothing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct MpIdentity;
+
+impl MpProtocol for MpIdentity {
+    type LocalState = TrivialState;
+    type Msg = ();
+
+    fn init(&self, _n: usize, _me: Pid, input: Value) -> TrivialState {
+        TrivialState { input }
+    }
+
+    fn send(&self, _ls: &TrivialState, _me: Pid, _n: usize) -> Vec<(Pid, ())> {
+        Vec::new()
+    }
+
+    fn absorb(&self, ls: TrivialState, _me: Pid, _delivered: &[(Pid, ())]) -> TrivialState {
+        ls
+    }
+
+    fn decide(&self, ls: &TrivialState) -> Option<Value> {
+        Some(ls.input)
+    }
+}
+
+/// Decides a fixed value immediately; sends nothing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MpConstant {
+    value: Value,
+}
+
+impl MpConstant {
+    /// A protocol in which everyone decides `value`.
+    #[must_use]
+    pub fn new(value: Value) -> Self {
+        MpConstant { value }
+    }
+}
+
+impl MpProtocol for MpConstant {
+    type LocalState = TrivialState;
+    type Msg = ();
+
+    fn init(&self, _n: usize, _me: Pid, input: Value) -> TrivialState {
+        TrivialState { input }
+    }
+
+    fn send(&self, _ls: &TrivialState, _me: Pid, _n: usize) -> Vec<(Pid, ())> {
+        Vec::new()
+    }
+
+    fn absorb(&self, ls: TrivialState, _me: Pid, _delivered: &[(Pid, ())]) -> TrivialState {
+        ls
+    }
+
+    fn decide(&self, _ls: &TrivialState) -> Option<Value> {
+        Some(self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_decides_input() {
+        let p = MpIdentity;
+        let ls = p.init(3, Pid::new(1), Value::ONE);
+        assert_eq!(p.decide(&ls), Some(Value::ONE));
+        assert!(p.send(&ls, Pid::new(1), 3).is_empty());
+    }
+
+    #[test]
+    fn constant_ignores_input() {
+        let p = MpConstant::new(Value::ZERO);
+        let ls = p.init(3, Pid::new(1), Value::ONE);
+        assert_eq!(p.decide(&ls), Some(Value::ZERO));
+    }
+}

@@ -1,0 +1,389 @@
+//! The t-resilient synchronous message-passing model and the layering `S^t`
+//! (Section 6 of the paper).
+//!
+//! Failure model: in the first round in which a process fails, the
+//! environment blocks an arbitrary subset of its messages (prefixes `[k]`
+//! under the layering); afterwards the process is silenced forever, and the
+//! environment's state records the failure. At most `t` processes fail per
+//! run, with `1 ≤ t ≤ n − 2`.
+//!
+//! The layering:
+//!
+//! ```text
+//! S^t(x) = S₁(x)        if fewer than t processes are failed at x
+//!          { x(1,[0]) }  otherwise (the unique failure-free successor)
+//! ```
+//!
+//! From this the paper derives, and this crate makes executable:
+//!
+//! * Lemma 6.1 — from a bivalent state with `f` failures, a bivalent
+//!   `S^t`-execution of `t − f − 1` further layers exists;
+//! * Lemma 6.2 — after any bivalent state, some successor still has an
+//!   undecided non-failed process (so two more rounds are needed);
+//! * Corollary 6.3 — the Dolev–Strong `t + 1`-round lower bound;
+//! * Lemma 6.4 — in a *fast* (always `t + 1`-round) protocol, a state
+//!   reached by `k` failures in `k` rounds plus one failure-free round is
+//!   univalent.
+
+use std::collections::HashSet;
+
+use layered_core::{LayeredModel, Pid, Value};
+use layered_protocols::SyncProtocol;
+
+use crate::state::CrashState;
+
+/// The t-resilient synchronous model, parameterized by a deterministic
+/// round protocol.
+///
+/// # Examples
+///
+/// FloodMin with deadline `t + 1` solves consensus; with deadline `t` the
+/// checker finds the violation — the two halves of Corollary 6.3:
+///
+/// ```
+/// use layered_core::check_consensus;
+/// use layered_protocols::FloodMin;
+/// use layered_sync_crash::CrashModel;
+///
+/// let good = CrashModel::new(3, 1, FloodMin::new(2));
+/// assert!(check_consensus(&good, 2, 1).passed());
+///
+/// let bad = CrashModel::new(3, 1, FloodMin::new(1));
+/// assert!(!check_consensus(&bad, 1, 1).passed());
+/// ```
+#[derive(Clone, Debug)]
+pub struct CrashModel<P: SyncProtocol> {
+    n: usize,
+    t: usize,
+    protocol: P,
+}
+
+impl<P: SyncProtocol> CrashModel<P> {
+    /// A model with `n` processes tolerating `t` failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ t ≤ n − 2` (the paper's standing assumption,
+    /// which forces `n ≥ 3`).
+    #[must_use]
+    pub fn new(n: usize, t: usize, protocol: P) -> Self {
+        assert!(n >= 3, "the Section 6 analysis assumes n >= 3");
+        assert!((1..=n - 2).contains(&t), "requires 1 <= t <= n - 2");
+        CrashModel { n, t, protocol }
+    }
+
+    /// The resilience parameter `t`.
+    #[must_use]
+    pub fn resilience(&self) -> usize {
+        self.t
+    }
+
+    /// The protocol under analysis.
+    #[must_use]
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Applies one round in which `new_failure = Some((j, k))` makes `j`
+    /// newly fail with its messages to the prefix `[k]` blocked, or
+    /// `None` for a failure-free round. Previously failed processes are
+    /// silent regardless.
+    ///
+    /// The failure is *recorded* only if a message is actually lost (the
+    /// observable-fault convention), which also makes `x(1,[1])` — "block
+    /// `p1`'s message to itself" — identical to the failure-free round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is already failed, `k > n`, or the failure budget `t`
+    /// is exhausted.
+    #[must_use]
+    pub fn apply(
+        &self,
+        x: &CrashState<P::LocalState>,
+        new_failure: Option<(Pid, usize)>,
+    ) -> CrashState<P::LocalState> {
+        let n = self.n;
+        let mut failed = x.failed.clone();
+        let mut blocked: HashSet<(usize, usize)> = HashSet::new(); // (from, to)
+        if let Some((j, k)) = new_failure {
+            assert!(!x.failed.contains(&j), "process already failed");
+            assert!(k <= n, "prefix bound out of range");
+            assert!(x.failed.len() < self.t, "failure budget exhausted");
+            let mut lost_any = false;
+            for to in 0..k {
+                if to != j.index() {
+                    blocked.insert((j.index(), to));
+                    lost_any = true;
+                }
+            }
+            if lost_any {
+                failed.insert(j);
+            }
+        }
+
+        let mut next_locals = Vec::with_capacity(n);
+        let mut next_decided = x.decided.clone();
+        #[allow(clippy::needless_range_loop)] // `to` doubles as message index
+        for to in 0..n {
+            let received: Vec<Option<P::Msg>> = (0..n)
+                .map(|from| {
+                    let silenced =
+                        from != to && (x.failed.contains(&Pid::new(from)) || blocked.contains(&(from, to)));
+                    (!silenced)
+                        .then(|| self.protocol.message(&x.locals[from], Pid::new(to)))
+                })
+                .collect();
+            let ls = self
+                .protocol
+                .transition(x.locals[to].clone(), Pid::new(to), &received);
+            if next_decided[to].is_none() {
+                next_decided[to] = self.protocol.decide(&ls);
+            }
+            next_locals.push(ls);
+        }
+        CrashState {
+            round: x.round + 1,
+            inputs: x.inputs.clone(),
+            locals: next_locals,
+            decided: next_decided,
+            failed,
+        }
+    }
+
+    /// The layer `S^t(x)`, deduplicated.
+    #[must_use]
+    pub fn layer(&self, x: &CrashState<P::LocalState>) -> Vec<CrashState<P::LocalState>> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        // The failure-free successor x(1,[0]) always exists.
+        let clean = self.apply(x, None);
+        seen.insert(clean.clone());
+        out.push(clean);
+        if x.failed.len() < self.t {
+            for j in Pid::all(self.n).filter(|j| !x.failed.contains(j)) {
+                for k in 1..=self.n {
+                    let y = self.apply(x, Some((j, k)));
+                    if seen.insert(y.clone()) {
+                        out.push(y);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<P: SyncProtocol> LayeredModel for CrashModel<P> {
+    type State = CrashState<P::LocalState>;
+
+    fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    fn max_failures(&self) -> usize {
+        self.t
+    }
+
+    fn initial_state(&self, inputs: &[Value]) -> Self::State {
+        assert_eq!(inputs.len(), self.n, "one input per process");
+        let locals: Vec<P::LocalState> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| self.protocol.init(self.n, Pid::new(i), v))
+            .collect();
+        let decided = locals.iter().map(|ls| self.protocol.decide(ls)).collect();
+        CrashState {
+            round: 0,
+            inputs: inputs.to_vec(),
+            locals,
+            decided,
+            failed: std::collections::BTreeSet::new(),
+        }
+    }
+
+    fn successors(&self, x: &Self::State) -> Vec<Self::State> {
+        self.layer(x)
+    }
+
+    fn depth(&self, x: &Self::State) -> usize {
+        usize::from(x.round)
+    }
+
+    fn inputs_of(&self, x: &Self::State) -> Vec<Value> {
+        x.inputs.clone()
+    }
+
+    fn decision(&self, x: &Self::State, i: Pid) -> Option<Value> {
+        x.decided[i.index()]
+    }
+
+    fn failed_at(&self, x: &Self::State, i: Pid) -> bool {
+        // A recorded process is silenced forever in every continuation, so
+        // it is faulty in every run through x.
+        x.failed.contains(&i)
+    }
+
+    fn agree_modulo(&self, x: &Self::State, y: &Self::State, j: Pid) -> bool {
+        // The failure record of process i is attributed to i's extended
+        // state: records of processes other than j must match, j's may
+        // differ. (Locals, decisions and inputs except j as usual.)
+        x.round == y.round
+            && (0..self.n).all(|i| {
+                i == j.index()
+                    || (x.locals[i] == y.locals[i]
+                        && x.decided[i] == y.decided[i]
+                        && x.inputs[i] == y.inputs[i]
+                        && x.failed.contains(&Pid::new(i)) == y.failed.contains(&Pid::new(i)))
+            })
+    }
+
+    fn crash_step(&self, x: &Self::State, j: Pid) -> Self::State {
+        if !x.failed.contains(&j) && x.failed.len() < self.t {
+            self.apply(x, Some((j, self.n)))
+        } else {
+            // j is already silenced (or the budget is exhausted): the
+            // failure-free round is the canonical "j stays silent" step.
+            self.apply(x, None)
+        }
+    }
+
+    fn obligated(&self, x: &Self::State) -> Vec<Pid> {
+        self.non_failed(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use layered_core::{check_graded, check_fault_independence, similarity_report, LayeredModel};
+    use layered_protocols::FloodMin;
+
+    use super::*;
+
+    fn model(n: usize, t: usize, rounds: u16) -> CrashModel<FloodMin> {
+        CrashModel::new(n, t, FloodMin::new(rounds))
+    }
+
+    #[test]
+    fn structural_contracts_hold() {
+        let m = model(3, 1, 2);
+        assert_eq!(check_graded(&m, 2), None);
+        assert_eq!(check_fault_independence(&m, 2), None);
+    }
+
+    #[test]
+    fn failure_is_recorded_and_silences_forever() {
+        let m = model(3, 1, 3);
+        let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
+        // p1 fails, blocking its messages to everyone.
+        let y = m.apply(&x, Some((Pid::new(0), 3)));
+        assert!(y.is_failed(Pid::new(0)));
+        assert!(m.failed_at(&y, Pid::new(0)));
+        // Next round is failure-free, but p1 stays silent: p2/p3 never learn 0.
+        let z = m.apply(&y, None);
+        let z2 = m.apply(&z, None);
+        assert_eq!(z2.decided[1], Some(Value::ONE));
+        assert_eq!(z2.decided[2], Some(Value::ONE));
+    }
+
+    #[test]
+    fn self_only_block_is_failure_free() {
+        // x(1,[1]) blocks only p1 -> p1, which is not a real message: the
+        // state equals the failure-free round and records nothing.
+        let m = model(3, 1, 2);
+        let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ZERO]);
+        let clean = m.apply(&x, None);
+        let fake = m.apply(&x, Some((Pid::new(0), 1)));
+        assert_eq!(clean, fake);
+        assert!(fake.failed.is_empty());
+    }
+
+    #[test]
+    fn budget_exhaustion_restricts_layer_to_clean() {
+        let m = model(3, 1, 3);
+        let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
+        let y = m.apply(&x, Some((Pid::new(1), 3)));
+        assert_eq!(y.failure_count(), 1);
+        let layer = m.layer(&y);
+        assert_eq!(layer.len(), 1, "S^t(y) = {{ failure-free }} once t failed");
+    }
+
+    #[test]
+    #[should_panic(expected = "budget exhausted")]
+    fn over_budget_failure_panics() {
+        let m = model(3, 1, 3);
+        let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
+        let y = m.apply(&x, Some((Pid::new(1), 3)));
+        let _ = m.apply(&y, Some((Pid::new(0), 3)));
+    }
+
+    #[test]
+    fn layer_size_below_budget() {
+        let m = model(4, 2, 3);
+        let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE, Value::ZERO]);
+        let layer = m.layer(&x);
+        // clean + per (j, k>=1) actions, deduplicated; bounded by n*n + 1.
+        assert!(layer.len() > 1 && layer.len() <= 4 * 4 + 1);
+    }
+
+    #[test]
+    fn failed_set_only_grows() {
+        let m = model(3, 1, 3);
+        let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ZERO]);
+        for y in m.layer(&x) {
+            assert!(y.failed.len() <= 1);
+            for z in m.layer(&y) {
+                assert!(y.failed.iter().all(|p| z.failed.contains(p)));
+            }
+        }
+    }
+
+    #[test]
+    fn same_failure_chain_is_similarity_connected() {
+        // x(j,[k]) ~s x(j,[k+1]) for k >= 1: equal failure records, one
+        // local-state difference.
+        let m = model(4, 2, 3);
+        let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE, Value::ONE]);
+        // j = p4 so that every prefix [k], k >= 1, blocks a real message and
+        // all chain states carry the same failure record {p4}.
+        let j = Pid::new(3);
+        let states: Vec<_> = (1..=4).map(|k| m.apply(&x, Some((j, k)))).collect();
+        let rep = similarity_report(&m, &states);
+        assert!(rep.connected, "the prefix chain must be similarity connected");
+    }
+
+    #[test]
+    fn agree_modulo_attributes_failure_flag_to_its_process() {
+        let m = model(3, 1, 3);
+        // p3 holds the unique minimum so its blocked message is observable.
+        let x = m.initial_state(&[Value::ONE, Value::ONE, Value::ZERO]);
+        let clean = m.apply(&x, None);
+        // p3 fails, blocking its message to p1 (prefix [1] = {p1}).
+        let failed = m.apply(&x, Some((Pid::new(2), 1)));
+        // These differ in p1's local AND p3's failure flag: they agree
+        // modulo NEITHER p1 (flag of p3 differs) NOR p3 (local of p1
+        // differs). This is the k = 0 link of the prefix chain, which is
+        // genuinely not a similarity edge once failures are recorded.
+        assert!(!m.agree_modulo(&clean, &failed, Pid::new(0)));
+        assert!(!m.agree_modulo(&clean, &failed, Pid::new(2)));
+    }
+
+    #[test]
+    fn floodmin_t_plus_one_solves_consensus() {
+        // Tightness of Corollary 6.3 at (n, t) = (3, 1): exhaustive over all
+        // S^t-runs of 2 rounds.
+        let m = model(3, 1, 2);
+        let report = layered_core::check_consensus(&m, 2, 5);
+        assert!(report.passed(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn floodmin_t_rounds_fails_consensus() {
+        // The lower bound itself: a t-round protocol must violate a
+        // requirement (here: agreement).
+        let m = model(3, 1, 1);
+        let report = layered_core::check_consensus(&m, 1, 5);
+        assert!(!report.passed());
+        assert!(report.of_kind("agreement").next().is_some());
+    }
+}

@@ -1,0 +1,59 @@
+//! Global states of the t-resilient synchronous model.
+
+use std::collections::BTreeSet;
+
+use layered_core::{Pid, Value};
+
+/// A global state of the t-resilient synchronous message-passing model of
+/// Section 6.
+///
+/// The environment's local state records which processes have failed
+/// (paper assumption (iii)); a recorded process is silenced forever in all
+/// subsequent rounds (assumption (ii)). A process is recorded as failed in
+/// the first round in which one of its messages is actually lost.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CrashState<L> {
+    /// Completed rounds.
+    pub round: u16,
+    /// The run's input assignment.
+    pub inputs: Vec<Value>,
+    /// Per-process protocol local states.
+    pub locals: Vec<L>,
+    /// Per-process write-once decision variables `d_i`.
+    pub decided: Vec<Option<Value>>,
+    /// Processes recorded as failed (environment state).
+    pub failed: BTreeSet<Pid>,
+}
+
+impl<L> CrashState<L> {
+    /// Number of processes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Whether the state is degenerate (no processes). Never true for
+    /// model-produced states.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.locals.is_empty()
+    }
+
+    /// The decision of process `i`, if made.
+    #[must_use]
+    pub fn decision(&self, i: Pid) -> Option<Value> {
+        self.decided[i.index()]
+    }
+
+    /// Number of recorded failures.
+    #[must_use]
+    pub fn failure_count(&self) -> usize {
+        self.failed.len()
+    }
+
+    /// Whether process `i` is recorded as failed.
+    #[must_use]
+    pub fn is_failed(&self, i: Pid) -> bool {
+        self.failed.contains(&i)
+    }
+}

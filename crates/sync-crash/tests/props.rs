@@ -1,0 +1,99 @@
+//! Property tests for the t-resilient synchronous model: budget and
+//! failure-record invariants along random `S^t`-runs.
+
+use proptest::prelude::*;
+
+use layered_core::{LayeredModel, Value};
+use layered_protocols::{FloodMin, SyncProtocol};
+use layered_sync_crash::{CrashModel, CrashState};
+
+type State = CrashState<<FloodMin as SyncProtocol>::LocalState>;
+
+fn arb_inputs(n: usize) -> impl Strategy<Value = Vec<Value>> {
+    proptest::collection::vec(0u32..2, n).prop_map(|v| v.into_iter().map(Value::new).collect())
+}
+
+/// Walk by indexing into the layer (which is always non-empty).
+fn walk(m: &CrashModel<FloodMin>, inputs: &[Value], choices: &[usize]) -> Vec<State> {
+    let mut states = vec![m.initial_state(inputs)];
+    for &c in choices {
+        let layer = m.successors(states.last().unwrap());
+        let next = layer[c % layer.len()].clone();
+        states.push(next);
+    }
+    states
+}
+
+proptest! {
+    /// Failure records only grow, never exceed t, and failed processes
+    /// stay silent (their values stop spreading).
+    #[test]
+    fn budget_and_monotonicity(
+        inputs in arb_inputs(4),
+        choices in proptest::collection::vec(0usize..64, 1..4),
+        t in 1usize..=2,
+    ) {
+        let m = CrashModel::new(4, t, FloodMin::new(3));
+        let states = walk(&m, &inputs, &choices);
+        for w in states.windows(2) {
+            prop_assert!(w[0].failed.iter().all(|p| w[1].failed.contains(p)));
+            prop_assert!(w[1].failure_count() <= t);
+            prop_assert!(w[1].failure_count() <= w[0].failure_count() + 1);
+        }
+    }
+
+    /// Once the budget is exhausted, the layer is the singleton
+    /// failure-free round.
+    #[test]
+    fn exhausted_budget_freezes_failures(
+        inputs in arb_inputs(3),
+        choices in proptest::collection::vec(0usize..64, 1..4),
+    ) {
+        let m = CrashModel::new(3, 1, FloodMin::new(4));
+        let states = walk(&m, &inputs, &choices);
+        for x in &states {
+            if x.failure_count() == 1 {
+                prop_assert_eq!(m.successors(x).len(), 1);
+            }
+        }
+    }
+
+    /// Decisions are write-once and valid along arbitrary runs.
+    #[test]
+    fn decisions_write_once_and_valid(
+        inputs in arb_inputs(3),
+        choices in proptest::collection::vec(0usize..64, 1..4),
+    ) {
+        let m = CrashModel::new(3, 1, FloodMin::new(2));
+        let states = walk(&m, &inputs, &choices);
+        for w in states.windows(2) {
+            for i in 0..3 {
+                if let Some(v) = w[0].decided[i] {
+                    prop_assert_eq!(w[1].decided[i], Some(v));
+                }
+                if let Some(v) = w[1].decided[i] {
+                    prop_assert!(inputs.contains(&v), "decided value must be an input");
+                }
+            }
+        }
+    }
+
+    /// Non-failed processes that decide agree with each other in every
+    /// reachable state of the verified FloodMin(t+1) — the agreement half
+    /// of Corollary 6.3, as a property over random runs.
+    #[test]
+    fn verified_protocol_agreement_along_runs(
+        inputs in arb_inputs(3),
+        choices in proptest::collection::vec(0usize..64, 1..3),
+    ) {
+        let m = CrashModel::new(3, 1, FloodMin::new(2));
+        let states = walk(&m, &inputs, &choices);
+        for x in &states {
+            let decided: Vec<Value> = (0..3)
+                .filter(|&i| !x.is_failed(layered_core::Pid::new(i)))
+                .filter_map(|i| x.decided[i])
+                .collect();
+            prop_assert!(decided.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Combinatorial-topology machinery for general decision problems, per
+//! Section 7 of Moses & Rajsbaum, PODC 1998.
+//!
+//! Provides vertices/simplexes/complexes ([`Simplex`], [`Complex`]),
+//! decision problems `⟨I, O, Δ⟩` with a standard task library
+//! ([`DecisionTask`], [`tasks`]), coverings and generalized valence with
+//! the Lemma 7.1 bivalent-run construction ([`Covering`],
+//! [`CoveringSolver`], [`covering_bivalent_run`]), k-thick-connectivity
+//! ([`Complex::is_k_thick_connected`]), an exhaustive task checker over any
+//! layered model ([`check_task`]), and the Lemma 7.6 s-diameter recurrence
+//! ([`diameter_sweep`]).
+//!
+//! Together these reproduce the paper's characterization story
+//! (Theorem 7.2, Corollary 7.3, Theorem 7.7): consensus's output structure
+//! fails 1-thick-connectivity and no protocol passes the checker in any of
+//! the 1-resilient models, while 2-set agreement, identity, and constant
+//! tasks pass on both counts.
+//!
+//! # Example
+//!
+//! ```
+//! use layered_topology::tasks;
+//!
+//! // The combinatorial half of the FLP story:
+//! assert!(!tasks::consensus(3).is_k_thick_connected(1));
+//! assert!(tasks::k_set_agreement(3, 2).is_k_thick_connected(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checker;
+mod complex;
+mod covering;
+mod diameter;
+mod simplex;
+mod task;
+
+pub use checker::{check_task, TaskReport, TaskViolation};
+pub use complex::Complex;
+pub use covering::{
+    covering_bivalent_run, decided_simplex, nonfaulty_decision_simplexes, Covering,
+    CoveringRunOutcome, CoveringSolver,
+    CoveringValences,
+};
+pub use diameter::{diameter_sweep, lemma_7_6_bound, DiameterRow};
+pub use simplex::Simplex;
+pub use task::{tasks, DecisionTask};

@@ -1,0 +1,53 @@
+//! Every experiment of the harness must match the paper's claim.
+//!
+//! This is the top-level reproduction gate: each test runs one experiment
+//! (at quick scope, CI-friendly sizes) and asserts its verdict.
+
+use layered_bench::{all_experiments, Scope};
+
+#[test]
+fn every_experiment_matches_the_paper() {
+    for exp in all_experiments(Scope::Quick) {
+        assert!(
+            exp.ok,
+            "experiment {} ({}) deviated from the paper:\n{}",
+            exp.id, exp.claim, exp.table
+        );
+    }
+}
+
+#[test]
+fn experiment_tables_are_nonempty() {
+    for exp in all_experiments(Scope::Quick) {
+        assert!(!exp.table.is_empty(), "experiment {} printed no rows", exp.id);
+    }
+}
+
+#[test]
+fn experiment_ids_are_unique() {
+    let mut ids: Vec<&str> = all_experiments(Scope::Quick).iter().map(|e| e.id).collect();
+    let before = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), before, "duplicate experiment ids");
+}
+
+#[test]
+fn lemma_3_6_alone() {
+    assert!(layered_bench::lemma_3_6(Scope::Quick).ok);
+}
+
+#[test]
+fn theorem_4_2_alone() {
+    assert!(layered_bench::theorem_4_2(Scope::Quick).ok);
+}
+
+#[test]
+fn lower_bound_alone() {
+    assert!(layered_bench::lower_bound(Scope::Quick).ok);
+}
+
+#[test]
+fn task_solvability_alone() {
+    assert!(layered_bench::task_solvability(Scope::Quick).ok);
+}
