@@ -260,7 +260,11 @@ impl<P: MpProtocol> MpModel<P> {
     /// Checks the paper's diamond identity at `x` for the given full order:
     /// `x[p₁…pₙ][p₁…p_{n−1}] = x[p₁…p_{n−1}][pₙ, p₁…p_{n−1}]`.
     #[must_use]
-    pub fn diamond_identity_holds(&self, x: &MpState<P::LocalState, P::Msg>, order: &[Pid]) -> bool {
+    pub fn diamond_identity_holds(
+        &self,
+        x: &MpState<P::LocalState, P::Msg>,
+        order: &[Pid],
+    ) -> bool {
         assert_eq!(order.len(), self.n, "diamond needs a full order");
         let dropped: Vec<Pid> = order[..self.n - 1].to_vec();
         let last = order[self.n - 1];
@@ -368,8 +372,8 @@ impl<P: MpProtocol> LayeredModel for MpModel<P> {
 #[cfg(test)]
 mod tests {
     use layered_core::{
-        check_crash_display, check_fault_independence, check_graded, valence_report,
-        LayeredModel, ValenceSolver,
+        check_crash_display, check_fault_independence, check_graded, valence_report, LayeredModel,
+        ValenceSolver,
     };
     use layered_protocols::{MpCollectMin, MpFloodMin};
 
@@ -422,10 +426,7 @@ mod tests {
         let m = model(3, 1);
         let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
         // p1 (holding 0) is dropped: the others decide 1.
-        let y = m.apply(
-            &x,
-            &MpAction::Sequential(vec![Pid::new(1), Pid::new(2)]),
-        );
+        let y = m.apply(&x, &MpAction::Sequential(vec![Pid::new(1), Pid::new(2)]));
         assert_eq!(y.decided[0], None);
         assert_eq!(y.decided[1], Some(Value::ONE));
         assert_eq!(y.decided[2], Some(Value::ONE));
@@ -526,9 +527,6 @@ mod tests {
     fn repeated_process_in_action_rejected() {
         let m = model(2, 1);
         let x = m.initial_state(&[Value::ZERO, Value::ZERO]);
-        let _ = m.apply(
-            &x,
-            &MpAction::Sequential(vec![Pid::new(0), Pid::new(0)]),
-        );
+        let _ = m.apply(&x, &MpAction::Sequential(vec![Pid::new(0), Pid::new(0)]));
     }
 }

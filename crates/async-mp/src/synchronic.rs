@@ -303,8 +303,20 @@ mod tests {
     fn action_j_zero_is_j_independent() {
         let m = model(3, 2);
         let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
-        let a = m.apply(&x, MpSyncAction::Staggered { j: Pid::new(0), k: 0 });
-        let b = m.apply(&x, MpSyncAction::Staggered { j: Pid::new(2), k: 0 });
+        let a = m.apply(
+            &x,
+            MpSyncAction::Staggered {
+                j: Pid::new(0),
+                k: 0,
+            },
+        );
+        let b = m.apply(
+            &x,
+            MpSyncAction::Staggered {
+                j: Pid::new(2),
+                k: 0,
+            },
+        );
         assert_eq!(a, b);
     }
 
@@ -313,7 +325,7 @@ mod tests {
         let m = model(3, 1);
         let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
         let j = Pid::new(0); // holds the minimum
-        // Everyone proper receives early: they miss j's 0.
+                             // Everyone proper receives early: they miss j's 0.
         let y = m.apply(&x, MpSyncAction::Staggered { j, k: 3 });
         assert_eq!(y.decided[1], Some(Value::ONE));
         assert_eq!(y.decided[2], Some(Value::ONE));
@@ -342,7 +354,13 @@ mod tests {
         }
         // One layer deeper as well.
         let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ZERO]);
-        let x1 = m.apply(&x, MpSyncAction::Staggered { j: Pid::new(1), k: 2 });
+        let x1 = m.apply(
+            &x,
+            MpSyncAction::Staggered {
+                j: Pid::new(1),
+                k: 2,
+            },
+        );
         for j in Pid::all(3) {
             assert!(m.bridge_agrees(&x1, j));
         }

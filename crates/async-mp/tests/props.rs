@@ -3,9 +3,9 @@
 
 use proptest::prelude::*;
 
+use layered_async_mp::{MpAction, MpModel, MpState};
 use layered_core::{LayeredModel, Pid, Value};
 use layered_protocols::{MpFloodMin, MpProtocol};
-use layered_async_mp::{MpAction, MpModel, MpState};
 
 type State = MpState<<MpFloodMin as MpProtocol>::LocalState, <MpFloodMin as MpProtocol>::Msg>;
 
@@ -25,7 +25,10 @@ fn arb_perm(n: usize) -> impl Strategy<Value = Vec<Pid>> {
 fn arb_action(n: usize) -> impl Strategy<Value = MpAction> {
     (arb_perm(n), 0..(2 * n)).prop_map(move |(perm, sel)| {
         if sel < n - 1 {
-            MpAction::Concurrent { order: perm, at: sel }
+            MpAction::Concurrent {
+                order: perm,
+                at: sel,
+            }
         } else if sel == n - 1 {
             let mut p = perm;
             p.pop();

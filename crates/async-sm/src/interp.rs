@@ -223,7 +223,12 @@ mod tests {
     use super::*;
     use crate::model::SmModel;
 
-    fn setup(n: usize) -> (SmModel<SmFloodMin>, SmState<layered_protocols::FloodState, std::collections::BTreeSet<Value>>) {
+    fn setup(
+        n: usize,
+    ) -> (
+        SmModel<SmFloodMin>,
+        SmState<layered_protocols::FloodState, std::collections::BTreeSet<Value>>,
+    ) {
         let m = SmModel::new(n, SmFloodMin::new(2));
         let x = m.initial_state(
             &(0..n)
@@ -243,7 +248,13 @@ mod tests {
             );
         }
         // One layer deeper as well.
-        let x1 = m.apply(&x, SmAction::Staggered { j: Pid::new(1), k: 2 });
+        let x1 = m.apply(
+            &x,
+            SmAction::Staggered {
+                j: Pid::new(1),
+                k: 2,
+            },
+        );
         for action in m.actions() {
             assert!(layer_action_is_legal_schedule(&m, &x1, action));
         }
@@ -266,10 +277,16 @@ mod tests {
         let (m, x) = setup(2);
         let p = Pid::new(0);
         let ops = vec![
-            SmOp::Read { reader: p, var: Pid::new(0) },
+            SmOp::Read {
+                reader: p,
+                var: Pid::new(0),
+            },
             SmOp::Write(p),
         ];
-        assert_eq!(replay(m.protocol(), &x, &ops, 1), Err(ScheduleError::WriteMidPhase(p)));
+        assert_eq!(
+            replay(m.protocol(), &x, &ops, 1),
+            Err(ScheduleError::WriteMidPhase(p))
+        );
     }
 
     #[test]
@@ -304,7 +321,10 @@ mod tests {
         // Composing two layer schedules end-to-end is again legal: the
         // monotone-embedding part of the layering definition.
         let (m, x) = setup(3);
-        let a1 = SmAction::Staggered { j: Pid::new(0), k: 3 };
+        let a1 = SmAction::Staggered {
+            j: Pid::new(0),
+            k: 3,
+        };
         let a2 = SmAction::Absent(Pid::new(0));
         let mut ops = schedule_for(m.protocol(), &x, a1);
         let mid = m.apply(&x, a1);

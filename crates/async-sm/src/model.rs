@@ -113,7 +113,11 @@ impl<P: SmProtocol> SmModel<P> {
 
     /// Applies an environment action: one `W₁ R₁ W₂ R₂` virtual round.
     #[must_use]
-    pub fn apply(&self, x: &SmState<P::LocalState, P::Reg>, action: SmAction) -> SmState<P::LocalState, P::Reg> {
+    pub fn apply(
+        &self,
+        x: &SmState<P::LocalState, P::Reg>,
+        action: SmAction,
+    ) -> SmState<P::LocalState, P::Reg> {
         let n = self.n;
         let mut regs = x.regs.clone();
         let mut locals = x.locals.clone();
@@ -338,8 +342,20 @@ mod tests {
         // The paper: the state from (j, 0) depends on x but not on j.
         let m = model(3, 2);
         let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
-        let a = m.apply(&x, SmAction::Staggered { j: Pid::new(0), k: 0 });
-        let b = m.apply(&x, SmAction::Staggered { j: Pid::new(2), k: 0 });
+        let a = m.apply(
+            &x,
+            SmAction::Staggered {
+                j: Pid::new(0),
+                k: 0,
+            },
+        );
+        let b = m.apply(
+            &x,
+            SmAction::Staggered {
+                j: Pid::new(2),
+                k: 0,
+            },
+        );
         assert_eq!(a, b);
     }
 
@@ -358,7 +374,7 @@ mod tests {
         let m = model(3, 1);
         let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
         let j = Pid::new(0); // j holds the minimum 0
-        // k = n: every proper process reads early and misses j's write.
+                             // k = n: every proper process reads early and misses j's write.
         let y = m.apply(&x, SmAction::Staggered { j, k: 3 });
         assert_eq!(y.decided[1], Some(Value::ONE));
         assert_eq!(y.decided[2], Some(Value::ONE));
@@ -390,7 +406,13 @@ mod tests {
                 assert!(m.bridge_agrees(&x, j), "bridge failed at {x:?}, j={j}");
             }
             // Also one level deeper.
-            let x1 = m.apply(&x, SmAction::Staggered { j: Pid::new(1), k: 1 });
+            let x1 = m.apply(
+                &x,
+                SmAction::Staggered {
+                    j: Pid::new(1),
+                    k: 1,
+                },
+            );
             for j in Pid::all(3) {
                 assert!(m.bridge_agrees(&x1, j));
             }
@@ -449,7 +471,13 @@ mod tests {
         let x = m.initial_state(&[Value::ZERO, Value::ONE]);
         let y = m.apply(&x, SmAction::Absent(Pid::new(0)));
         assert_eq!(y.decided[1], Some(Value::ONE));
-        let z = m.apply(&y, SmAction::Staggered { j: Pid::new(0), k: 0 });
+        let z = m.apply(
+            &y,
+            SmAction::Staggered {
+                j: Pid::new(0),
+                k: 0,
+            },
+        );
         // p2 now knows 0, but its decision is latched at 1.
         assert_eq!(z.decided[1], Some(Value::ONE));
         assert_eq!(z.decided[0], Some(Value::ZERO)); // agreement violation!

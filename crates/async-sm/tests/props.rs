@@ -4,9 +4,9 @@
 
 use proptest::prelude::*;
 
+use layered_async_sm::{layer_action_is_legal_schedule, SmAction, SmModel, SmState};
 use layered_core::{LayeredModel, Pid, Value};
 use layered_protocols::{SmFloodMin, SmProtocol};
-use layered_async_sm::{layer_action_is_legal_schedule, SmAction, SmModel, SmState};
 
 type State = SmState<<SmFloodMin as SmProtocol>::LocalState, <SmFloodMin as SmProtocol>::Reg>;
 

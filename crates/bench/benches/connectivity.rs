@@ -4,11 +4,9 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use layered_core::{
-    similarity_chain_between, similarity_report, s_diameter, LayeredModel, Value,
-};
-use layered_protocols::{FloodMin, SmFloodMin};
 use layered_async_sm::SmModel;
+use layered_core::{s_diameter, similarity_chain_between, similarity_report, LayeredModel, Value};
+use layered_protocols::{FloodMin, SmFloodMin};
 use layered_sync_mobile::MobileModel;
 use layered_topology::diameter_sweep;
 
@@ -39,11 +37,9 @@ fn bench_layer_connectivity(c: &mut Criterion) {
             .map(|i| if i == 0 { Value::ZERO } else { Value::ONE })
             .collect();
         let layer = m.layer(&m.initial_state(&inputs));
-        group.bench_with_input(
-            BenchmarkId::new("srw_layer_report", n),
-            &n,
-            |b, _| b.iter(|| similarity_report(&m, &layer).components),
-        );
+        group.bench_with_input(BenchmarkId::new("srw_layer_report", n), &n, |b, _| {
+            b.iter(|| similarity_report(&m, &layer).components)
+        });
     }
     group.finish();
 }
@@ -56,8 +52,8 @@ fn bench_certificates(c: &mut Criterion) {
     let inits = m.initial_states();
     group.bench_function("extract_and_verify_con0_chain", |b| {
         b.iter(|| {
-            let chain = similarity_chain_between(&m, &inits, 0, inits.len() - 1)
-                .expect("Con₀ connected");
+            let chain =
+                similarity_chain_between(&m, &inits, 0, inits.len() - 1).expect("Con₀ connected");
             chain.verify(&m).is_ok()
         })
     });

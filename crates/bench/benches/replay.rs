@@ -5,9 +5,9 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use layered_async_sm::{layer_action_is_legal_schedule, replay, schedule_for, SmAction, SmModel};
 use layered_core::{LayeredModel, Pid, Value};
 use layered_protocols::SmFloodMin;
-use layered_async_sm::{layer_action_is_legal_schedule, replay, schedule_for, SmAction, SmModel};
 
 fn mixed_inputs(n: usize) -> Vec<Value> {
     (0..n)
@@ -27,16 +27,12 @@ fn bench_schedule_replay(c: &mut Criterion) {
             k: n / 2,
         };
         let ops = schedule_for(m.protocol(), &x, action);
-        group.bench_with_input(
-            BenchmarkId::new("replay_one_layer", n),
-            &n,
-            |b, _| b.iter(|| replay(m.protocol(), &x, &ops, 1).is_ok()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("layered_apply", n),
-            &n,
-            |b, _| b.iter(|| m.apply(&x, action)),
-        );
+        group.bench_with_input(BenchmarkId::new("replay_one_layer", n), &n, |b, _| {
+            b.iter(|| replay(m.protocol(), &x, &ops, 1).is_ok())
+        });
+        group.bench_with_input(BenchmarkId::new("layered_apply", n), &n, |b, _| {
+            b.iter(|| m.apply(&x, action))
+        });
     }
     group.finish();
 }

@@ -4,21 +4,17 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use layered_async_mp::MpModel;
 use layered_core::{LayeredModel, Pid, Value};
 use layered_protocols::MpFloodMin;
-use layered_async_mp::MpModel;
-use layered_topology::{
-    covering_bivalent_run, tasks, Complex, Covering, CoveringSolver, Simplex,
-};
+use layered_topology::{covering_bivalent_run, tasks, Complex, Covering, CoveringSolver, Simplex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn random_complex(n: usize, facets: usize, values: u32, seed: u64) -> Complex {
     let mut rng = StdRng::seed_from_u64(seed);
     Complex::from_facets((0..facets).map(|_| {
-        Simplex::from_pairs(
-            (0..n).map(|i| (Pid::new(i), Value::new(rng.random_range(0..values)))),
-        )
+        Simplex::from_pairs((0..n).map(|i| (Pid::new(i), Value::new(rng.random_range(0..values)))))
     }))
 }
 
@@ -49,11 +45,9 @@ fn bench_thick_connectivity(c: &mut Criterion) {
     }
     for facets in [16usize, 64, 128] {
         let cpx = random_complex(4, facets, 3, 42);
-        group.bench_with_input(
-            BenchmarkId::new("random_n4", facets),
-            &facets,
-            |b, _| b.iter(|| cpx.is_k_thick_connected(4, 1)),
-        );
+        group.bench_with_input(BenchmarkId::new("random_n4", facets), &facets, |b, _| {
+            b.iter(|| cpx.is_k_thick_connected(4, 1))
+        });
     }
     group.finish();
 }
@@ -75,5 +69,10 @@ fn bench_covering_solver(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_task_spans, bench_thick_connectivity, bench_covering_solver);
+criterion_group!(
+    benches,
+    bench_task_spans,
+    bench_thick_connectivity,
+    bench_covering_solver
+);
 criterion_main!(benches);

@@ -4,10 +4,10 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use layered_core::{build_bivalent_run, LayeredModel, ValenceSolver};
-use layered_protocols::{FloodMin, MpFloodMin, SmFloodMin};
 use layered_async_mp::MpModel;
 use layered_async_sm::SmModel;
+use layered_core::{build_bivalent_run, LayeredModel, ValenceSolver};
+use layered_protocols::{FloodMin, MpFloodMin, SmFloodMin};
 use layered_sync_crash::CrashModel;
 use layered_sync_mobile::MobileModel;
 

@@ -1,24 +1,103 @@
 //! Runs every experiment and prints its paper-vs-measured table.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [quick] [--json <path>] [--metrics]
+//! ```
+//!
+//! * `quick` — small CI-friendly instances (default: the full sizes).
+//! * `--json <path>` — additionally write one JSON record per experiment to
+//!   `<path>`, one object per line (the machine-readable twin of every
+//!   table; see `Experiment::json_record`).
+//! * `--metrics` — print each experiment's engine counters after its table.
+
+use std::io::Write;
 
 use layered_bench::{all_experiments, Scope};
 
-fn main() {
-    let scope = if std::env::args().any(|a| a == "quick") {
-        Scope::Quick
-    } else {
-        Scope::Full
+struct Options {
+    scope: Scope,
+    json_path: Option<String>,
+    metrics: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        scope: Scope::Full,
+        json_path: None,
+        metrics: false,
     };
-    println!("Layered analysis of consensus — experiment harness ({scope:?} scope)");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "quick" => opts.scope = Scope::Quick,
+            "full" => opts.scope = Scope::Full,
+            "--json" => {
+                opts.json_path = Some(args.next().ok_or("--json requires a path argument")?);
+            }
+            "--metrics" => opts.metrics = true,
+            other => return Err(format!("unrecognized argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: experiments [quick|full] [--json <path>] [--metrics]");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "Layered analysis of consensus — experiment harness ({:?} scope)",
+        opts.scope
+    );
     println!("Reproducing Moses & Rajsbaum, PODC 1998, claim by claim.\n");
+    let experiments = all_experiments(opts.scope);
     let mut failures = 0;
-    for exp in all_experiments(scope) {
+    for exp in &experiments {
         println!("[{}] {}", exp.id, exp.claim);
         println!("{}", exp.table);
+        if opts.metrics {
+            println!("  wall time: {:.3} ms", exp.wall_nanos as f64 / 1e6);
+            for (name, total) in &exp.metrics.counters {
+                println!("  {name}: {total}");
+            }
+            for (name, g) in &exp.metrics.gauges {
+                println!("  {name}: last {} / max {}", g.last, g.max);
+            }
+        }
         if exp.ok {
             println!("  => OK\n");
         } else {
             failures += 1;
             println!("  => MISMATCH\n");
+        }
+    }
+    if let Some(path) = &opts.json_path {
+        match std::fs::File::create(path) {
+            Ok(file) => {
+                let mut out = std::io::BufWriter::new(file);
+                for exp in &experiments {
+                    if let Err(e) = writeln!(out, "{}", exp.json_record()) {
+                        eprintln!("error: writing {path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+                if let Err(e) = out.flush() {
+                    eprintln!("error: flushing {path}: {e}");
+                    std::process::exit(2);
+                }
+                println!("Wrote {} JSON records to {path}.", experiments.len());
+            }
+            Err(e) => {
+                eprintln!("error: creating {path}: {e}");
+                std::process::exit(2);
+            }
         }
     }
     if failures == 0 {

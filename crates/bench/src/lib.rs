@@ -17,6 +17,8 @@
 #![warn(missing_docs)]
 
 use layered_core::report::Table;
+use layered_core::telemetry::json::Json;
+use layered_core::telemetry::{MetricsRegistry, MetricsSnapshot, Observer};
 
 mod experiments {
     pub mod decision_tasks;
@@ -25,7 +27,9 @@ mod experiments {
     pub mod synchronous;
 }
 
-pub use experiments::decision_tasks::{bivalence_profile, covering_sanity, diameter, lemma_7_1, lemma_7_4, task_solvability};
+pub use experiments::decision_tasks::{
+    bivalence_profile, covering_sanity, diameter, lemma_7_1, lemma_7_4, task_solvability,
+};
 pub use experiments::foundations::{census, lemma_3_1, lemma_3_6, theorem_4_2};
 pub use experiments::impossibility::{iis, message_passing, mobile, shared_memory};
 pub use experiments::synchronous::{early_stopping, lemma_6_4, lemmas_6_1_6_2, lower_bound};
@@ -39,8 +43,8 @@ pub enum Scope {
     Full,
 }
 
-/// One experiment: a paper claim, the measured table, and an overall
-/// pass/fail verdict.
+/// One experiment: a paper claim, the measured table, an overall pass/fail
+/// verdict, and the engine telemetry gathered while producing it.
 #[derive(Clone, Debug)]
 pub struct Experiment {
     /// Experiment identifier (`E-<claim>`): see DESIGN.md's index.
@@ -51,6 +55,65 @@ pub struct Experiment {
     pub table: Table,
     /// Whether every row matched the paper's claim.
     pub ok: bool,
+    /// Wall-clock time spent producing the table, in nanoseconds.
+    pub wall_nanos: u64,
+    /// Engine counters, gauges, spans and events recorded during the run.
+    pub metrics: MetricsSnapshot,
+}
+
+impl Experiment {
+    /// The experiment as one machine-readable JSON record — the twin of the
+    /// printed table. The top-level fields are stable: `id`, `claim`, `ok`,
+    /// `wall_ns`, the headline engine counters (`states_visited`,
+    /// `dedup_hits`, `valence_cache_hits`, `max_frontier_width`; `0` when an
+    /// experiment never touches that engine), and the full `metrics` dump.
+    #[must_use]
+    pub fn json_record(&self) -> Json {
+        Json::Object(vec![
+            ("id".into(), Json::String(self.id.to_string())),
+            ("claim".into(), Json::String(self.claim.to_string())),
+            ("ok".into(), Json::from(self.ok)),
+            ("wall_ns".into(), Json::from(self.wall_nanos)),
+            (
+                "states_visited".into(),
+                Json::from(self.metrics.counter("engine.states_visited")),
+            ),
+            (
+                "dedup_hits".into(),
+                Json::from(self.metrics.counter("engine.dedup_hits")),
+            ),
+            (
+                "valence_cache_hits".into(),
+                Json::from(self.metrics.counter("valence.memo_hits")),
+            ),
+            (
+                "max_frontier_width".into(),
+                Json::from(self.metrics.gauge_max("engine.frontier_width")),
+            ),
+            ("metrics".into(), self.metrics.to_json()),
+        ])
+    }
+}
+
+/// Runs an experiment body against a fresh [`MetricsRegistry`], timing it
+/// and freezing the telemetry into the returned [`Experiment`].
+pub(crate) fn measured(
+    id: &'static str,
+    claim: &'static str,
+    body: impl FnOnce(&dyn Observer) -> (Table, bool),
+) -> Experiment {
+    let registry = MetricsRegistry::new();
+    let start = std::time::Instant::now();
+    let (table, ok) = body(&registry);
+    let wall_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    Experiment {
+        id,
+        claim,
+        table,
+        ok,
+        wall_nanos,
+        metrics: registry.snapshot(),
+    }
 }
 
 /// Runs every experiment at the given scope, in paper order.

@@ -17,6 +17,7 @@
 
 use std::collections::HashSet;
 
+use crate::telemetry::{Observer, Span, NOOP};
 use crate::{LayeredModel, Pid, Value};
 
 /// A violation of one of the three consensus requirements, with its witness
@@ -131,6 +132,18 @@ pub fn check_consensus<M: LayeredModel>(
     horizon: usize,
     max_violations: usize,
 ) -> ConsensusReport<M::State> {
+    check_consensus_with(model, horizon, max_violations, &NOOP)
+}
+
+/// [`check_consensus`] with telemetry: states visited, frontier dedup hits,
+/// frontier widths and violations found are reported to `obs`.
+pub fn check_consensus_with<M: LayeredModel>(
+    model: &M,
+    horizon: usize,
+    max_violations: usize,
+    obs: &dyn Observer,
+) -> ConsensusReport<M::State> {
+    let _span = Span::enter(obs, "checker.sweep");
     let mut report = ConsensusReport {
         states_explored: 0,
         horizon,
@@ -138,11 +151,14 @@ pub fn check_consensus<M: LayeredModel>(
     };
     let mut frontier = model.initial_states();
     for depth in 0..=horizon {
+        obs.gauge("engine.frontier_width", frontier.len() as u64);
         let mut next = Vec::new();
         for x in &frontier {
             report.states_explored += 1;
+            obs.counter("engine.states_visited", 1);
             for v in state_violations(model, x) {
                 if report.violations.len() < max_violations {
+                    obs.counter("checker.violations", 1);
                     report.violations.push(v);
                 }
             }
@@ -153,6 +169,7 @@ pub fn check_consensus<M: LayeredModel>(
                     .filter(|&i| model.decision(x, i).is_none())
                     .collect();
                 if !undecided.is_empty() && report.violations.len() < max_violations {
+                    obs.counter("checker.violations", 1);
                     report.violations.push(Violation::Decision {
                         state: x.clone(),
                         undecided,
@@ -168,7 +185,13 @@ pub fn check_consensus<M: LayeredModel>(
         let mut seen = HashSet::new();
         frontier = next
             .into_iter()
-            .filter(|s| seen.insert(s.clone()))
+            .filter(|s| {
+                let fresh = seen.insert(s.clone());
+                if !fresh {
+                    obs.counter("engine.dedup_hits", 1);
+                }
+                fresh
+            })
             .collect();
         if frontier.is_empty() {
             break;
@@ -257,8 +280,8 @@ pub fn check_crash_display<M: LayeredModel>(
                     }
                     let cx = model.crash_step(x, j);
                     let cy = model.crash_step(y, j);
-                    let members = model.successors(x).contains(&cx)
-                        && model.successors(y).contains(&cy);
+                    let members =
+                        model.successors(x).contains(&cx) && model.successors(y).contains(&cy);
                     let agrees = model.agree_modulo(&cx, &cy, j);
                     let preserves = Pid::all(n).all(|i| {
                         i == j
@@ -479,7 +502,10 @@ mod tests {
         // reconstruct the full run that exhibits it.
         let m = flp_diamond();
         let report = check_consensus(&m, 2, 10);
-        let v = report.violations.first().expect("diamond violates decision");
+        let v = report
+            .violations
+            .first()
+            .expect("diamond violates decision");
         let state = match v {
             Violation::Decision { state, .. } => state,
             Violation::Agreement { state, .. } => state,

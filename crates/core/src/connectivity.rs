@@ -15,6 +15,7 @@
 use std::fmt::Debug;
 
 use crate::graph::Graph;
+use crate::telemetry::{Observer, NOOP};
 use crate::{LayeredModel, Pid, ValenceSolver, Value};
 
 /// Witness that `x ∼_s y`: the process `j` modulo which they agree, and a
@@ -40,8 +41,7 @@ pub fn similarity_witness<M: LayeredModel>(
         if !model.agree_modulo(x, y, j) {
             continue;
         }
-        let i = Pid::all(n)
-            .find(|&i| i != j && !model.failed_at(x, i) && !model.failed_at(y, i));
+        let i = Pid::all(n).find(|&i| i != j && !model.failed_at(x, i) && !model.failed_at(y, i));
         if let Some(i) = i {
             return Some(SimilarityWitness {
                 modulo: j,
@@ -59,22 +59,45 @@ pub fn similar<M: LayeredModel>(model: &M, x: &M::State, y: &M::State) -> bool {
 
 /// The graph `(X, ∼_s)` over the given set of states.
 pub fn similarity_graph<M: LayeredModel>(model: &M, states: &[M::State]) -> Graph {
+    similarity_graph_with(model, states, &NOOP)
+}
+
+/// [`similarity_graph`] with telemetry: reports pairs tested
+/// (`connectivity.pairs_tested`) and similarity edges found
+/// (`connectivity.similarity_edges`) to `obs`.
+pub fn similarity_graph_with<M: LayeredModel>(
+    model: &M,
+    states: &[M::State],
+    obs: &dyn Observer,
+) -> Graph {
     Graph::from_predicate(states.len(), |a, b| {
-        similar(model, &states[a], &states[b])
+        obs.counter("connectivity.pairs_tested", 1);
+        let edge = similar(model, &states[a], &states[b]);
+        if edge {
+            obs.counter("connectivity.similarity_edges", 1);
+        }
+        edge
     })
 }
 
 /// The graph `(X, ∼_v)` over the given set of states, computing valences
-/// with `solver`.
+/// with `solver` (and reporting `connectivity.pairs_tested` /
+/// `connectivity.valence_edges` to the solver's observer).
 pub fn valence_graph<M: LayeredModel>(
     model: &M,
     solver: &mut ValenceSolver<'_, M>,
     states: &[M::State],
 ) -> Graph {
     let _ = model;
+    let obs = solver.observer();
     let vals: Vec<_> = states.iter().map(|x| solver.valences(x)).collect();
     Graph::from_predicate(states.len(), |a, b| {
-        (vals[a].zero && vals[b].zero) || (vals[a].one && vals[b].one)
+        obs.counter("connectivity.pairs_tested", 1);
+        let edge = (vals[a].zero && vals[b].zero) || (vals[a].one && vals[b].one);
+        if edge {
+            obs.counter("connectivity.valence_edges", 1);
+        }
+        edge
     })
 }
 
@@ -92,28 +115,39 @@ pub struct ConnectivityReport {
 }
 
 impl ConnectivityReport {
-    fn from_graph(g: &Graph) -> Self {
+    fn from_graph(g: &Graph, obs: &dyn Observer) -> Self {
         ConnectivityReport {
             states: g.len(),
             connected: g.is_connected(),
             components: g.component_count(),
-            diameter: g.diameter(),
+            diameter: g.diameter_with(obs),
         }
     }
 }
 
 /// Connectivity of `(X, ∼_s)`.
 pub fn similarity_report<M: LayeredModel>(model: &M, states: &[M::State]) -> ConnectivityReport {
-    ConnectivityReport::from_graph(&similarity_graph(model, states))
+    similarity_report_with(model, states, &NOOP)
 }
 
-/// Connectivity of `(X, ∼_v)`.
+/// [`similarity_report`] with telemetry (edge tests and BFS metrics go to
+/// `obs`).
+pub fn similarity_report_with<M: LayeredModel>(
+    model: &M,
+    states: &[M::State],
+    obs: &dyn Observer,
+) -> ConnectivityReport {
+    ConnectivityReport::from_graph(&similarity_graph_with(model, states, obs), obs)
+}
+
+/// Connectivity of `(X, ∼_v)`. Telemetry goes to the solver's observer.
 pub fn valence_report<M: LayeredModel>(
     model: &M,
     solver: &mut ValenceSolver<'_, M>,
     states: &[M::State],
 ) -> ConnectivityReport {
-    ConnectivityReport::from_graph(&valence_graph(model, solver, states))
+    let obs = solver.observer();
+    ConnectivityReport::from_graph(&valence_graph(model, solver, states), obs)
 }
 
 /// The *s-diameter* of a state set: the diameter of `(X, ∼_s)`
@@ -182,7 +216,12 @@ impl<S: Clone + Eq + Debug> SimilarityChain<S> {
     where
         M: LayeredModel<State = S>,
     {
-        for (k, (w, pair)) in self.witnesses.iter().zip(self.states.windows(2)).enumerate() {
+        for (k, (w, pair)) in self
+            .witnesses
+            .iter()
+            .zip(self.states.windows(2))
+            .enumerate()
+        {
             let (x, y) = (&pair[0], &pair[1]);
             let ok = w.modulo != w.non_failed
                 && model.agree_modulo(x, y, w.modulo)
@@ -205,8 +244,21 @@ pub fn similarity_chain_between<M: LayeredModel>(
     from: usize,
     to: usize,
 ) -> Option<SimilarityChain<M::State>> {
-    let g = similarity_graph(model, states);
+    similarity_chain_between_with(model, states, from, to, &NOOP)
+}
+
+/// [`similarity_chain_between`] with telemetry: reports edge tests and, on
+/// success, the extracted chain length (`connectivity.chain_length` gauge).
+pub fn similarity_chain_between_with<M: LayeredModel>(
+    model: &M,
+    states: &[M::State],
+    from: usize,
+    to: usize,
+    obs: &dyn Observer,
+) -> Option<SimilarityChain<M::State>> {
+    let g = similarity_graph_with(model, states, obs);
     let path = g.shortest_path(from, to)?;
+    obs.gauge("connectivity.chain_length", (path.len() - 1) as u64);
     let chain_states: Vec<M::State> = path.iter().map(|&i| states[i].clone()).collect();
     let witnesses: Vec<SimilarityWitness> = chain_states
         .windows(2)

@@ -4,6 +4,8 @@
 
 use std::collections::VecDeque;
 
+use crate::telemetry::{Observer, NOOP};
+
 /// Disjoint-set forest with union by rank and path halving.
 ///
 /// # Examples
@@ -199,10 +201,19 @@ impl Graph {
     /// BFS distances from `src`; `None` for unreachable vertices.
     #[must_use]
     pub fn distances(&self, src: usize) -> Vec<Option<usize>> {
+        self.distances_with(src, &NOOP)
+    }
+
+    /// [`Graph::distances`] with telemetry: reports vertices visited
+    /// (`graph.bfs_visits`) and the widest BFS queue (`graph.bfs_frontier`)
+    /// to `obs`.
+    #[must_use]
+    pub fn distances_with(&self, src: usize, obs: &dyn Observer) -> Vec<Option<usize>> {
         let mut dist = vec![None; self.len()];
         dist[src] = Some(0);
         let mut q = VecDeque::from([src]);
         while let Some(v) = q.pop_front() {
+            obs.counter("graph.bfs_visits", 1);
             let dv = dist[v].expect("queued vertices have distances");
             for &w in &self.adj[v] {
                 if dist[w].is_none() {
@@ -210,6 +221,7 @@ impl Graph {
                     q.push_back(w);
                 }
             }
+            obs.gauge("graph.bfs_frontier", q.len() as u64);
         }
         dist
     }
@@ -251,12 +263,19 @@ impl Graph {
     /// graph is disconnected or empty.
     #[must_use]
     pub fn diameter(&self) -> Option<usize> {
+        self.diameter_with(&NOOP)
+    }
+
+    /// [`Graph::diameter`] with telemetry, reporting through the observed
+    /// BFS of [`Graph::distances_with`].
+    #[must_use]
+    pub fn diameter_with(&self, obs: &dyn Observer) -> Option<usize> {
         if self.is_empty() {
             return None;
         }
         let mut best = 0;
         for v in 0..self.len() {
-            for d in self.distances(v) {
+            for d in self.distances_with(v, obs) {
                 match d {
                     Some(d) => best = best.max(d),
                     None => return None,

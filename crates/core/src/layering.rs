@@ -22,6 +22,7 @@
 
 use crate::connectivity::{valence_report, ConnectivityReport};
 use crate::model::ExecutionTrace;
+use crate::telemetry::Span;
 use crate::valence::{undecided_non_failed, Valence};
 use crate::{LayeredModel, ValenceSolver};
 
@@ -34,10 +35,11 @@ pub fn bivalent_successor<M: LayeredModel>(
     x: &M::State,
 ) -> Option<M::State> {
     let model = solver.model();
-    model
-        .successors(x)
-        .into_iter()
-        .find(|y| solver.is_bivalent(y))
+    let obs = solver.observer();
+    model.successors(x).into_iter().find(|y| {
+        obs.counter("layering.candidates_tested", 1);
+        solver.is_bivalent(y)
+    })
 }
 
 /// Why a bivalent run stopped before reaching its target length.
@@ -92,6 +94,9 @@ pub fn build_bivalent_run<M: LayeredModel>(
     steps: usize,
 ) -> BivalentRunOutcome<M::State> {
     let Some(x0) = solver.bivalent_initial_state() else {
+        let obs = solver.observer();
+        obs.counter("layering.stuck", 1);
+        obs.event("layering.stuck", "no_bivalent_initial_state");
         return BivalentRunOutcome {
             chain: None,
             stuck: Some(Stuck::NoBivalentInitialState),
@@ -115,20 +120,32 @@ pub fn extend_bivalent_run<M: LayeredModel>(
         solver.is_bivalent(&start),
         "extend_bivalent_run requires a bivalent starting state"
     );
+    let obs = solver.observer();
+    let _span = Span::enter(obs, "layering.bivalent_run");
     let mut chain = ExecutionTrace::new(vec![start]);
     let mut undecided = vec![undecided_non_failed(solver.model(), chain.last()).len()];
     for _ in 0..steps {
         let x = chain.last().clone();
         match bivalent_successor(solver, &x) {
             Some(y) => {
+                obs.counter("layering.extensions", 1);
                 undecided.push(undecided_non_failed(solver.model(), &y).len());
                 chain.push(y);
+                obs.gauge("layering.run_length", chain.steps() as u64);
             }
             None => {
                 let layer = solver.model().successors(&x);
                 let model = solver.model();
                 let report = valence_report(model, solver, &layer);
                 let depth = model.depth(&x);
+                obs.counter("layering.stuck", 1);
+                obs.event(
+                    "layering.stuck",
+                    &format!(
+                        "no_bivalent_successor depth={depth} layer_states={} components={}",
+                        report.states, report.components
+                    ),
+                );
                 return BivalentRunOutcome {
                     chain: Some(chain),
                     stuck: Some(Stuck::NoBivalentSuccessor {
@@ -181,12 +198,16 @@ pub fn scan_layer_valence_connectivity<M: LayeredModel>(
     only_bivalent: bool,
 ) -> LayerScan<M::State> {
     let model = solver.model();
+    let obs = solver.observer();
+    let _span = Span::enter(obs, "layering.layer_scan");
     let mut frontier = model.initial_states();
     let mut states_seen = frontier.len();
     let mut layers_checked = 0;
+    obs.gauge("engine.frontier_width", frontier.len() as u64);
     for _ in 0..=depth_limit {
         let mut next = Vec::new();
         for x in &frontier {
+            obs.counter("engine.states_visited", 1);
             if only_bivalent && !solver.is_bivalent(x) {
                 continue;
             }
@@ -194,7 +215,15 @@ pub fn scan_layer_valence_connectivity<M: LayeredModel>(
             let model = solver.model();
             let report = valence_report(model, solver, &layer);
             layers_checked += 1;
+            obs.counter("layering.layers_scanned", 1);
             if !report.connected {
+                obs.event(
+                    "layering.scan_violation",
+                    &format!(
+                        "disconnected layer: {} states in {} components",
+                        report.states, report.components
+                    ),
+                );
                 return LayerScan {
                     layers_checked,
                     states_seen,
@@ -207,10 +236,13 @@ pub fn scan_layer_valence_connectivity<M: LayeredModel>(
         }
         // Deduplicate the next frontier.
         let mut seen = std::collections::HashSet::new();
+        let before = next.len();
         frontier = next
             .into_iter()
             .filter(|s| seen.insert(s.clone()))
             .collect();
+        obs.counter("engine.dedup_hits", (before - frontier.len()) as u64);
+        obs.gauge("engine.frontier_width", frontier.len() as u64);
         states_seen += frontier.len();
         if frontier.is_empty() {
             break;
@@ -232,12 +264,14 @@ pub fn check_lemma_3_1<M: LayeredModel>(
     depth_limit: usize,
 ) -> Option<M::State> {
     let model = solver.model();
+    let obs = solver.observer();
     let n = model.num_processes();
     let t = model.max_failures();
     let mut frontier = model.initial_states();
     for _ in 0..=depth_limit {
         let mut next = Vec::new();
         for x in &frontier {
+            obs.counter("engine.states_visited", 1);
             if solver.valence(x) == Valence::Bivalent
                 && undecided_non_failed(solver.model(), x).len() < n - t
             {
@@ -248,10 +282,13 @@ pub fn check_lemma_3_1<M: LayeredModel>(
             }
         }
         let mut seen = std::collections::HashSet::new();
+        let before = next.len();
         frontier = next
             .into_iter()
             .filter(|s| seen.insert(s.clone()))
             .collect();
+        obs.counter("engine.dedup_hits", (before - frontier.len()) as u64);
+        obs.gauge("engine.frontier_width", frontier.len() as u64);
         if frontier.is_empty() {
             break;
         }
@@ -273,11 +310,13 @@ pub fn check_lemma_3_2<M: LayeredModel>(
     depth_limit: usize,
 ) -> Option<M::State> {
     let model = solver.model();
+    let obs = solver.observer();
     let n = model.num_processes();
     let mut frontier = model.initial_states();
     for _ in 0..=depth_limit {
         let mut next = Vec::new();
         for x in &frontier {
+            obs.counter("engine.states_visited", 1);
             assert!(
                 (0..n).all(|i| !solver.model().failed_at(x, crate::Pid::new(i))),
                 "Lemma 3.2 applies only to systems displaying no finite failure"
@@ -292,10 +331,13 @@ pub fn check_lemma_3_2<M: LayeredModel>(
             }
         }
         let mut seen = std::collections::HashSet::new();
+        let before = next.len();
         frontier = next
             .into_iter()
             .filter(|s| seen.insert(s.clone()))
             .collect();
+        obs.counter("engine.dedup_hits", (before - frontier.len()) as u64);
+        obs.gauge("engine.frontier_width", frontier.len() as u64);
         if frontier.is_empty() {
             break;
         }
@@ -307,7 +349,7 @@ pub fn check_lemma_3_2<M: LayeredModel>(
 mod tests {
     use super::*;
     use crate::testkit::{flp_diamond, ScriptedModelBuilder};
-    use crate::{Value};
+    use crate::Value;
 
     /// A model where the root stays bivalent for 3 layers:
     /// a chain of bivalent states each with a decided 0-branch and 1-branch.

@@ -46,6 +46,7 @@ mod model;
 mod pid;
 pub mod report;
 pub mod stats;
+pub mod telemetry;
 pub mod testkit;
 mod valence;
 mod witness;
@@ -53,19 +54,25 @@ mod witness;
 pub mod layering;
 
 pub use checker::{
-    check_consensus, check_crash_display, check_fault_independence, check_graded, trace_to,
-    ConsensusReport, Violation,
+    check_consensus, check_consensus_with, check_crash_display, check_fault_independence,
+    check_graded, trace_to, ConsensusReport, Violation,
 };
 pub use connectivity::{
-    input_interpolation, s_diameter, similar, similarity_chain_between, similarity_graph,
-    similarity_report, similarity_witness, valence_graph, valence_report, ConnectivityReport,
+    input_interpolation, s_diameter, similar, similarity_chain_between,
+    similarity_chain_between_with, similarity_graph, similarity_graph_with, similarity_report,
+    similarity_report_with, similarity_witness, valence_graph, valence_report, ConnectivityReport,
     SimilarityChain, SimilarityWitness,
 };
 pub use layering::{
-    bivalent_successor, build_bivalent_run, check_lemma_3_1, check_lemma_3_2,
-    extend_bivalent_run, scan_layer_valence_connectivity, BivalentRunOutcome, LayerScan, Stuck,
+    bivalent_successor, build_bivalent_run, check_lemma_3_1, check_lemma_3_2, extend_bivalent_run,
+    scan_layer_valence_connectivity, BivalentRunOutcome, LayerScan, Stuck,
 };
-pub use model::{explore, states_at_depth, ExecutionTrace, Exploration, LayeredModel};
+pub use model::{
+    explore, explore_with, states_at_depth, states_at_depth_with, ExecutionTrace, Exploration,
+    LayeredModel,
+};
 pub use pid::{binary_input_vectors, Pid, Value};
+pub use stats::{census, census_with, LevelCensus};
+pub use telemetry::{JsonlObserver, MetricsRegistry, MetricsSnapshot, NoopObserver, Observer};
 pub use valence::{undecided_non_failed, Valence, ValenceSolver, Valences};
 pub use witness::{ImpossibilityWitness, WitnessError};

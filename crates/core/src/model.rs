@@ -27,6 +27,7 @@ use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::Hash;
 
+use crate::telemetry::{Observer, Span, NOOP};
 use crate::{Pid, Value};
 
 /// A finite-instance model of distributed computation equipped with a
@@ -141,23 +142,35 @@ pub trait LayeredModel {
 /// let x0 = m.initial_states().remove(0);
 /// assert_eq!(states_at_depth(&m, &x0, 0).len(), 1);
 /// ```
-pub fn states_at_depth<M: LayeredModel>(
+pub fn states_at_depth<M: LayeredModel>(model: &M, from: &M::State, k: usize) -> Vec<M::State> {
+    states_at_depth_with(model, from, k, &NOOP)
+}
+
+/// [`states_at_depth`] with telemetry: reports states visited, dedup hits
+/// and frontier width to `obs` (see [`crate::telemetry`] for the naming
+/// scheme).
+pub fn states_at_depth_with<M: LayeredModel>(
     model: &M,
     from: &M::State,
     k: usize,
+    obs: &dyn Observer,
 ) -> Vec<M::State> {
     let mut frontier = vec![from.clone()];
     for _ in 0..k {
         let mut next: Vec<M::State> = Vec::new();
         let mut seen: HashMap<M::State, ()> = HashMap::new();
         for x in &frontier {
+            obs.counter("engine.states_visited", 1);
             for y in model.successors(x) {
                 if seen.insert(y.clone(), ()).is_none() {
                     next.push(y);
+                } else {
+                    obs.counter("engine.dedup_hits", 1);
                 }
             }
         }
         frontier = next;
+        obs.gauge("engine.frontier_width", frontier.len() as u64);
     }
     frontier
 }
@@ -192,6 +205,19 @@ pub fn explore<M: LayeredModel>(
     roots: &[M::State],
     horizon: usize,
 ) -> Exploration<M::State> {
+    explore_with(model, roots, horizon, &NOOP)
+}
+
+/// [`explore`] with telemetry: reports per-level frontier widths, states
+/// visited, edges traversed and dedup hits to `obs`, timing the whole sweep
+/// under the `explore.sweep` span.
+pub fn explore_with<M: LayeredModel>(
+    model: &M,
+    roots: &[M::State],
+    horizon: usize,
+    obs: &dyn Observer,
+) -> Exploration<M::State> {
+    let _span = Span::enter(obs, "explore.sweep");
     let mut levels: Vec<Vec<M::State>> = Vec::with_capacity(horizon + 1);
     let mut total_edges = 0usize;
     let mut frontier: Vec<M::State> = {
@@ -200,25 +226,33 @@ pub fn explore<M: LayeredModel>(
         for r in roots {
             if seen.insert(r.clone(), ()).is_none() {
                 v.push(r.clone());
+            } else {
+                obs.counter("engine.dedup_hits", 1);
             }
         }
         v
     };
     let mut total_states = frontier.len();
+    obs.gauge("engine.frontier_width", frontier.len() as u64);
     levels.push(frontier.clone());
     for _ in 0..horizon {
         let mut seen: HashMap<M::State, ()> = HashMap::new();
         let mut next = Vec::new();
         for x in &frontier {
+            obs.counter("engine.states_visited", 1);
             let succ = model.successors(x);
             total_edges += succ.len();
+            obs.counter("explore.edges", succ.len() as u64);
             for y in succ {
                 if seen.insert(y.clone(), ()).is_none() {
                     next.push(y);
+                } else {
+                    obs.counter("engine.dedup_hits", 1);
                 }
             }
         }
         total_states += next.len();
+        obs.gauge("engine.frontier_width", next.len() as u64);
         levels.push(next.clone());
         frontier = next;
     }
@@ -247,7 +281,10 @@ impl<S: Clone + Eq + Debug> ExecutionTrace<S> {
     /// Panics if `states` is empty.
     #[must_use]
     pub fn new(states: Vec<S>) -> Self {
-        assert!(!states.is_empty(), "an execution contains at least one state");
+        assert!(
+            !states.is_empty(),
+            "an execution contains at least one state"
+        );
         ExecutionTrace { states }
     }
 

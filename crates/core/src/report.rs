@@ -46,7 +46,8 @@ impl Table {
     /// Panics if the row width differs from the header width.
     pub fn row(&mut self, cells: &[&str]) {
         assert_eq!(cells.len(), self.header.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(ToString::to_string).collect());
+        self.rows
+            .push(cells.iter().map(ToString::to_string).collect());
     }
 
     /// Appends a row of already-owned cells.
@@ -152,5 +153,55 @@ mod tests {
         t.row(&["1"]);
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn table_with_no_rows_still_renders_header_and_rule() {
+        let t = Table::new("empty", &["col-a", "b"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3, "caption, header, rule — nothing else");
+        assert_eq!(lines[0], "== empty ==");
+        assert_eq!(lines[1], "col-a  b");
+        // The rule spans both columns plus the two-space gap.
+        assert_eq!(lines[2], "-".repeat("col-a".len() + 2 + 1));
+    }
+
+    #[test]
+    fn cell_wider_than_header_drives_column_width() {
+        let mut t = Table::new("wide", &["x", "y"]);
+        t.row(&["wide-cell", "1"]);
+        t.row(&["a", "2"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        // Header pads out to the widest cell; the short row pads too.
+        assert_eq!(lines[1], "x          y");
+        assert_eq!(lines[3], "wide-cell  1");
+        assert_eq!(lines[4], "a          2");
+        // All body lines share one width.
+        let w = lines[1].chars().count();
+        assert!(lines[3..].iter().all(|l| l.chars().count() == w));
+    }
+
+    #[test]
+    fn caption_renders_once_at_the_top() {
+        let mut t = Table::new("Lemma 9.9 — nonexistent but well-formatted", &["k"]);
+        t.row(&["0"]);
+        let s = t.to_string();
+        assert!(s.starts_with("== Lemma 9.9 — nonexistent but well-formatted ==\n"));
+        assert_eq!(s.matches("Lemma 9.9").count(), 1);
+    }
+
+    #[test]
+    fn multibyte_cells_count_chars_not_bytes() {
+        let mut t = Table::new("unicode", &["model", "ok"]);
+        t.row(&["M^mf (S₁)", "yes"]);
+        t.row(&["plain", "NO"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        // `M^mf (S₁)` is 9 chars; `plain` pads to match in chars, not bytes
+        // (trailing cells pad to the column width too).
+        assert_eq!(lines[3], "M^mf (S₁)  yes");
+        assert_eq!(lines[4], "plain      NO ");
     }
 }

@@ -8,6 +8,7 @@
 
 use std::collections::HashSet;
 
+use crate::telemetry::{Observer, Span, NOOP};
 use crate::{LayeredModel, Pid};
 
 /// Census of one depth level.
@@ -52,10 +53,22 @@ impl LevelCensus {
 
 /// Census of a model's induced state space, level by level.
 pub fn census<M: LayeredModel>(model: &M, depth: usize) -> Vec<LevelCensus> {
+    census_with(model, depth, &NOOP)
+}
+
+/// [`census`] with telemetry: states visited, dedup hits, frontier widths
+/// and decided-state counts are reported to `obs`.
+pub fn census_with<M: LayeredModel>(
+    model: &M,
+    depth: usize,
+    obs: &dyn Observer,
+) -> Vec<LevelCensus> {
+    let _span = Span::enter(obs, "stats.census");
     let n = model.num_processes();
     let mut out = Vec::with_capacity(depth + 1);
     let mut level = model.initial_states();
     for d in 0..=depth {
+        obs.gauge("engine.frontier_width", level.len() as u64);
         let mut edges = 0usize;
         let mut min_layer = usize::MAX;
         let mut max_layer = 0usize;
@@ -65,6 +78,8 @@ pub fn census<M: LayeredModel>(model: &M, depth: usize) -> Vec<LevelCensus> {
             .iter()
             .filter(|x| Pid::all(n).any(|i| model.decision(x, i).is_some()))
             .count();
+        obs.counter("engine.states_visited", level.len() as u64);
+        obs.counter("census.decided_states", with_decisions as u64);
         if d < depth {
             for x in &level {
                 let layer = model.successors(x);
@@ -74,6 +89,8 @@ pub fn census<M: LayeredModel>(model: &M, depth: usize) -> Vec<LevelCensus> {
                 for y in layer {
                     if seen.insert(y.clone()) {
                         next.push(y);
+                    } else {
+                        obs.counter("engine.dedup_hits", 1);
                     }
                 }
             }
@@ -82,7 +99,11 @@ pub fn census<M: LayeredModel>(model: &M, depth: usize) -> Vec<LevelCensus> {
             depth: d,
             states: level.len(),
             edges,
-            min_layer: if min_layer == usize::MAX { 0 } else { min_layer },
+            min_layer: if min_layer == usize::MAX {
+                0
+            } else {
+                min_layer
+            },
             max_layer,
             with_decisions,
         });
@@ -129,5 +150,52 @@ mod tests {
         let rows = census(&m, 1);
         assert!((rows[0].avg_layer() - 3.0).abs() < 1e-9);
         assert!((rows[0].dedup_factor(rows[1].states) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn census_invariants_hold_on_known_models() {
+        for rows in [
+            census(&flp_diamond(), 2),
+            census(&CounterModel::new(3, 2), 3),
+        ] {
+            for (i, r) in rows.iter().enumerate() {
+                // Decided states are a subset of the level's states.
+                assert!(
+                    r.with_decisions <= r.states,
+                    "level {i}: {} decided > {} states",
+                    r.with_decisions,
+                    r.states
+                );
+                // Layer bounds bracket the average.
+                assert!(r.min_layer <= r.max_layer, "level {i}: min > max layer");
+                if let Some(next) = rows.get(i + 1) {
+                    // Merging can only shrink: the dedup factor is ≥ 1 once
+                    // edges flow, i.e. edges ≥ distinct next-level states.
+                    assert!(
+                        r.edges >= next.states,
+                        "level {i}: {} edges < {} next states",
+                        r.edges,
+                        next.states
+                    );
+                    assert!(r.dedup_factor(next.states) >= 1.0, "level {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn census_with_records_engine_telemetry() {
+        use crate::telemetry::MetricsRegistry;
+        let m = CounterModel::new(2, 3);
+        let reg = MetricsRegistry::new();
+        let rows = census_with(&m, 2, &reg);
+        let snap = reg.snapshot();
+        let visited: usize = rows.iter().map(|r| r.states).sum();
+        assert_eq!(snap.counter("engine.states_visited"), visited as u64);
+        assert_eq!(
+            snap.gauge_max("engine.frontier_width"),
+            rows.iter().map(|r| r.states).max().unwrap_or(0) as u64
+        );
+        assert_eq!(snap.spans["stats.census"].count, 1);
     }
 }

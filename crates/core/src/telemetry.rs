@@ -1,0 +1,510 @@
+//! Dependency-free telemetry for the analysis engines.
+//!
+//! The engines in this crate — reachability ([`explore`](crate::explore)),
+//! valence ([`ValenceSolver`](crate::ValenceSolver)), connectivity
+//! ([`crate::connectivity`]), the layering engine ([`crate::layering`]) and
+//! the consensus checker ([`crate::checker`]) — are instrumented with
+//! counter, gauge, span and event hooks behind the [`Observer`] trait.
+//! Observability is strictly opt-in: every engine defaults to the
+//! [`NoopObserver`], whose callbacks are empty and inlined away, so
+//! uninstrumented runs behave (and print) exactly as before.
+//!
+//! Two sinks are provided:
+//!
+//! * [`MetricsRegistry`] — an in-memory aggregator; freeze it into a
+//!   [`MetricsSnapshot`] to read totals or serialize them as JSON,
+//! * [`JsonlObserver`] — streams every event as one JSON object per line to
+//!   any [`std::io::Write`], for offline analysis of hot paths.
+//!
+//! Like [`crate::report`], everything here is hand-rolled and free of
+//! dependencies; the [`json`] submodule carries the tiny serializer/parser
+//! the sinks and the experiment harness share.
+//!
+//! # Naming conventions
+//!
+//! Metric names are `engine.metric` strings. Counters shared by all
+//! breadth-first sweeps use the `engine.` prefix (`engine.states_visited`,
+//! `engine.dedup_hits`, and the `engine.frontier_width` gauge), so totals
+//! can be aggregated across engines; engine-specific metrics use their own
+//! prefix (`valence.memo_hits`, `connectivity.similarity_edges`,
+//! `layering.extensions`, …).
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+pub mod json;
+
+/// Receiver for engine telemetry.
+///
+/// All methods default to no-ops so sinks only implement what they need.
+/// Methods take `&self`: sinks use interior mutability, which lets one
+/// observer be shared by several engines in a single analysis.
+pub trait Observer {
+    /// Whether this observer records anything. Engines may skip computing
+    /// expensive telemetry (e.g. span timing) when this is `false`.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Adds `delta` to the named monotone counter.
+    fn counter(&self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Records an instantaneous level (frontier width, chain length, …).
+    /// Sinks keep both the last and the maximum observed value.
+    fn gauge(&self, name: &'static str, value: u64) {
+        let _ = (name, value);
+    }
+
+    /// Marks the start of a named span. Paired with [`Observer::span_end`];
+    /// prefer the RAII [`Span`] guard over calling these directly.
+    fn span_start(&self, name: &'static str) {
+        let _ = name;
+    }
+
+    /// Marks the end of a named span that took `nanos` nanoseconds.
+    fn span_end(&self, name: &'static str, nanos: u64) {
+        let _ = (name, nanos);
+    }
+
+    /// Records a discrete event with free-form detail (e.g. why a bivalent
+    /// run got stuck).
+    fn event(&self, name: &'static str, detail: &str) {
+        let _ = (name, detail);
+    }
+}
+
+/// The default observer: records nothing, costs nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {}
+
+/// A `&'static` no-op observer, the default for every engine entry point.
+pub static NOOP: NoopObserver = NoopObserver;
+
+/// RAII guard timing a named span against an observer.
+///
+/// With a disabled observer ([`Observer::enabled`] is `false`) no clock is
+/// read at all.
+pub struct Span<'a> {
+    obs: &'a dyn Observer,
+    name: &'static str,
+    started: Option<Instant>,
+}
+
+impl<'a> Span<'a> {
+    /// Starts the span (and the clock, if `obs` is enabled).
+    pub fn enter(obs: &'a dyn Observer, name: &'static str) -> Self {
+        let started = if obs.enabled() {
+            obs.span_start(name);
+            Some(Instant::now())
+        } else {
+            None
+        };
+        Span { obs, name, started }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(started) = self.started {
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.obs.span_end(self.name, nanos);
+        }
+    }
+}
+
+/// Last/maximum pair recorded for a gauge.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GaugeStat {
+    /// The most recent value.
+    pub last: u64,
+    /// The maximum value observed.
+    pub max: u64,
+}
+
+/// Count/total pair recorded for a span.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total nanoseconds across all completed spans.
+    pub total_nanos: u64,
+}
+
+/// One recorded event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Event name.
+    pub name: &'static str,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, GaugeStat>,
+    spans: BTreeMap<&'static str, SpanStat>,
+    events: Vec<Event>,
+}
+
+/// In-memory metrics sink: aggregates counters, gauges, spans and events.
+///
+/// # Examples
+///
+/// ```
+/// use layered_core::telemetry::{MetricsRegistry, Observer};
+///
+/// let reg = MetricsRegistry::new();
+/// reg.counter("engine.states_visited", 3);
+/// reg.gauge("engine.frontier_width", 12);
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.counter("engine.states_visited"), 3);
+/// assert_eq!(snap.gauge_max("engine.frontier_width"), 12);
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Freezes the current totals into an immutable snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry mutex was poisoned.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            spans: inner.spans.clone(),
+            events: inner.events.clone(),
+        }
+    }
+}
+
+impl Observer for MetricsRegistry {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        *inner.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn gauge(&self, name: &'static str, value: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let g = inner.gauges.entry(name).or_default();
+        g.last = value;
+        g.max = g.max.max(value);
+    }
+
+    fn span_end(&self, name: &'static str, nanos: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let s = inner.spans.entry(name).or_default();
+        s.count += 1;
+        s.total_nanos += nanos;
+    }
+
+    fn event(&self, name: &'static str, detail: &str) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.events.push(Event {
+            name,
+            detail: detail.to_string(),
+        });
+    }
+}
+
+/// An immutable view of a [`MetricsRegistry`]'s totals.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge statistics by name.
+    pub gauges: BTreeMap<&'static str, GaugeStat>,
+    /// Span statistics by name.
+    pub spans: BTreeMap<&'static str, SpanStat>,
+    /// Events in recording order.
+    pub events: Vec<Event>,
+}
+
+impl MetricsSnapshot {
+    /// The total of a counter, `0` if never incremented.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The maximum a gauge reached, `0` if never set.
+    #[must_use]
+    pub fn gauge_max(&self, name: &str) -> u64 {
+        self.gauges.get(name).map_or(0, |g| g.max)
+    }
+
+    /// Sum of all counters sharing a `prefix.` (e.g. `engine`).
+    #[must_use]
+    pub fn counter_prefix_total(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(name, _)| {
+                name.strip_prefix(prefix)
+                    .is_some_and(|rest| rest.starts_with('.'))
+            })
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// The snapshot as a [`json::Json`] object
+    /// (`{"counters": {...}, "gauges": {...}, "spans": {...}, "events": [...]}`).
+    #[must_use]
+    pub fn to_json(&self) -> json::Json {
+        use json::Json;
+        let counters = Json::Object(
+            self.counters
+                .iter()
+                .map(|(k, &v)| ((*k).to_string(), Json::from(v)))
+                .collect(),
+        );
+        let gauges = Json::Object(
+            self.gauges
+                .iter()
+                .map(|(k, g)| {
+                    (
+                        (*k).to_string(),
+                        Json::Object(vec![
+                            ("last".into(), Json::from(g.last)),
+                            ("max".into(), Json::from(g.max)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let spans = Json::Object(
+            self.spans
+                .iter()
+                .map(|(k, s)| {
+                    (
+                        (*k).to_string(),
+                        Json::Object(vec![
+                            ("count".into(), Json::from(s.count)),
+                            ("total_ns".into(), Json::from(s.total_nanos)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let events = Json::Array(
+            self.events
+                .iter()
+                .map(|e| {
+                    Json::Object(vec![
+                        ("name".into(), Json::String(e.name.to_string())),
+                        ("detail".into(), Json::String(e.detail.clone())),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Object(vec![
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+            ("spans".into(), spans),
+            ("events".into(), events),
+        ])
+    }
+}
+
+/// Streaming sink: every telemetry event becomes one JSON object per line.
+///
+/// Record shapes:
+///
+/// ```text
+/// {"type":"counter","name":"engine.states_visited","delta":42}
+/// {"type":"gauge","name":"engine.frontier_width","value":96}
+/// {"type":"span_start","name":"checker.check_consensus"}
+/// {"type":"span_end","name":"checker.check_consensus","ns":10250}
+/// {"type":"event","name":"layering.stuck","detail":"no_bivalent_successor depth=2"}
+/// ```
+///
+/// Write errors are deliberately swallowed: telemetry must never fail an
+/// analysis.
+#[derive(Debug)]
+pub struct JsonlObserver<W: Write> {
+    out: Mutex<W>,
+}
+
+impl<W: Write> JsonlObserver<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        JsonlObserver {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the writer mutex was poisoned.
+    pub fn into_inner(self) -> W {
+        let mut w = self.out.into_inner().expect("jsonl writer poisoned");
+        let _ = w.flush();
+        w
+    }
+
+    fn write_line(&self, line: &str) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+}
+
+impl<W: Write> Observer for JsonlObserver<W> {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.write_line(&format!(
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"delta\":{delta}}}",
+            json::escape(name)
+        ));
+    }
+
+    fn gauge(&self, name: &'static str, value: u64) {
+        self.write_line(&format!(
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{value}}}",
+            json::escape(name)
+        ));
+    }
+
+    fn span_start(&self, name: &'static str) {
+        self.write_line(&format!(
+            "{{\"type\":\"span_start\",\"name\":\"{}\"}}",
+            json::escape(name)
+        ));
+    }
+
+    fn span_end(&self, name: &'static str, nanos: u64) {
+        self.write_line(&format!(
+            "{{\"type\":\"span_end\",\"name\":\"{}\",\"ns\":{nanos}}}",
+            json::escape(name)
+        ));
+    }
+
+    fn event(&self, name: &'static str, detail: &str) {
+        self.write_line(&format!(
+            "{{\"type\":\"event\",\"name\":\"{}\",\"detail\":\"{}\"}}",
+            json::escape(name),
+            json::escape(detail)
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_observer_is_disabled_and_silent() {
+        let obs = NoopObserver;
+        assert!(!obs.enabled());
+        obs.counter("x", 1);
+        obs.gauge("x", 1);
+        obs.event("x", "y");
+        {
+            let _span = Span::enter(&obs, "s");
+        }
+    }
+
+    #[test]
+    fn registry_aggregates_counters_gauges_spans_events() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.count", 2);
+        reg.counter("a.count", 3);
+        reg.gauge("a.width", 7);
+        reg.gauge("a.width", 4);
+        reg.span_end("a.span", 100);
+        reg.span_end("a.span", 50);
+        reg.event("a.stuck", "why");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a.count"), 5);
+        assert_eq!(snap.counter("missing"), 0);
+        let g = snap.gauges["a.width"];
+        assert_eq!((g.last, g.max), (4, 7));
+        let s = snap.spans["a.span"];
+        assert_eq!((s.count, s.total_nanos), (2, 150));
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].detail, "why");
+    }
+
+    #[test]
+    fn prefix_totals_sum_engine_counters() {
+        let reg = MetricsRegistry::new();
+        reg.counter("engine.states_visited", 10);
+        reg.counter("engine.dedup_hits", 4);
+        reg.counter("engineering.other", 99);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_prefix_total("engine"), 14);
+    }
+
+    #[test]
+    fn span_guard_records_into_registry() {
+        let reg = MetricsRegistry::new();
+        {
+            let _span = Span::enter(&reg, "timed");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.spans["timed"].count, 1);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.count", 5);
+        reg.gauge("a.width", 7);
+        reg.span_end("a.span", 30);
+        reg.event("a.evt", "de\"tail");
+        let rendered = reg.snapshot().to_json().to_string();
+        let parsed = json::Json::parse(&rendered).expect("valid json");
+        assert_eq!(
+            parsed["counters"]["a.count"].as_u64(),
+            Some(5),
+            "in {rendered}"
+        );
+        assert_eq!(parsed["gauges"]["a.width"]["max"].as_u64(), Some(7));
+        assert_eq!(parsed["spans"]["a.span"]["total_ns"].as_u64(), Some(30));
+        assert_eq!(parsed["events"][0]["detail"].as_str(), Some("de\"tail"));
+    }
+
+    #[test]
+    fn jsonl_observer_emits_one_valid_object_per_line() {
+        let obs = JsonlObserver::new(Vec::new());
+        obs.counter("c", 1);
+        obs.gauge("g", 2);
+        obs.span_start("s");
+        obs.span_end("s", 3);
+        obs.event("e", "detail with \"quotes\" and\nnewline");
+        let buf = obs.into_inner();
+        let text = String::from_utf8(buf).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        for line in lines {
+            let v = json::Json::parse(line).expect("each line parses");
+            assert!(v["type"].as_str().is_some(), "line {line} has a type");
+        }
+    }
+}

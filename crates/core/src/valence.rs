@@ -22,6 +22,7 @@
 
 use std::collections::HashMap;
 
+use crate::telemetry::{Observer, NOOP};
 use crate::{LayeredModel, Pid, Value};
 
 /// Which of the two binary decision values are reachable-by-a-nonfaulty
@@ -114,6 +115,7 @@ pub struct ValenceSolver<'a, M: LayeredModel> {
     model: &'a M,
     horizon: usize,
     memo: HashMap<M::State, Valences>,
+    obs: &'a dyn Observer,
 }
 
 impl<'a, M: LayeredModel> ValenceSolver<'a, M> {
@@ -121,11 +123,28 @@ impl<'a, M: LayeredModel> ValenceSolver<'a, M> {
     /// initial states.
     #[must_use]
     pub fn new(model: &'a M, horizon: usize) -> Self {
+        ValenceSolver::with_observer(model, horizon, &NOOP)
+    }
+
+    /// Like [`ValenceSolver::new`], with telemetry: valence queries, memo
+    /// hits, decided-run probes and states classified are reported to `obs`,
+    /// and engines built on this solver (the [layering](crate::layering)
+    /// engine, [valence connectivity](crate::connectivity)) report through
+    /// it as well.
+    #[must_use]
+    pub fn with_observer(model: &'a M, horizon: usize, obs: &'a dyn Observer) -> Self {
         ValenceSolver {
             model,
             horizon,
             memo: HashMap::new(),
+            obs,
         }
+    }
+
+    /// The observer engines built on this solver report to.
+    #[must_use]
+    pub fn observer(&self) -> &'a dyn Observer {
+        self.obs
     }
 
     /// The analysis horizon.
@@ -139,6 +158,7 @@ impl<'a, M: LayeredModel> ValenceSolver<'a, M> {
     /// Non-binary decision values are ignored by the binary-valence solver
     /// (Section 7's generalized valence handles them).
     pub fn local_valences(&self, x: &M::State) -> Valences {
+        self.obs.counter("valence.decided_probes", 1);
         let mut flags = Valences::NONE;
         for i in Pid::all(self.model.num_processes()) {
             if self.model.failed_at(x, i) {
@@ -155,7 +175,9 @@ impl<'a, M: LayeredModel> ValenceSolver<'a, M> {
 
     /// The valence flags of `x` (memoized).
     pub fn valences(&mut self, x: &M::State) -> Valences {
+        self.obs.counter("valence.queries", 1);
         if let Some(&v) = self.memo.get(x) {
+            self.obs.counter("valence.memo_hits", 1);
             return v;
         }
         let mut flags = self.local_valences(x);
@@ -168,6 +190,7 @@ impl<'a, M: LayeredModel> ValenceSolver<'a, M> {
             }
         }
         self.memo.insert(x.clone(), flags);
+        self.obs.counter("valence.states_classified", 1);
         flags
     }
 

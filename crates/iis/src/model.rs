@@ -122,7 +122,11 @@ impl<P: SmProtocol> IisModel<P> {
 
     /// Applies one IS round under the given schedule.
     #[must_use]
-    pub fn apply(&self, x: &IisState<P::LocalState>, schedule: &OrderedPartition) -> IisState<P::LocalState> {
+    pub fn apply(
+        &self,
+        x: &IisState<P::LocalState>,
+        schedule: &OrderedPartition,
+    ) -> IisState<P::LocalState> {
         let n = self.n;
         let mut locals = x.locals.clone();
         let mut decided = x.decided.clone();
@@ -306,10 +310,7 @@ mod tests {
         let m = model(3, 1);
         let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
         // p1 (holding 0) alone in the last block: others decide 1, p1 sees all.
-        let late = OrderedPartition::new(vec![
-            vec![Pid::new(1), Pid::new(2)],
-            vec![Pid::new(0)],
-        ]);
+        let late = OrderedPartition::new(vec![vec![Pid::new(1), Pid::new(2)], vec![Pid::new(0)]]);
         let y = m.apply(&x, &late);
         assert_eq!(y.decided[1], Some(Value::ONE));
         assert_eq!(y.decided[2], Some(Value::ONE));

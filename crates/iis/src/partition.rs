@@ -95,9 +95,14 @@ pub fn ordered_partitions(processes: &[Pid]) -> Vec<OrderedPartition> {
         // block. Enumerate subsets of `rest` by bitmask (rest is small).
         let m = rest.len();
         for mask in 1..(1u32 << m) {
-            let block: Vec<Pid> = (0..m).filter(|&i| (mask >> i) & 1 == 1).map(|i| rest[i]).collect();
-            let remainder: Vec<Pid> =
-                (0..m).filter(|&i| (mask >> i) & 1 == 0).map(|i| rest[i]).collect();
+            let block: Vec<Pid> = (0..m)
+                .filter(|&i| (mask >> i) & 1 == 1)
+                .map(|i| rest[i])
+                .collect();
+            let remainder: Vec<Pid> = (0..m)
+                .filter(|&i| (mask >> i) & 1 == 0)
+                .map(|i| rest[i])
+                .collect();
             acc.push(block);
             rec(&remainder, acc, out);
             acc.pop();

@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use layered_core::{LayeredModel, Pid, Value};
-use layered_protocols::{SmFloodMin, SmProtocol};
 use layered_iis::{ordered_partitions, IisModel, IisState, OrderedPartition};
+use layered_protocols::{SmFloodMin, SmProtocol};
 
 type State = IisState<<SmFloodMin as SmProtocol>::LocalState>;
 

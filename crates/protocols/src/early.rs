@@ -13,7 +13,7 @@
 //! Its correctness over all `S^t`-runs is *checked*, not assumed: the
 //! experiment harness sweeps it exhaustively next to plain FloodMin.
 
-use std::collections::{BTreeSet, BTreeMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use layered_core::{Pid, Value};
 
@@ -81,7 +81,12 @@ impl SyncProtocol for EarlyFloodMin {
         BTreeMap::from([(Pid::new(0), ls.known.clone())])
     }
 
-    fn transition(&self, mut ls: EarlyState, me: Pid, received: &[Option<Self::Msg>]) -> EarlyState {
+    fn transition(
+        &self,
+        mut ls: EarlyState,
+        me: Pid,
+        received: &[Option<Self::Msg>],
+    ) -> EarlyState {
         let mut heard = BTreeSet::new();
         for (from, msg) in received.iter().enumerate() {
             if let Some(m) = msg {
@@ -116,7 +121,10 @@ mod tests {
     use super::*;
 
     fn full_msg(v: u32) -> Option<BTreeMap<Pid, BTreeSet<Value>>> {
-        Some(BTreeMap::from([(Pid::new(0), BTreeSet::from([Value::new(v)]))]))
+        Some(BTreeMap::from([(
+            Pid::new(0),
+            BTreeSet::from([Value::new(v)]),
+        )]))
     }
 
     #[test]

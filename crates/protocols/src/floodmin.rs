@@ -39,7 +39,11 @@ impl FloodState {
     }
 
     fn min_known(&self) -> Value {
-        *self.known.iter().next().expect("known always contains own input")
+        *self
+            .known
+            .iter()
+            .next()
+            .expect("known always contains own input")
     }
 }
 
@@ -96,7 +100,12 @@ impl SyncProtocol for FloodMin {
         ls.known.clone()
     }
 
-    fn transition(&self, mut ls: FloodState, _me: Pid, received: &[Option<BTreeSet<Value>>]) -> FloodState {
+    fn transition(
+        &self,
+        mut ls: FloodState,
+        _me: Pid,
+        received: &[Option<BTreeSet<Value>>],
+    ) -> FloodState {
         for msg in received.iter().flatten() {
             ls.known.extend(msg.iter().copied());
         }
@@ -129,7 +138,12 @@ impl SyncProtocol for HastyMin {
         ls.known.clone()
     }
 
-    fn transition(&self, mut ls: FloodState, _me: Pid, received: &[Option<BTreeSet<Value>>]) -> FloodState {
+    fn transition(
+        &self,
+        mut ls: FloodState,
+        _me: Pid,
+        received: &[Option<BTreeSet<Value>>],
+    ) -> FloodState {
         for msg in received.iter().flatten() {
             ls.known.extend(msg.iter().copied());
         }

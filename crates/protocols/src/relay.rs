@@ -92,13 +92,10 @@ impl SyncProtocol for SyncRelayRace {
                     });
             }
         } else if ls.heard.is_none() {
-            ls.heard = received
-                .iter()
-                .flatten()
-                .find_map(|msg| match msg {
-                    RelayMsg::Decide(v) => Some(*v),
-                    _ => None,
-                });
+            ls.heard = received.iter().flatten().find_map(|msg| match msg {
+                RelayMsg::Decide(v) => Some(*v),
+                _ => None,
+            });
         }
         ls
     }
@@ -227,7 +224,11 @@ mod tests {
     fn sync_leader_waits_when_nothing_arrives() {
         let p = SyncRelayRace;
         let ls = p.init(3, LEADER, Value::ZERO);
-        let ls = p.transition(ls, LEADER, &[Some(RelayMsg::Input(Value::ZERO)), None, None]);
+        let ls = p.transition(
+            ls,
+            LEADER,
+            &[Some(RelayMsg::Input(Value::ZERO)), None, None],
+        );
         assert_eq!(p.decide(&ls), None);
     }
 
@@ -239,7 +240,11 @@ mod tests {
         let ls = p.transition(
             ls,
             me,
-            &[Some(RelayMsg::Decide(Value::ONE)), None, Some(RelayMsg::Input(Value::ZERO))],
+            &[
+                Some(RelayMsg::Decide(Value::ONE)),
+                None,
+                Some(RelayMsg::Input(Value::ZERO)),
+            ],
         );
         assert_eq!(p.decide(&ls), Some(Value::ONE));
         // And the decision is sticky.

@@ -42,8 +42,12 @@ pub trait SyncProtocol {
 
     /// The next local state after receiving `received` (indexed by sender;
     /// `received[me]` is the process's own message).
-    fn transition(&self, ls: Self::LocalState, me: Pid, received: &[Option<Self::Msg>])
-        -> Self::LocalState;
+    fn transition(
+        &self,
+        ls: Self::LocalState,
+        me: Pid,
+        received: &[Option<Self::Msg>],
+    ) -> Self::LocalState;
 
     /// The protocol's decision at `ls`, if any. Decisions are latched
     /// (write-once) by the model; returning `None` after having returned

@@ -128,10 +128,9 @@ impl<P: SyncProtocol> CrashModel<P> {
         for to in 0..n {
             let received: Vec<Option<P::Msg>> = (0..n)
                 .map(|from| {
-                    let silenced =
-                        from != to && (x.failed.contains(&Pid::new(from)) || blocked.contains(&(from, to)));
-                    (!silenced)
-                        .then(|| self.protocol.message(&x.locals[from], Pid::new(to)))
+                    let silenced = from != to
+                        && (x.failed.contains(&Pid::new(from)) || blocked.contains(&(from, to)));
+                    (!silenced).then(|| self.protocol.message(&x.locals[from], Pid::new(to)))
                 })
                 .collect();
             let ls = self
@@ -255,7 +254,7 @@ impl<P: SyncProtocol> LayeredModel for CrashModel<P> {
 
 #[cfg(test)]
 mod tests {
-    use layered_core::{check_graded, check_fault_independence, similarity_report, LayeredModel};
+    use layered_core::{check_fault_independence, check_graded, similarity_report, LayeredModel};
     use layered_protocols::FloodMin;
 
     use super::*;
@@ -349,7 +348,10 @@ mod tests {
         let j = Pid::new(3);
         let states: Vec<_> = (1..=4).map(|k| m.apply(&x, Some((j, k)))).collect();
         let rep = similarity_report(&m, &states);
-        assert!(rep.connected, "the prefix chain must be similarity connected");
+        assert!(
+            rep.connected,
+            "the prefix chain must be similarity connected"
+        );
     }
 
     #[test]

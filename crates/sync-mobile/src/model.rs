@@ -92,7 +92,12 @@ impl<P: SyncProtocol> MobileModel<P> {
     ///
     /// Self-delivery is never lost (a process always knows its own message).
     #[must_use]
-    pub fn apply(&self, x: &MobileState<P::LocalState>, j: Pid, lost_to: &[Pid]) -> MobileState<P::LocalState> {
+    pub fn apply(
+        &self,
+        x: &MobileState<P::LocalState>,
+        j: Pid,
+        lost_to: &[Pid],
+    ) -> MobileState<P::LocalState> {
         let n = self.n;
         let lost: HashSet<usize> = lost_to.iter().map(|p| p.index()).collect();
         let mut next_locals = Vec::with_capacity(n);
@@ -169,8 +174,7 @@ impl<P: SyncProtocol> MobileModel<P> {
     /// monotone embedding of the layering definition is the identity).
     #[must_use]
     pub fn s1_is_sublayer_at(&self, x: &MobileState<P::LocalState>) -> bool {
-        let full: HashSet<MobileState<P::LocalState>> =
-            self.full_layer(x).into_iter().collect();
+        let full: HashSet<MobileState<P::LocalState>> = self.full_layer(x).into_iter().collect();
         self.s1_layer(x).iter().all(|y| full.contains(y))
     }
 }
@@ -265,9 +269,7 @@ mod tests {
         let inits = m.initial_states();
         assert_eq!(inits.len(), 8);
         assert!(inits.iter().all(|x| x.round == 0));
-        assert!(inits
-            .iter()
-            .all(|x| x.decided.iter().all(Option::is_none)));
+        assert!(inits.iter().all(|x| x.decided.iter().all(Option::is_none)));
     }
 
     #[test]

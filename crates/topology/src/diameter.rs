@@ -79,7 +79,11 @@ pub fn diameter_sweep<M: LayeredModel>(model: &M, depth: usize) -> Vec<DiameterR
         } else {
             layer_diameter = None;
         }
-        let bound = match (m, prev_measured, rows.last().and_then(|r: &DiameterRow| r.layer_diameter)) {
+        let bound = match (
+            m,
+            prev_measured,
+            rows.last().and_then(|r: &DiameterRow| r.layer_diameter),
+        ) {
             (0, _, _) => None,
             (_, Some(dx), Some(dy)) => Some(lemma_7_6_bound(dx, dy)),
             _ => None,

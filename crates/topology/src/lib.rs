@@ -40,8 +40,7 @@ pub use checker::{check_task, TaskReport, TaskViolation};
 pub use complex::Complex;
 pub use covering::{
     covering_bivalent_run, decided_simplex, nonfaulty_decision_simplexes, Covering,
-    CoveringRunOutcome, CoveringSolver,
-    CoveringValences,
+    CoveringRunOutcome, CoveringSolver, CoveringValences,
 };
 pub use diameter::{diameter_sweep, lemma_7_6_bound, DiameterRow};
 pub use simplex::Simplex;

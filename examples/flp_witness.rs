@@ -10,9 +10,9 @@
 //! layering `S^per`, checks the transposition similarity chain and the
 //! diamond identity; then builds bivalent runs in both models.
 
-use layered_consensus::core::{build_bivalent_run, LayeredModel, Pid, ValenceSolver, Value};
 use layered_consensus::async_mp::{permutations, MpModel};
 use layered_consensus::async_sm::{schedule_for, SmAction, SmModel};
+use layered_consensus::core::{build_bivalent_run, LayeredModel, Pid, ValenceSolver, Value};
 use layered_consensus::protocols::{MpFloodMin, SmFloodMin};
 
 fn main() {
@@ -23,9 +23,15 @@ fn main() {
     let x = sm.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
 
     // A layer action is a W₁R₁W₂R₂ virtual round; show its atomic schedule.
-    let action = SmAction::Staggered { j: Pid::new(0), k: 2 };
+    let action = SmAction::Staggered {
+        j: Pid::new(0),
+        k: 2,
+    };
     let ops = schedule_for(sm.protocol(), &x, action);
-    println!("action (p1, k=2) as an atomic schedule ({} ops):", ops.len());
+    println!(
+        "action (p1, k=2) as an atomic schedule ({} ops):",
+        ops.len()
+    );
     for op in &ops {
         println!("  {op:?}");
     }

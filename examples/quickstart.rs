@@ -10,10 +10,10 @@
 //! FLP-style story: the concrete requirement violation, and the bivalent
 //! run showing why *no* deadline could have worked.
 
+use layered_consensus::async_mp::MpModel;
 use layered_consensus::core::{
     build_bivalent_run, check_consensus, undecided_non_failed, ValenceSolver, Violation,
 };
-use layered_consensus::async_mp::MpModel;
 use layered_consensus::protocols::MpFloodMin;
 
 fn main() {

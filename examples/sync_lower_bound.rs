@@ -38,7 +38,11 @@ fn main() {
         println!(
             "FloodMin({}): {} over {} states (the bound is tight)",
             t + 1,
-            if report.passed() { "VERIFIED" } else { "FAILED" },
+            if report.passed() {
+                "VERIFIED"
+            } else {
+                "FAILED"
+            },
             report.states_explored
         );
 

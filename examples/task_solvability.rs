@@ -10,8 +10,8 @@
 //! protocol in the 1-resilient asynchronous message-passing model either
 //! solves the task over every explored run or is refuted with a witness.
 
-use layered_consensus::core::Value;
 use layered_consensus::async_mp::MpModel;
+use layered_consensus::core::Value;
 use layered_consensus::protocols::{MpCollectMin, MpFloodMin, MpIdentity};
 use layered_consensus::topology::{check_task, tasks, DecisionTask};
 
@@ -61,7 +61,11 @@ fn main() {
     let report = check_task(&m, &task, 2, 1);
     println!(
         "2-set agreement  + MpCollectMin(n−1): {} ({} states)",
-        if report.passed() { "solved" } else { report.violations[0].kind() },
+        if report.passed() {
+            "solved"
+        } else {
+            report.violations[0].kind()
+        },
         report.states_explored
     );
 
@@ -71,7 +75,11 @@ fn main() {
     let report = check_task(&m, &task, 1, 1);
     println!(
         "identity         + MpIdentity:        {} ({} states)",
-        if report.passed() { "solved" } else { report.violations[0].kind() },
+        if report.passed() {
+            "solved"
+        } else {
+            report.violations[0].kind()
+        },
         report.states_explored
     );
 

@@ -64,12 +64,12 @@ pub use layered_topology as topology;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use layered_core::{
-        build_bivalent_run, check_consensus, similarity_report, valence_report, LayeredModel,
-        Pid, Valence, ValenceSolver, Value,
-    };
     pub use layered_async_mp::MpModel;
     pub use layered_async_sm::SmModel;
+    pub use layered_core::{
+        build_bivalent_run, check_consensus, similarity_report, valence_report, LayeredModel, Pid,
+        Valence, ValenceSolver, Value,
+    };
     pub use layered_protocols::{
         FloodMin, FullInfoMin, MpCollectMin, MpFloodMin, MpProtocol, SmFloodMin, SmProtocol,
         SyncProtocol,

@@ -1,12 +1,12 @@
 //! Cross-model integration tests: the same kernel analyses run unchanged
 //! over all four models, and the paper's uniform claims hold in each.
 
-use layered_consensus::core::{
-    check_consensus, check_fault_independence, check_graded, similarity_report,
-    build_bivalent_run, LayeredModel, Valence, ValenceSolver, Value,
-};
 use layered_consensus::async_mp::MpModel;
 use layered_consensus::async_sm::SmModel;
+use layered_consensus::core::{
+    build_bivalent_run, check_consensus, check_fault_independence, check_graded, similarity_report,
+    LayeredModel, Valence, ValenceSolver, Value,
+};
 use layered_consensus::protocols::{
     FloodMin, MpFloodMin, MpRelayRace, SmFloodMin, SmRelayRace, SyncRelayRace,
 };

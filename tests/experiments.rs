@@ -19,7 +19,11 @@ fn every_experiment_matches_the_paper() {
 #[test]
 fn experiment_tables_are_nonempty() {
     for exp in all_experiments(Scope::Quick) {
-        assert!(!exp.table.is_empty(), "experiment {} printed no rows", exp.id);
+        assert!(
+            !exp.table.is_empty(),
+            "experiment {} printed no rows",
+            exp.id
+        );
     }
 }
 

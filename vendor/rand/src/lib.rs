@@ -1,0 +1,85 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! Implements the API subset the workspace benches use — [`SeedableRng`],
+//! [`Rng::random_range`], and [`rngs::StdRng`] — on top of a deterministic
+//! splitmix64 generator, so network-isolated builds need no registry crates
+//! and benchmark inputs are reproducible by construction.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Seeding constructors, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling methods, mirroring the subset of `rand::Rng` in use.
+pub trait Rng {
+    /// Next raw 64-bit draw.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range(&mut self, range: Range<u32>) -> u32 {
+        assert!(range.start < range.end, "empty sampling range");
+        let span = u64::from(range.end - range.start);
+        range.start + (self.next_u64() % span) as u32
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand`'s `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn random_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..9);
+            assert!((3..9).contains(&v));
+        }
+    }
+}
