@@ -49,6 +49,7 @@
 
 mod model;
 mod perm;
+mod sim;
 mod state;
 mod synchronic;
 

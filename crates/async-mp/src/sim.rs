@@ -1,0 +1,137 @@
+//! Adversary adapter: [`SimModel`] for the permutation-layering model.
+//!
+//! An `S^per` layer move *is* an environment action [`MpAction`]: a full
+//! permutation, a drop-last arrangement (one process skipped), or a full
+//! permutation with one adjacent pair concurrent. The layer has
+//! `(n + 1)·n!` members, so enumerating it is hopeless beyond tiny `n` —
+//! this adapter instead *builds* one action per layer (Fisher–Yates over
+//! the adversary's entropy), which is what lets the simulation runtime run
+//! this model at `n = 16` and beyond.
+//!
+//! Fault accounting: only drop-last actions skip a process and count as
+//! faults; permutation and concurrency choices are fault-free scheduling.
+
+use layered_core::sim::{MoveRecord, SimModel};
+use layered_core::{LayeredModel, Pid};
+use layered_protocols::MpProtocol;
+
+use crate::model::{MpAction, MpModel};
+
+/// A uniformly random permutation of `p1 … pn` via Fisher–Yates, drawing
+/// from `bits`.
+fn random_perm(n: usize, bits: &mut dyn FnMut(u64) -> u64) -> Vec<Pid> {
+    let mut order: Vec<Pid> = Pid::all(n).collect();
+    for i in (1..n).rev() {
+        let j = bits(i as u64 + 1) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+impl<P: MpProtocol> SimModel for MpModel<P> {
+    type Move = MpAction;
+
+    fn clean_move(&self, _x: &Self::State) -> MpAction {
+        MpAction::Sequential(Pid::all(self.num_processes()).collect())
+    }
+
+    fn fault_move(&self, _x: &Self::State, target: Pid, intensity: usize) -> Option<MpAction> {
+        // Skip `target` this layer: a drop-last action over the others.
+        // Intensity rotates their order (every (n−1)-arrangement is legal).
+        let others: Vec<Pid> = Pid::all(self.num_processes())
+            .filter(|&p| p != target)
+            .collect();
+        let rot = intensity % others.len();
+        let mut order = others[rot..].to_vec();
+        order.extend_from_slice(&others[..rot]);
+        Some(MpAction::Sequential(order))
+    }
+
+    fn sample_move(&self, _x: &Self::State, bits: &mut dyn FnMut(u64) -> u64) -> MpAction {
+        let n = self.num_processes();
+        let order = random_perm(n, bits);
+        match bits(3) {
+            0 => MpAction::Sequential(order),
+            1 => {
+                let at = bits(n as u64 - 1) as usize;
+                MpAction::Concurrent { order, at }
+            }
+            _ => {
+                // Drop the last element of the random permutation: exactly a
+                // drop-last arrangement.
+                let mut dropped = order;
+                dropped.pop();
+                MpAction::Sequential(dropped)
+            }
+        }
+    }
+
+    fn apply_move(&self, x: &Self::State, mv: &MpAction) -> Self::State {
+        self.apply(x, mv)
+    }
+
+    fn encode_move(&self, mv: &MpAction) -> MoveRecord {
+        let n = self.num_processes();
+        match mv {
+            MpAction::Sequential(order) if order.len() == n => MoveRecord {
+                kind: "seq",
+                args: order.iter().map(|p| p.index() as u64).collect(),
+                fault: false,
+            },
+            MpAction::Sequential(order) => MoveRecord {
+                kind: "drop",
+                args: order.iter().map(|p| p.index() as u64).collect(),
+                fault: true,
+            },
+            MpAction::Concurrent { order, at } => {
+                let mut args = vec![*at as u64];
+                args.extend(order.iter().map(|p| p.index() as u64));
+                MoveRecord {
+                    kind: "conc",
+                    args,
+                    fault: false,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use layered_core::{LayeredModel, Value};
+    use layered_protocols::MpFloodMin;
+
+    use super::*;
+
+    #[test]
+    fn every_move_lands_in_the_layer() {
+        let m = MpModel::new(3, MpFloodMin::new(2));
+        let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
+        let layer = m.successors(&x);
+        let mut draws = 3u64;
+        let mut bits = |bound: u64| {
+            draws = draws.wrapping_mul(6364136223846793005).wrapping_add(7);
+            draws % bound
+        };
+        for _ in 0..48 {
+            let mv = m.sample_move(&x, &mut bits);
+            assert!(layer.contains(&m.apply_move(&x, &mv)), "{mv:?}");
+        }
+        assert!(layer.contains(&m.apply_move(&x, &m.clean_move(&x))));
+        let f = m.fault_move(&x, Pid::new(1), 1).expect("always legal");
+        assert!(layer.contains(&m.apply_move(&x, &f)));
+        assert!(m.is_fault(&f));
+    }
+
+    #[test]
+    fn fault_move_skips_exactly_the_target() {
+        let m = MpModel::new(4, MpFloodMin::new(2));
+        let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE, Value::ZERO]);
+        for intensity in 0..5 {
+            let mv = m.fault_move(&x, Pid::new(2), intensity).expect("legal");
+            let y = m.apply_move(&x, &mv);
+            assert_eq!(y.phases_done[2], 0, "target took no phase");
+            assert!((0..4).filter(|&i| i != 2).all(|i| y.phases_done[i] == 1));
+        }
+    }
+}

@@ -39,6 +39,7 @@
 
 mod interp;
 mod model;
+mod sim;
 mod state;
 
 pub use interp::{layer_action_is_legal_schedule, replay, schedule_for, ScheduleError, SmOp};

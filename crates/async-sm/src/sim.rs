@@ -1,0 +1,96 @@
+//! Adversary adapter: [`SimModel`] for the shared-memory synchronic model.
+//!
+//! An `S^rw` layer move *is* an environment action [`SmAction`] — `(j, A)`
+//! (process `j` absent this virtual round) or `(j, k)` (process `j` writes
+//! late, the prefix of proper processes reads early). The adapter exposes
+//! the full action alphabet, so every simulated run is an `S^rw`-execution
+//! by construction.
+//!
+//! Fault accounting: only `(j, A)` skips a process and counts as a fault;
+//! staggered actions are fault-free scheduling choices.
+
+use layered_core::sim::{MoveRecord, SimModel};
+use layered_core::{LayeredModel, Pid};
+use layered_protocols::SmProtocol;
+
+use crate::model::{SmAction, SmModel};
+
+impl<P: SmProtocol> SimModel for SmModel<P> {
+    type Move = SmAction;
+
+    fn clean_move(&self, _x: &Self::State) -> SmAction {
+        // Everyone takes a phase; p1 is the (irrelevant) distinguished late
+        // writer with every proper process reading early.
+        SmAction::Staggered {
+            j: Pid::new(0),
+            k: self.num_processes(),
+        }
+    }
+
+    fn fault_move(&self, _x: &Self::State, target: Pid, _intensity: usize) -> Option<SmAction> {
+        // The asynchronous adversary may stall any process in any round.
+        Some(SmAction::Absent(target))
+    }
+
+    fn sample_move(&self, _x: &Self::State, bits: &mut dyn FnMut(u64) -> u64) -> SmAction {
+        let n = self.num_processes();
+        // Per process: absence or one of the n + 1 stagger bounds.
+        let per = (n + 2) as u64;
+        let i = bits(n as u64 * per);
+        let j = Pid::new((i / per) as usize);
+        let r = (i % per) as usize;
+        if r == 0 {
+            SmAction::Absent(j)
+        } else {
+            SmAction::Staggered { j, k: r - 1 }
+        }
+    }
+
+    fn apply_move(&self, x: &Self::State, mv: &SmAction) -> Self::State {
+        self.apply(x, *mv)
+    }
+
+    fn encode_move(&self, mv: &SmAction) -> MoveRecord {
+        match *mv {
+            SmAction::Absent(j) => MoveRecord {
+                kind: "absent",
+                args: vec![j.index() as u64],
+                fault: true,
+            },
+            SmAction::Staggered { j, k } => MoveRecord {
+                kind: "staggered",
+                args: vec![j.index() as u64, k as u64],
+                fault: false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use layered_core::{LayeredModel, Value};
+    use layered_protocols::SmFloodMin;
+
+    use super::*;
+
+    #[test]
+    fn every_move_lands_in_the_layer() {
+        let m = SmModel::new(3, SmFloodMin::new(2));
+        let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
+        let layer = m.successors(&x);
+        let mut draws = 2u64;
+        let mut bits = |bound: u64| {
+            draws = draws.wrapping_mul(6364136223846793005).wrapping_add(7);
+            draws % bound
+        };
+        for _ in 0..32 {
+            let mv = m.sample_move(&x, &mut bits);
+            assert!(layer.contains(&m.apply_move(&x, &mv)), "{mv:?}");
+        }
+        assert!(layer.contains(&m.apply_move(&x, &m.clean_move(&x))));
+        let f = m.fault_move(&x, Pid::new(2), 0).expect("always legal");
+        assert_eq!(f, SmAction::Absent(Pid::new(2)));
+        assert!(m.is_fault(&f));
+        assert!(!m.is_fault(&m.clean_move(&x)));
+    }
+}

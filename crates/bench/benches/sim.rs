@@ -1,0 +1,44 @@
+//! Simulation-runtime throughput: full seeded runs per second.
+//!
+//! The simulation exists to reach sizes the layer enumerator cannot
+//! (`n = 16`, `n = 64`); these benchmarks quantify the cost of a complete
+//! adversary-vs-protocol run — move sampling, application, and per-layer
+//! safety classification — as `n` grows, and the cost of replaying and
+//! shrinking a recorded schedule.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use layered_protocols::FloodMin;
+use layered_sim::{shrink, RandomAdversary, SimConfig, Simulator};
+use layered_sync_mobile::MobileModel;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_runtime");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    for n in [4usize, 16, 64] {
+        let model = MobileModel::new(n, FloodMin::new(6));
+        let sim = Simulator::new(&model);
+        let config = SimConfig::new(0xbead, 1, 6);
+        group.bench_with_input(BenchmarkId::new("mobile_run", n), &n, |b, _| {
+            b.iter(|| sim.run_one(&config, 0, &mut RandomAdversary).steps)
+        });
+    }
+
+    let model = MobileModel::new(3, FloodMin::new(2));
+    let sim = Simulator::new(&model);
+    let run = sim.run_one(&SimConfig::new(0xfade, 1, 4), 0, &mut RandomAdversary);
+    group.bench_function("replay_n3", |b| {
+        b.iter(|| run.schedule.replay(&model).steps())
+    });
+    group.bench_function("shrink_n3", |b| {
+        b.iter(|| shrink(&model, &run.schedule, run.outcome.class()).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -4,22 +4,29 @@
 //!
 //! ```text
 //! experiments [quick] [--json <path>] [--metrics]
+//! experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>]
+//!             [--adversary <name>] [--json <path>] [--metrics]
 //! ```
 //!
 //! * `quick` — small CI-friendly instances (default: the full sizes).
-//! * `--json <path>` — additionally write one JSON record per experiment to
-//!   `<path>`, one object per line (the machine-readable twin of every
-//!   table; see `Experiment::json_record`).
-//! * `--metrics` — print each experiment's engine counters after its table.
+//! * `--json <path>` — additionally write one JSON record per experiment
+//!   (or, under `--sim`, per simulated run) to `<path>`, one object per
+//!   line (the machine-readable twin of every table).
+//! * `--metrics` — print the engine counters after each table.
+//! * `--sim` — instead of the exhaustive experiments, run seeded
+//!   adversary-scheduler simulations in all four model families
+//!   (`--seed`/`--runs`/`--n`/`--horizon` control the batch; `--adversary`
+//!   is one of `random`, `round-robin`, `roamer`, `dropper`).
 
 use std::io::Write;
 
-use layered_bench::{all_experiments, Scope};
+use layered_bench::{all_experiments, known_adversary, sim_batch, Scope, SimBatchConfig};
 
 struct Options {
     scope: Scope,
     json_path: Option<String>,
     metrics: bool,
+    sim: Option<SimBatchConfig>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -27,12 +34,35 @@ fn parse_args() -> Result<Options, String> {
         scope: Scope::Full,
         json_path: None,
         metrics: false,
+        sim: None,
     };
+    let mut sim_cfg = SimBatchConfig::default();
+    let mut sim_requested = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        let mut numeric = |flag: &str| -> Result<u64, String> {
+            args.next()
+                .ok_or(format!("{flag} requires a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{flag}: {e}"))
+        };
         match arg.as_str() {
             "quick" => opts.scope = Scope::Quick,
             "full" => opts.scope = Scope::Full,
+            "--sim" => sim_requested = true,
+            "--seed" => sim_cfg.seed = numeric("--seed")?,
+            "--runs" => sim_cfg.runs = numeric("--runs")? as usize,
+            "--n" => sim_cfg.n = numeric("--n")? as usize,
+            "--horizon" => sim_cfg.horizon = numeric("--horizon")? as usize,
+            "--adversary" => {
+                let name = args.next().ok_or("--adversary requires a name")?;
+                if !known_adversary(&name) {
+                    return Err(format!(
+                        "unknown adversary `{name}` (expected random, round-robin, roamer or dropper)"
+                    ));
+                }
+                sim_cfg.adversary = name;
+            }
             "--json" => {
                 opts.json_path = Some(args.next().ok_or("--json requires a path argument")?);
             }
@@ -40,7 +70,64 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unrecognized argument `{other}`")),
         }
     }
+    if sim_requested {
+        if sim_cfg.n < 3 {
+            return Err(
+                "--n must be at least 3 (the crash model needs 1 <= t <= n - 2)".to_string(),
+            );
+        }
+        if sim_cfg.runs == 0 || sim_cfg.horizon == 0 {
+            return Err("--runs and --horizon must be positive".to_string());
+        }
+        opts.sim = Some(sim_cfg);
+    }
     Ok(opts)
+}
+
+fn write_json_lines(path: &str, lines: &[String]) {
+    match std::fs::File::create(path) {
+        Ok(file) => {
+            let mut out = std::io::BufWriter::new(file);
+            for line in lines {
+                if let Err(e) = writeln!(out, "{line}") {
+                    eprintln!("error: writing {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+            if let Err(e) = out.flush() {
+                eprintln!("error: flushing {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("Wrote {} JSON records to {path}.", lines.len());
+        }
+        Err(e) => {
+            eprintln!("error: creating {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_simulations(cfg: &SimBatchConfig, opts: &Options) {
+    println!("Layered analysis of consensus — adversary-scheduler simulation\n");
+    let batch = sim_batch(cfg);
+    println!("{}", batch.table);
+    println!(
+        "  {} runs, {} layers executed, {} faults injected",
+        batch.metrics.counter("sim.runs"),
+        batch.metrics.counter("sim.steps"),
+        batch.faults
+    );
+    if opts.metrics {
+        for (name, total) in &batch.metrics.counters {
+            println!("  {name}: {total}");
+        }
+    }
+    println!();
+    if let Some(path) = &opts.json_path {
+        let lines: Vec<String> = batch.records.iter().map(ToString::to_string).collect();
+        write_json_lines(path, &lines);
+    }
+    println!("Replay any run with its recorded seed: outcomes above are a pure function of (seed, run index).");
 }
 
 fn main() {
@@ -48,10 +135,16 @@ fn main() {
         Ok(opts) => opts,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: experiments [quick|full] [--json <path>] [--metrics]");
+            eprintln!(
+                "usage: experiments [quick|full] [--json <path>] [--metrics]\n       experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>] [--adversary <name>] [--json <path>]"
+            );
             std::process::exit(2);
         }
     };
+    if let Some(sim_cfg) = &opts.sim {
+        run_simulations(sim_cfg, &opts);
+        return;
+    }
     println!(
         "Layered analysis of consensus — experiment harness ({:?} scope)",
         opts.scope
@@ -79,26 +172,11 @@ fn main() {
         }
     }
     if let Some(path) = &opts.json_path {
-        match std::fs::File::create(path) {
-            Ok(file) => {
-                let mut out = std::io::BufWriter::new(file);
-                for exp in &experiments {
-                    if let Err(e) = writeln!(out, "{}", exp.json_record()) {
-                        eprintln!("error: writing {path}: {e}");
-                        std::process::exit(2);
-                    }
-                }
-                if let Err(e) = out.flush() {
-                    eprintln!("error: flushing {path}: {e}");
-                    std::process::exit(2);
-                }
-                println!("Wrote {} JSON records to {path}.", experiments.len());
-            }
-            Err(e) => {
-                eprintln!("error: creating {path}: {e}");
-                std::process::exit(2);
-            }
-        }
+        let lines: Vec<String> = experiments
+            .iter()
+            .map(|e| e.json_record().to_string())
+            .collect();
+        write_json_lines(path, &lines);
     }
     if failures == 0 {
         println!("All experiments match the paper's claims.");

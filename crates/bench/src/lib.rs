@@ -26,6 +26,7 @@ mod experiments {
     pub mod impossibility;
     pub mod synchronous;
 }
+pub mod simruns;
 
 pub use experiments::decision_tasks::{
     bivalence_profile, covering_sanity, diameter, lemma_7_1, lemma_7_4, task_solvability,
@@ -33,6 +34,7 @@ pub use experiments::decision_tasks::{
 pub use experiments::foundations::{census, lemma_3_1, lemma_3_6, theorem_4_2};
 pub use experiments::impossibility::{iis, message_passing, mobile, shared_memory};
 pub use experiments::synchronous::{early_stopping, lemma_6_4, lemmas_6_1_6_2, lower_bound};
+pub use simruns::{known_adversary, sim_batch, SimBatch, SimBatchConfig};
 
 /// How large an instance each experiment should use.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

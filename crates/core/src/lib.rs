@@ -45,6 +45,7 @@ pub mod graph;
 mod model;
 mod pid;
 pub mod report;
+pub mod sim;
 pub mod stats;
 pub mod telemetry;
 pub mod testkit;
@@ -69,9 +70,10 @@ pub use layering::{
 };
 pub use model::{
     explore, explore_with, states_at_depth, states_at_depth_with, ExecutionTrace, Exploration,
-    LayeredModel,
+    LayeredModel, TraceError,
 };
 pub use pid::{binary_input_vectors, Pid, Value};
+pub use sim::{MoveRecord, SimModel};
 pub use stats::{census, census_with, LevelCensus};
 pub use telemetry::{JsonlObserver, MetricsRegistry, MetricsSnapshot, NoopObserver, Observer};
 pub use valence::{undecided_non_failed, Valence, ValenceSolver, Valences};

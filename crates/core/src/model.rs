@@ -263,6 +263,36 @@ pub fn explore_with<M: LayeredModel>(
     }
 }
 
+/// Why an [`ExecutionTrace`] failed validation against a model.
+///
+/// Produced by [`ExecutionTrace::validate`], which is the single source of
+/// truth for "this trace is a genuine `S`-execution from an initial state" —
+/// both [`ImpossibilityWitness::verify`](crate::ImpossibilityWitness::verify)
+/// and the simulation replay path build on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// The first trace state is not an initial state of the model.
+    NotInitial,
+    /// A step is not a layer transition: `states[step + 1] ∉ S(states[step])`.
+    IllegalStep {
+        /// Index of the first illegal step.
+        step: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::NotInitial => write!(f, "first trace state is not initial"),
+            TraceError::IllegalStep { step } => {
+                write!(f, "step {step} is not a layer transition")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// A finite execution: a path `x⁰, x¹, …, x^k` through the layered graph,
 /// recorded for use as a machine-checkable witness.
 ///
@@ -336,6 +366,28 @@ impl<S: Clone + Eq + Debug> ExecutionTrace<S> {
         }
         Ok(())
     }
+
+    /// Validates the trace end-to-end: the first state must be an initial
+    /// state of `model` and every step must be a layer transition.
+    ///
+    /// This is the full "is a genuine `S`-execution" check shared by witness
+    /// re-verification and simulation replay; [`verify`](Self::verify) checks
+    /// only the transition relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TraceError`] encountered, checking the initial
+    /// state before the steps.
+    pub fn validate<M>(&self, model: &M) -> Result<(), TraceError>
+    where
+        M: LayeredModel<State = S>,
+    {
+        if !model.initial_states().contains(self.first()) {
+            return Err(TraceError::NotInitial);
+        }
+        self.verify(model)
+            .map_err(|step| TraceError::IllegalStep { step })
+    }
 }
 
 #[cfg(test)]
@@ -399,5 +451,36 @@ mod tests {
     #[should_panic(expected = "at least one state")]
     fn trace_requires_nonempty() {
         let _: ExecutionTrace<u32> = ExecutionTrace::new(vec![]);
+    }
+
+    #[test]
+    fn trace_validate_accepts_rooted_legal_path() {
+        let m = CounterModel::new(2, 5);
+        let x0 = m.initial_states().remove(0);
+        let x1 = m.successors(&x0).remove(0);
+        let tr = ExecutionTrace::new(vec![x0, x1]);
+        assert!(tr.validate(&m).is_ok());
+    }
+
+    #[test]
+    fn trace_validate_rejects_unrooted_path() {
+        let m = CounterModel::new(2, 5);
+        let x0 = m.initial_states().remove(0);
+        let x1 = m.successors(&x0).remove(0);
+        let x2 = m.successors(&x1).remove(0);
+        let tr = ExecutionTrace::new(vec![x1, x2]);
+        assert_eq!(tr.validate(&m), Err(TraceError::NotInitial));
+    }
+
+    #[test]
+    fn trace_validate_reports_illegal_step() {
+        let m = CounterModel::new(2, 5);
+        let x0 = m.initial_states().remove(0);
+        let far = {
+            let x1 = m.successors(&x0).remove(0);
+            m.successors(&x1).remove(0)
+        };
+        let tr = ExecutionTrace::new(vec![x0, far]);
+        assert_eq!(tr.validate(&m), Err(TraceError::IllegalStep { step: 0 }));
     }
 }

@@ -9,7 +9,7 @@
 //! model, without trusting the engine that produced it.
 
 use crate::connectivity::valence_report;
-use crate::model::ExecutionTrace;
+use crate::model::{ExecutionTrace, TraceError};
 use crate::valence::undecided_non_failed;
 use crate::{LayeredModel, ValenceSolver};
 
@@ -96,11 +96,14 @@ impl<S: Clone + Eq + std::hash::Hash + std::fmt::Debug> ImpossibilityWitness<S> 
     where
         M: LayeredModel<State = S>,
     {
-        if let Err(step) = self.chain.verify(model) {
-            return Err(WitnessError::NotAnExecution { step });
-        }
-        if !model.initial_states().contains(self.chain.first()) {
-            return Err(WitnessError::NotInitial);
+        // The execution-shape checks (initial state, layer transitions) are
+        // shared with the simulation replay path via `ExecutionTrace::validate`.
+        match self.chain.validate(model) {
+            Ok(()) => {}
+            Err(TraceError::IllegalStep { step }) => {
+                return Err(WitnessError::NotAnExecution { step });
+            }
+            Err(TraceError::NotInitial) => return Err(WitnessError::NotInitial),
         }
         let mut solver = ValenceSolver::new(model, self.horizon);
         let n = model.num_processes();

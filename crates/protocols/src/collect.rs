@@ -91,6 +91,10 @@ impl MpProtocol for MpCollectMin {
         (ls.known.len() >= self.quorum)
             .then(|| *ls.known.values().min().expect("known is non-empty"))
     }
+
+    fn name(&self) -> String {
+        format!("MpCollectMin(quorum={})", self.quorum)
+    }
 }
 
 #[cfg(test)]

@@ -116,6 +116,10 @@ impl SyncProtocol for FloodMin {
     fn decide(&self, ls: &FloodState) -> Option<Value> {
         (ls.completed >= self.rounds).then(|| ls.min_known())
     }
+
+    fn name(&self) -> String {
+        format!("FloodMin(deadline={})", self.rounds)
+    }
 }
 
 /// A protocol that decides its own input immediately, without communicating.
@@ -209,6 +213,10 @@ impl SmProtocol for SmFloodMin {
     fn decide(&self, ls: &FloodState) -> Option<Value> {
         (ls.completed >= self.phases).then(|| ls.min_known())
     }
+
+    fn name(&self) -> String {
+        format!("SmFloodMin(deadline={})", self.phases)
+    }
 }
 
 /// Message-passing FloodMin: broadcast the known set each local phase;
@@ -271,6 +279,10 @@ impl MpProtocol for MpFloodMin {
 
     fn decide(&self, ls: &FloodState) -> Option<Value> {
         (ls.completed >= self.phases).then(|| ls.min_known())
+    }
+
+    fn name(&self) -> String {
+        format!("MpFloodMin(deadline={})", self.phases)
     }
 }
 

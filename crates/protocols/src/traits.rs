@@ -17,6 +17,16 @@ use std::hash::Hash;
 
 use layered_core::{Pid, Value};
 
+/// The default for the `name` hooks below: the implementing type's bare name
+/// (no module path), for labeling simulation records and reports.
+fn type_short_name<T>() -> String {
+    std::any::type_name::<T>()
+        .rsplit("::")
+        .next()
+        .unwrap_or("protocol")
+        .to_string()
+}
+
 /// A protocol for synchronous round-based models (`M^mf` of Section 5 and
 /// the t-resilient synchronous model of Section 6).
 ///
@@ -53,6 +63,16 @@ pub trait SyncProtocol {
     /// (write-once) by the model; returning `None` after having returned
     /// `Some` does not un-decide.
     fn decide(&self, ls: &Self::LocalState) -> Option<Value>;
+
+    /// A human-readable protocol label, used by reports and simulation
+    /// records. Defaults to the implementing type's name; implementations
+    /// with parameters (deadlines, quorums) should include them.
+    fn name(&self) -> String
+    where
+        Self: Sized,
+    {
+        type_short_name::<Self>()
+    }
 }
 
 /// A protocol for the asynchronous single-writer/multi-reader shared-memory
@@ -83,6 +103,15 @@ pub trait SmProtocol {
 
     /// The protocol's decision at `ls`, if any (latched by the model).
     fn decide(&self, ls: &Self::LocalState) -> Option<Value>;
+
+    /// A human-readable protocol label, used by reports and simulation
+    /// records. Defaults to the implementing type's name.
+    fn name(&self) -> String
+    where
+        Self: Sized,
+    {
+        type_short_name::<Self>()
+    }
 }
 
 /// A protocol for the asynchronous message-passing model under the
@@ -122,4 +151,13 @@ pub trait MpProtocol {
 
     /// The protocol's decision at `ls`, if any (latched by the model).
     fn decide(&self, ls: &Self::LocalState) -> Option<Value>;
+
+    /// A human-readable protocol label, used by reports and simulation
+    /// records. Defaults to the implementing type's name.
+    fn name(&self) -> String
+    where
+        Self: Sized,
+    {
+        type_short_name::<Self>()
+    }
 }

@@ -1,0 +1,200 @@
+//! Adversary strategies: who chooses each layer move, and how.
+//!
+//! The paper's environment is an all-powerful scheduler; the simulation
+//! replaces it by a concrete *strategy* playing the adversary side of the
+//! adversary-vs-protocol game, one legal layer move per round. Every
+//! strategy builds its moves through the [`SimModel`] constructors, so
+//! whatever it plays, the run stays inside the layering — a strategy can be
+//! unfair or adaptive but never illegal.
+
+use layered_core::{Pid, SimModel};
+
+use crate::rng::SimRng;
+
+/// One side of the adversary-vs-protocol game: picks the layer move played
+/// at each round of a simulated run.
+///
+/// Strategies may keep mutable state (round counters, roaming positions) and
+/// may consult the run's [`SimRng`]; determinism of the run follows from the
+/// strategy being a pure function of `(its state, x, round, rng stream)`.
+pub trait Adversary<M: SimModel> {
+    /// A label for reports and JSON records (e.g. `"random"`,
+    /// `"crash@3"`).
+    fn name(&self) -> String;
+
+    /// The move to play at state `x` in round `round`.
+    fn next_move(&mut self, model: &M, x: &M::State, round: usize, rng: &mut SimRng) -> M::Move;
+}
+
+/// The uniform adversary: every round, a move sampled uniformly from the
+/// model's move alphabet via [`SimModel::sample_move`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RandomAdversary;
+
+impl<M: SimModel> Adversary<M> for RandomAdversary {
+    fn name(&self) -> String {
+        "random".to_string()
+    }
+
+    fn next_move(&mut self, model: &M, x: &M::State, _round: usize, rng: &mut SimRng) -> M::Move {
+        model.sample_move(x, &mut |bound| rng.below(bound))
+    }
+}
+
+/// Cycles its fault target `p1, p2, …, pn, p1, …`, faulting every `period`-th
+/// round and playing clean rounds in between.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundRobinAdversary {
+    /// Fault every `period`-th round (1 = every round).
+    pub period: usize,
+}
+
+impl RoundRobinAdversary {
+    /// A round-robin adversary faulting every `period`-th round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    #[must_use]
+    pub fn new(period: usize) -> Self {
+        assert!(period > 0, "period must be positive");
+        RoundRobinAdversary { period }
+    }
+}
+
+impl<M: SimModel> Adversary<M> for RoundRobinAdversary {
+    fn name(&self) -> String {
+        format!("round-robin(period={})", self.period)
+    }
+
+    fn next_move(&mut self, model: &M, x: &M::State, round: usize, rng: &mut SimRng) -> M::Move {
+        if !round.is_multiple_of(self.period) {
+            return model.clean_move(x);
+        }
+        let n = model.num_processes();
+        let target = Pid::new((round / self.period) % n);
+        let intensity = rng.below(n as u64) as usize;
+        model
+            .fault_move(x, target, intensity)
+            .unwrap_or_else(|| model.clean_move(x))
+    }
+}
+
+/// Plays clean rounds except for a single scripted fault: at round `round`,
+/// strike `victim` with `intensity`.
+///
+/// This is the Dolev–Strong-style adversary — one precisely placed failure
+/// per run — and the natural strategy for reproducing a known bad schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashAtRound {
+    /// The round in which the fault is injected (0-based).
+    pub round: usize,
+    /// The process to strike.
+    pub victim: Pid,
+    /// Model-specific fault intensity (prefix bound, rotation, …).
+    pub intensity: usize,
+}
+
+impl<M: SimModel> Adversary<M> for CrashAtRound {
+    fn name(&self) -> String {
+        format!("crash@{}(p{})", self.round, self.victim.index() + 1)
+    }
+
+    fn next_move(&mut self, model: &M, x: &M::State, round: usize, _rng: &mut SimRng) -> M::Move {
+        if round == self.round {
+            if let Some(mv) = model.fault_move(x, self.victim, self.intensity) {
+                return mv;
+            }
+        }
+        model.clean_move(x)
+    }
+}
+
+/// The Santoro–Widmayer mobile adversary: faults *every* round, roaming its
+/// target by a random walk over the ring of processes and re-drawing the
+/// intensity each round.
+///
+/// Against `M^mf`'s layering `S₁` this is exactly the one-mobile-failure
+/// environment of Section 5; against the budgeted crash model its roaming is
+/// clipped by the failure budget and it degrades into an eager crasher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MobileRoamer {
+    position: usize,
+}
+
+impl<M: SimModel> Adversary<M> for MobileRoamer {
+    fn name(&self) -> String {
+        "mobile-roamer".to_string()
+    }
+
+    fn next_move(&mut self, model: &M, x: &M::State, _round: usize, rng: &mut SimRng) -> M::Move {
+        let n = model.num_processes();
+        // Random walk: stay, step left, or step right on the ring.
+        self.position = match rng.below(3) {
+            0 => self.position,
+            1 => (self.position + 1) % n,
+            _ => (self.position + n - 1) % n,
+        };
+        let intensity = rng.below(n as u64) as usize;
+        model
+            .fault_move(x, Pid::new(self.position), intensity)
+            .unwrap_or_else(|| model.clean_move(x))
+    }
+}
+
+/// The lossy-network adversary: each round, with probability
+/// `permille / 1000`, delays or drops a random process's messages (a fault
+/// move against a uniform target); otherwise the round is clean.
+#[derive(Clone, Copy, Debug)]
+pub struct MessageDropper {
+    /// Per-round fault probability in thousandths (0 ..= 1000).
+    pub permille: u64,
+}
+
+impl MessageDropper {
+    /// A dropper striking with probability `permille / 1000` each round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `permille > 1000`.
+    #[must_use]
+    pub fn new(permille: u64) -> Self {
+        assert!(permille <= 1000, "probability above 1");
+        MessageDropper { permille }
+    }
+}
+
+impl<M: SimModel> Adversary<M> for MessageDropper {
+    fn name(&self) -> String {
+        format!("dropper(p={:.3})", self.permille as f64 / 1000.0)
+    }
+
+    fn next_move(&mut self, model: &M, x: &M::State, _round: usize, rng: &mut SimRng) -> M::Move {
+        if rng.below(1000) >= self.permille {
+            return model.clean_move(x);
+        }
+        let n = model.num_processes() as u64;
+        let target = Pid::new(rng.below(n) as usize);
+        let intensity = rng.below(n) as usize;
+        model
+            .fault_move(x, target, intensity)
+            .unwrap_or_else(|| model.clean_move(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_rejects_zero_period() {
+        let r = std::panic::catch_unwind(|| RoundRobinAdversary::new(0));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn dropper_rejects_probability_above_one() {
+        let r = std::panic::catch_unwind(|| MessageDropper::new(1001));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Recorded schedules: the compact trace of one simulated run.
+//!
+//! A [`Schedule`] is the move sequence the adversary played, together with
+//! the input assignment and the seed it was recorded under. Replaying it
+//! against the model rebuilds the *exact* state sequence — schedules are the
+//! currency of determinism tests, of re-verification against the layering
+//! (via [`ExecutionTrace::validate`]), and of shrinking.
+
+use layered_core::telemetry::json::Json;
+use layered_core::{ExecutionTrace, SimModel, Value};
+
+/// The compact trace of one simulated run: seed, inputs, and the move
+/// sequence played.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule<Mv> {
+    /// The per-run seed the schedule was recorded under.
+    pub seed: u64,
+    /// The run's input assignment.
+    pub inputs: Vec<Value>,
+    /// The layer moves, in play order.
+    pub moves: Vec<Mv>,
+}
+
+impl<Mv> Schedule<Mv> {
+    /// The number of layers in the schedule.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Whether the schedule plays no layer at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+}
+
+impl<Mv: Clone + Eq + std::hash::Hash + std::fmt::Debug> Schedule<Mv> {
+    /// Replays the schedule against `model`, rebuilding the full state
+    /// sequence from the initial state for [`Schedule::inputs`].
+    ///
+    /// Replay is deterministic, so equal schedules give equal traces — this
+    /// is what the determinism tests compare bit-for-bit, and the resulting
+    /// trace is what [`ExecutionTrace::validate`] re-checks against the
+    /// model's layering on small instances.
+    pub fn replay<M>(&self, model: &M) -> ExecutionTrace<M::State>
+    where
+        M: SimModel<Move = Mv>,
+    {
+        let mut trace = ExecutionTrace::new(vec![model.initial_state(&self.inputs)]);
+        for mv in &self.moves {
+            let next = model.apply_move(trace.last(), mv);
+            trace.push(next);
+        }
+        trace
+    }
+
+    /// The number of fault-injecting moves in the schedule.
+    pub fn fault_count<M>(&self, model: &M) -> usize
+    where
+        M: SimModel<Move = Mv>,
+    {
+        self.moves.iter().filter(|mv| model.is_fault(mv)).count()
+    }
+
+    /// A canonical single-line rendering (`seed=…;kind(args);…`) for
+    /// byte-exact schedule comparison.
+    pub fn display<M>(&self, model: &M) -> String
+    where
+        M: SimModel<Move = Mv>,
+    {
+        let mut out = format!("seed={}", self.seed);
+        for mv in &self.moves {
+            out.push(';');
+            out.push_str(&model.encode_move(mv).display());
+        }
+        out
+    }
+
+    /// The schedule as a JSON array of [`MoveRecord`](layered_core::MoveRecord)
+    /// objects.
+    pub fn to_json<M>(&self, model: &M) -> Json
+    where
+        M: SimModel<Move = Mv>,
+    {
+        Json::Array(
+            self.moves
+                .iter()
+                .map(|mv| model.encode_move(mv).to_json())
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_accessors() {
+        let s: Schedule<u32> = Schedule {
+            seed: 9,
+            inputs: vec![Value::ZERO, Value::ONE],
+            moves: vec![1, 2, 3],
+        };
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+}

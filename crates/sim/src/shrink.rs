@@ -1,0 +1,122 @@
+//! Delta-debugging schedule shrinking.
+//!
+//! A random adversary that stumbles onto a consensus violation usually does
+//! so with a long, noisy schedule. [`shrink`] reduces it to a minimal
+//! reproduction in two phases, both preserving the outcome *class* (same
+//! [`RunOutcome::class`] tag):
+//!
+//! 1. **Truncate** — a safety violation is a state property, so the schedule
+//!    is cut at the first violating state;
+//! 2. **Quiet** — a ddmin-style pass replaces chunks of moves by the model's
+//!    clean move (halving the chunk size down to single moves), keeping each
+//!    replacement only if the class survives. Since
+//!    [`clean_move`](layered_core::SimModel::clean_move) never injects a
+//!    fault, shrinking can only remove failures, never add them.
+//!
+//! The result is never longer than the input, replays deterministically like
+//! any schedule, and — for violations — pins the blame on the few fault
+//! moves that actually matter.
+
+use layered_core::SimModel;
+
+use crate::runtime::{classify, RunOutcome};
+use crate::schedule::Schedule;
+
+/// Replays a candidate (`None` = play the clean move at that position),
+/// returning the materialized moves and the resulting outcome.
+fn evaluate<M: SimModel>(
+    model: &M,
+    schedule: &Schedule<M::Move>,
+    candidate: &[Option<M::Move>],
+) -> (Vec<M::Move>, RunOutcome) {
+    let mut states = vec![model.initial_state(&schedule.inputs)];
+    let mut moves = Vec::with_capacity(candidate.len());
+    for slot in candidate {
+        let x = states.last().expect("non-empty");
+        let mv = match slot {
+            Some(mv) => mv.clone(),
+            None => model.clean_move(x),
+        };
+        states.push(model.apply_move(x, &mv));
+        moves.push(mv);
+    }
+    let outcome = classify(model, &states);
+    (moves, outcome)
+}
+
+/// Cuts a violating candidate at its first violating state.
+fn truncate<M: SimModel>(
+    model: &M,
+    schedule: &Schedule<M::Move>,
+    candidate: &mut Vec<Option<M::Move>>,
+    target: &str,
+) {
+    let (_, outcome) = evaluate(model, schedule, candidate);
+    let round = match outcome {
+        RunOutcome::AgreementViolation { round } | RunOutcome::ValidityViolation { round }
+            if outcome.class() == target =>
+        {
+            round
+        }
+        _ => return,
+    };
+    // states[round] is reached after `round` moves.
+    candidate.truncate(round);
+}
+
+/// Shrinks `schedule` to a smaller schedule with the same outcome class.
+///
+/// `target` is the class to preserve (normally
+/// `run.outcome.class()`). The result replays to an execution of the same
+/// class and satisfies `result.len() <= schedule.len()`; for safety
+/// violations it additionally ends at the violating layer. If the schedule
+/// does not exhibit `target` in the first place it is returned unchanged.
+pub fn shrink<M: SimModel>(
+    model: &M,
+    schedule: &Schedule<M::Move>,
+    target: &str,
+) -> Schedule<M::Move> {
+    let mut candidate: Vec<Option<M::Move>> = schedule.moves.iter().cloned().map(Some).collect();
+    let (_, original) = evaluate(model, schedule, &candidate);
+    if original.class() != target {
+        return schedule.clone();
+    }
+
+    // Phase 1: cut at the first violating state.
+    truncate(model, schedule, &mut candidate, target);
+
+    // Phase 2: ddmin-style quieting — replace chunks by clean moves.
+    let mut chunk = candidate.len().max(1);
+    while chunk >= 1 {
+        let mut start = 0;
+        while start < candidate.len() {
+            let end = (start + chunk).min(candidate.len());
+            if candidate[start..end].iter().any(Option::is_some) {
+                let saved: Vec<Option<M::Move>> = candidate[start..end].to_vec();
+                for slot in &mut candidate[start..end] {
+                    *slot = None;
+                }
+                let (_, outcome) = evaluate(model, schedule, &candidate);
+                if outcome.class() != target {
+                    candidate[start..end].clone_from_slice(&saved);
+                }
+            }
+            start = end;
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // Quieting may have moved the violation earlier; cut again.
+    truncate(model, schedule, &mut candidate, target);
+
+    let (moves, outcome) = evaluate(model, schedule, &candidate);
+    debug_assert_eq!(outcome.class(), target, "shrinking lost the outcome");
+    Schedule {
+        seed: schedule.seed,
+        inputs: schedule.inputs.clone(),
+        moves,
+    }
+}

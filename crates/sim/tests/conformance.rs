@@ -1,0 +1,92 @@
+//! Acceptance: on small instances, every simulated run must be accepted by
+//! the exhaustive checker's transition relation — each recorded schedule
+//! replays to an [`ExecutionTrace`] that `validate` roots in an initial
+//! state and matches step-by-step against `LayeredModel::successors`.
+
+use layered_async_mp::MpModel;
+use layered_async_sm::SmModel;
+use layered_core::Pid;
+use layered_core::{ExecutionTrace, SimModel};
+use layered_protocols::{FloodMin, MpFloodMin, SmFloodMin};
+use layered_sim::{
+    Adversary, CrashAtRound, MessageDropper, MobileRoamer, RandomAdversary, RoundRobinAdversary,
+    SimConfig, Simulator,
+};
+use layered_sync_crash::CrashModel;
+use layered_sync_mobile::MobileModel;
+
+/// Every run in the batch replays to a model-validated execution.
+fn assert_conformant<M, A>(model: &M, config: &SimConfig, mut make_adversary: impl FnMut() -> A)
+where
+    M: SimModel,
+    A: Adversary<M>,
+{
+    let sim = Simulator::new(model);
+    for run in sim.run_many(config, &mut make_adversary) {
+        let trace: ExecutionTrace<M::State> = run.schedule.replay(model);
+        trace.validate(model).unwrap_or_else(|e| {
+            panic!(
+                "run {} (seed {}) is not an S-execution: {e} — schedule {}",
+                run.index,
+                run.seed,
+                run.schedule.display(model)
+            )
+        });
+    }
+}
+
+#[test]
+fn mobile_runs_are_s1_executions() {
+    let model = MobileModel::new(3, FloodMin::new(2));
+    let config = SimConfig::new(11, 12, 4);
+    assert_conformant(&model, &config, || RandomAdversary);
+    assert_conformant(&model, &config, MobileRoamer::default);
+    assert_conformant(&model, &config, || MessageDropper::new(500));
+}
+
+#[test]
+fn crash_runs_are_st_executions() {
+    let model = CrashModel::new(3, 1, FloodMin::new(3));
+    let config = SimConfig::new(22, 12, 4);
+    assert_conformant(&model, &config, || RandomAdversary);
+    assert_conformant(&model, &config, || RoundRobinAdversary::new(1));
+    assert_conformant(&model, &config, || CrashAtRound {
+        round: 1,
+        victim: Pid::new(2),
+        intensity: 1,
+    });
+}
+
+#[test]
+fn sm_runs_are_srw_executions() {
+    let model = SmModel::new(3, SmFloodMin::new(2));
+    let config = SimConfig::new(33, 12, 4);
+    assert_conformant(&model, &config, || RandomAdversary);
+    assert_conformant(&model, &config, MobileRoamer::default);
+}
+
+#[test]
+fn mp_runs_are_sper_executions() {
+    let model = MpModel::new(3, MpFloodMin::new(2));
+    let config = SimConfig::new(44, 12, 4);
+    assert_conformant(&model, &config, || RandomAdversary);
+    assert_conformant(&model, &config, || MessageDropper::new(700));
+}
+
+#[test]
+fn fixed_inputs_are_respected() {
+    use layered_core::{LayeredModel, Value};
+    let model = MobileModel::new(3, FloodMin::new(2));
+    let inputs = vec![Value::ONE, Value::ZERO, Value::ONE];
+    let config = SimConfig {
+        seed: 55,
+        runs: 4,
+        horizon: 3,
+        inputs: Some(inputs.clone()),
+    };
+    let sim = Simulator::new(&model);
+    for run in sim.run_many(&config, || RandomAdversary) {
+        assert_eq!(run.schedule.inputs, inputs);
+        assert_eq!(model.inputs_of(run.schedule.replay(&model).last()), inputs);
+    }
+}

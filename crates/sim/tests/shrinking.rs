@@ -1,0 +1,95 @@
+//! Satellite: property tests for schedule shrinking — across random seeds,
+//! a shrunk schedule reproduces the same violation class and is never
+//! longer than the original.
+
+use layered_protocols::FloodMin;
+use layered_sim::{classify, shrink, RandomAdversary, SimConfig, Simulator};
+use layered_sync_mobile::MobileModel;
+use proptest::prelude::*;
+
+proptest! {
+    /// For every master seed, every run in a small mobile-model batch
+    /// shrinks to a schedule of the same outcome class with
+    /// `len <= original.len()`.
+    #[test]
+    fn shrunk_schedule_preserves_class_and_never_grows(seed in 0u64..10_000) {
+        let model = MobileModel::new(3, FloodMin::new(2));
+        let sim = Simulator::new(&model);
+        let config = SimConfig::new(seed, 4, 4);
+        for run in sim.run_many(&config, || RandomAdversary) {
+            let class = run.outcome.class();
+            let small = shrink(&model, &run.schedule, class);
+            prop_assert!(
+                small.len() <= run.schedule.len(),
+                "shrinking grew the schedule: {} -> {}",
+                run.schedule.len(),
+                small.len()
+            );
+            let replayed = small.replay(&model);
+            prop_assert_eq!(
+                classify(&model, replayed.states()).class(),
+                class,
+                "shrinking changed the outcome class"
+            );
+            // The shrunk schedule is still a genuine S-execution.
+            prop_assert!(replayed.validate(&model).is_ok());
+        }
+    }
+}
+
+/// FloodMin under the mobile adversary violates agreement (the
+/// Santoro–Widmayer impossibility); the shrunk reproduction must end at the
+/// violating layer and keep only essential faults.
+#[test]
+fn violations_shrink_to_a_minimal_violating_prefix() {
+    let model = MobileModel::new(3, FloodMin::new(2));
+    let sim = Simulator::new(&model);
+    let mut shrunk_any = false;
+    for master in 0..200u64 {
+        let config = SimConfig::new(master, 4, 4);
+        for run in sim.run_many(&config, || RandomAdversary) {
+            if !run.outcome.is_violation() {
+                continue;
+            }
+            let class = run.outcome.class();
+            let small = shrink(&model, &run.schedule, class);
+            let replayed = small.replay(&model);
+            let outcome = classify(&model, replayed.states());
+            assert_eq!(outcome.class(), class);
+            // Minimal prefix: the violation appears exactly at the last
+            // state of the shrunk schedule.
+            match outcome {
+                layered_sim::RunOutcome::AgreementViolation { round }
+                | layered_sim::RunOutcome::ValidityViolation { round } => {
+                    assert_eq!(round, small.len(), "violation not at the final layer");
+                }
+                _ => unreachable!("violation class is a violation"),
+            }
+            assert!(small.fault_count(&model) <= run.schedule.fault_count(&model));
+            shrunk_any = true;
+        }
+        if shrunk_any {
+            break;
+        }
+    }
+    assert!(
+        shrunk_any,
+        "no violating run found in 200 batches — FloodMin under S1 must violate"
+    );
+}
+
+/// Shrinking a schedule that never exhibited the target class is the
+/// identity.
+#[test]
+fn shrinking_is_identity_on_wrong_class() {
+    let model = MobileModel::new(3, FloodMin::new(2));
+    let sim = Simulator::new(&model);
+    let run = sim.run_one(&SimConfig::new(5, 1, 3), 0, &mut RandomAdversary);
+    let other = if run.outcome.class() == "agreement" {
+        "validity"
+    } else {
+        "agreement"
+    };
+    let same = shrink(&model, &run.schedule, other);
+    assert_eq!(same.display(&model), run.schedule.display(&model));
+}

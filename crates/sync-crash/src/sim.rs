@@ -1,0 +1,123 @@
+//! Adversary adapter: [`SimModel`] for the t-resilient synchronous model.
+//!
+//! An `S^t` layer move is either the failure-free round or a new failure
+//! `(j, [k])` — process `j` newly fails with its messages to the prefix
+//! `[k]` blocked. The adapter enforces the model's failure budget: fault
+//! moves are only offered while fewer than `t` processes are failed, so
+//! every simulated run is an `S^t`-execution by construction.
+
+use layered_core::sim::{MoveRecord, SimModel};
+use layered_core::{LayeredModel, Pid};
+use layered_protocols::SyncProtocol;
+
+use crate::model::CrashModel;
+
+/// One `S^t` move.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CrashMove {
+    /// The failure-free round `x(1, [0])`.
+    Clean,
+    /// Process `j` newly fails; its messages to the prefix `[k]` are lost.
+    Crash {
+        /// The newly failing process.
+        j: Pid,
+        /// The blocked destination prefix bound, `1 ≤ k ≤ n`.
+        k: usize,
+    },
+}
+
+impl<P: SyncProtocol> SimModel for CrashModel<P> {
+    type Move = CrashMove;
+
+    fn clean_move(&self, _x: &Self::State) -> CrashMove {
+        CrashMove::Clean
+    }
+
+    fn fault_move(&self, x: &Self::State, target: Pid, intensity: usize) -> Option<CrashMove> {
+        let n = self.num_processes();
+        if x.failed.contains(&target) || x.failed.len() >= self.resilience() {
+            return None;
+        }
+        Some(CrashMove::Crash {
+            j: target,
+            k: 1 + intensity % n,
+        })
+    }
+
+    fn sample_move(&self, x: &Self::State, bits: &mut dyn FnMut(u64) -> u64) -> CrashMove {
+        let n = self.num_processes();
+        let alive: Vec<Pid> = if x.failed.len() < self.resilience() {
+            Pid::all(n).filter(|j| !x.failed.contains(j)).collect()
+        } else {
+            Vec::new()
+        };
+        let options = 1 + (alive.len() * n) as u64;
+        let i = bits(options);
+        if i == 0 {
+            CrashMove::Clean
+        } else {
+            let i = (i - 1) as usize;
+            CrashMove::Crash {
+                j: alive[i / n],
+                k: i % n + 1,
+            }
+        }
+    }
+
+    fn apply_move(&self, x: &Self::State, mv: &CrashMove) -> Self::State {
+        match *mv {
+            CrashMove::Clean => self.apply(x, None),
+            CrashMove::Crash { j, k } => self.apply(x, Some((j, k))),
+        }
+    }
+
+    fn encode_move(&self, mv: &CrashMove) -> MoveRecord {
+        match *mv {
+            CrashMove::Clean => MoveRecord::clean(),
+            CrashMove::Crash { j, k } => MoveRecord {
+                kind: "crash",
+                args: vec![j.index() as u64, k as u64],
+                fault: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use layered_core::{LayeredModel, Value};
+    use layered_protocols::FloodMin;
+
+    use super::*;
+
+    #[test]
+    fn budget_gates_fault_moves() {
+        let m = CrashModel::new(3, 1, FloodMin::new(3));
+        let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
+        let f = m.fault_move(&x, Pid::new(1), 2).expect("budget available");
+        let y = m.apply_move(&x, &f);
+        // One failure recorded: the budget is now exhausted.
+        assert!(m.fault_move(&y, Pid::new(0), 2).is_none());
+        assert!(m.fault_move(&y, Pid::new(1), 2).is_none());
+        // Sampling can only yield the clean move now.
+        let mut bits = |bound: u64| bound - 1;
+        assert_eq!(m.sample_move(&y, &mut bits), CrashMove::Clean);
+    }
+
+    #[test]
+    fn every_move_lands_in_the_layer() {
+        let m = CrashModel::new(3, 1, FloodMin::new(3));
+        let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
+        let layer = m.successors(&x);
+        let mut draws = 1u64;
+        let mut bits = |bound: u64| {
+            draws = draws.wrapping_mul(6364136223846793005).wrapping_add(7);
+            draws % bound
+        };
+        for _ in 0..32 {
+            let mv = m.sample_move(&x, &mut bits);
+            assert!(layer.contains(&m.apply_move(&x, &mv)), "{mv:?}");
+        }
+        assert!(layer.contains(&m.apply_move(&x, &m.clean_move(&x))));
+    }
+}

@@ -35,7 +35,9 @@
 #![warn(missing_docs)]
 
 mod model;
+mod sim;
 mod state;
 
 pub use model::{MobileLayering, MobileModel};
+pub use sim::MobileMove;
 pub use state::MobileState;

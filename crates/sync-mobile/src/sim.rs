@@ -1,0 +1,108 @@
+//! Adversary adapter: [`SimModel`] for the mobile-failure model.
+//!
+//! An `S₁` layer move is the pair `(j, [k])` — lose process `j`'s messages
+//! to the prefix `[k]` this round. The adapter exposes exactly those moves,
+//! so every simulated run is an `S₁`-execution by construction (Lemma 5.1
+//! already establishes that `S₁`-runs are `M^mf`-runs).
+
+use layered_core::sim::{MoveRecord, SimModel};
+use layered_core::{LayeredModel, Pid};
+use layered_protocols::SyncProtocol;
+
+use crate::model::MobileModel;
+
+/// One `S₁` move: lose `j`'s messages to the prefix `[k]`.
+///
+/// `k == 0` is the clean round (no message lost; `j` is then irrelevant and
+/// normalized to `p1`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MobileMove {
+    /// The process whose messages are lost this round.
+    pub j: Pid,
+    /// The prefix bound: messages to `p1, …, pk` are lost.
+    pub k: usize,
+}
+
+impl<P: SyncProtocol> SimModel for MobileModel<P> {
+    type Move = MobileMove;
+
+    fn clean_move(&self, _x: &Self::State) -> MobileMove {
+        MobileMove {
+            j: Pid::new(0),
+            k: 0,
+        }
+    }
+
+    fn fault_move(&self, _x: &Self::State, target: Pid, intensity: usize) -> Option<MobileMove> {
+        // The mobile failure can strike any process in any round: always
+        // legal. Intensity selects the destination prefix.
+        let n = self.num_processes();
+        Some(MobileMove {
+            j: target,
+            k: 1 + intensity % n,
+        })
+    }
+
+    fn sample_move(&self, _x: &Self::State, bits: &mut dyn FnMut(u64) -> u64) -> MobileMove {
+        let n = self.num_processes() as u64;
+        let i = bits(1 + n * n);
+        if i == 0 {
+            MobileMove {
+                j: Pid::new(0),
+                k: 0,
+            }
+        } else {
+            let i = i - 1;
+            MobileMove {
+                j: Pid::new((i / n) as usize),
+                k: (i % n) as usize + 1,
+            }
+        }
+    }
+
+    fn apply_move(&self, x: &Self::State, mv: &MobileMove) -> Self::State {
+        let prefix: Vec<Pid> = Pid::all(mv.k).collect();
+        self.apply(x, mv.j, &prefix)
+    }
+
+    fn encode_move(&self, mv: &MobileMove) -> MoveRecord {
+        if mv.k == 0 {
+            MoveRecord::clean()
+        } else {
+            MoveRecord {
+                kind: "omit",
+                args: vec![mv.j.index() as u64, mv.k as u64],
+                fault: true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use layered_core::{LayeredModel, Value};
+    use layered_protocols::FloodMin;
+
+    use super::*;
+
+    #[test]
+    fn every_move_lands_in_the_layer() {
+        let m = MobileModel::new(3, FloodMin::new(2));
+        let x = m.initial_state(&[Value::ZERO, Value::ONE, Value::ONE]);
+        let layer = m.successors(&x);
+        let mut draws = 0u64;
+        let mut bits = |bound: u64| {
+            draws = draws.wrapping_mul(6364136223846793005).wrapping_add(7);
+            draws % bound
+        };
+        for _ in 0..32 {
+            let mv = m.sample_move(&x, &mut bits);
+            assert!(layer.contains(&m.apply_move(&x, &mv)), "{mv:?}");
+        }
+        assert!(layer.contains(&m.apply_move(&x, &m.clean_move(&x))));
+        let f = m.fault_move(&x, Pid::new(1), 7).expect("always legal");
+        assert!(layer.contains(&m.apply_move(&x, &f)));
+        assert!(m.is_fault(&f));
+        assert!(!m.is_fault(&m.clean_move(&x)));
+    }
+}

@@ -22,6 +22,7 @@
 //! | [`iis`] | full-version outlook: the iterated immediate snapshot model under skip-one layers |
 //! | [`topology`] | §7: simplexes, complexes, decision tasks, coverings, generalized valence, k-thick-connectivity, the s-diameter recurrence |
 //! | [`protocols`] | the protocol library the experiments run: FloodMin, full-information, quorum-collect, RelayRace, trivial deciders |
+//! | [`sim`] | the adversary-scheduler simulation runtime: seeded fault injection, schedule recording/replay, delta-debugging shrinking |
 //!
 //! The experiment harness (`layered-bench`, binary `experiments`)
 //! regenerates a paper-vs-measured table for every numbered claim; see
@@ -58,6 +59,7 @@ pub use layered_async_sm as async_sm;
 pub use layered_core as core;
 pub use layered_iis as iis;
 pub use layered_protocols as protocols;
+pub use layered_sim as sim;
 pub use layered_sync_crash as sync_crash;
 pub use layered_sync_mobile as sync_mobile;
 pub use layered_topology as topology;
