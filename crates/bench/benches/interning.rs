@@ -1,0 +1,114 @@
+//! Cost of the interned engines: valence solving over dense ids vs. a
+//! clone-keyed reference memo, and sequential vs. parallel layer scans.
+//!
+//! The clone-keyed baseline below reimplements what `ValenceSolver` did
+//! before the arena refactor — a `HashMap<State, Valences>` memo keyed by
+//! full cloned states — so the benchmark measures exactly what interning
+//! buys on the hot path.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use layered_core::{
+    scan_layer_valence_connectivity, scan_layer_valence_connectivity_parallel, LayeredModel, Pid,
+    ValenceSolver, Valences, Value,
+};
+use layered_protocols::FloodMin;
+use layered_sync_mobile::MobileModel;
+
+/// The pre-refactor valence recursion: memo keyed by cloned states.
+fn clone_keyed_valences<M: LayeredModel>(
+    model: &M,
+    horizon: usize,
+    memo: &mut HashMap<M::State, Valences>,
+    x: &M::State,
+) -> Valences {
+    if let Some(v) = memo.get(x) {
+        return *v;
+    }
+    let mut flags = Valences::NONE;
+    for i in Pid::all(model.num_processes()) {
+        if model.failed_at(x, i) {
+            continue;
+        }
+        match model.decision(x, i) {
+            Some(Value::ZERO) => flags.zero = true,
+            Some(Value::ONE) => flags.one = true,
+            _ => {}
+        }
+    }
+    if model.depth(x) < horizon && !(flags.zero && flags.one) {
+        for y in model.successors(x) {
+            flags = flags.union(clone_keyed_valences(model, horizon, memo, &y));
+            if flags.zero && flags.one {
+                break;
+            }
+        }
+    }
+    memo.insert(x.clone(), flags);
+    flags
+}
+
+fn bench_intern_vs_clone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("valence_memo");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+
+    for n in [3usize, 4] {
+        let horizon = 2usize;
+        let m = MobileModel::new(n, FloodMin::new(horizon as u16));
+        group.bench_function(BenchmarkId::new("interned", n), |b| {
+            b.iter(|| {
+                let mut solver = ValenceSolver::new(&m, horizon);
+                m.initial_states()
+                    .iter()
+                    .filter(|x| solver.is_bivalent(x))
+                    .count()
+            })
+        });
+        group.bench_function(BenchmarkId::new("clone_keyed", n), |b| {
+            b.iter(|| {
+                let mut memo = HashMap::new();
+                m.initial_states()
+                    .iter()
+                    .filter(|x| {
+                        let v = clone_keyed_valences(&m, horizon, &mut memo, x);
+                        v.zero && v.one
+                    })
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan_seq_vs_par(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layer_scan");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+
+    for n in [3usize, 4] {
+        let depth = 1usize;
+        let horizon = depth + 1;
+        let m = MobileModel::new(n, FloodMin::new(horizon as u16));
+        group.bench_function(BenchmarkId::new("sequential", n), |b| {
+            b.iter(|| {
+                let mut solver = ValenceSolver::new(&m, horizon);
+                scan_layer_valence_connectivity(&mut solver, depth, true).layers_checked
+            })
+        });
+        group.bench_function(BenchmarkId::new("parallel4", n), |b| {
+            b.iter(|| {
+                let mut solver = ValenceSolver::new(&m, horizon);
+                scan_layer_valence_connectivity_parallel(&mut solver, depth, true, 4).layers_checked
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intern_vs_clone, bench_scan_seq_vs_par);
+criterion_main!(benches);

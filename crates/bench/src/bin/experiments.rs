@@ -6,6 +6,8 @@
 //! experiments [quick] [--json <path>] [--metrics]
 //! experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>]
 //!             [--adversary <name>] [--json <path>] [--metrics]
+//! experiments --scan [--n <k>] [--depth <k>] [--threads <k>]
+//!             [--json <path>] [--metrics]
 //! ```
 //!
 //! * `quick` — small CI-friendly instances (default: the full sizes).
@@ -17,16 +19,23 @@
 //!   adversary-scheduler simulations in all four model families
 //!   (`--seed`/`--runs`/`--n`/`--horizon` control the batch; `--adversary`
 //!   is one of `random`, `round-robin`, `roamer`, `dropper`).
+//! * `--scan` — run only the interned layer-scan scaling experiment: one
+//!   Lemma 5.1 instance (default n = 4) through both the sequential and
+//!   the parallel expansion path, cross-checked for identity
+//!   (`--n`/`--depth`/`--threads` control the instance).
 
 use std::io::Write;
 
-use layered_bench::{all_experiments, known_adversary, sim_batch, Scope, SimBatchConfig};
+use layered_bench::{
+    all_experiments, interned_scan, known_adversary, sim_batch, ScanConfig, Scope, SimBatchConfig,
+};
 
 struct Options {
     scope: Scope,
     json_path: Option<String>,
     metrics: bool,
     sim: Option<SimBatchConfig>,
+    scan: Option<ScanConfig>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -35,9 +44,12 @@ fn parse_args() -> Result<Options, String> {
         json_path: None,
         metrics: false,
         sim: None,
+        scan: None,
     };
     let mut sim_cfg = SimBatchConfig::default();
     let mut sim_requested = false;
+    let mut scan_cfg = ScanConfig::default();
+    let mut scan_requested = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut numeric = |flag: &str| -> Result<u64, String> {
@@ -50,9 +62,16 @@ fn parse_args() -> Result<Options, String> {
             "quick" => opts.scope = Scope::Quick,
             "full" => opts.scope = Scope::Full,
             "--sim" => sim_requested = true,
+            "--scan" => scan_requested = true,
             "--seed" => sim_cfg.seed = numeric("--seed")?,
             "--runs" => sim_cfg.runs = numeric("--runs")? as usize,
-            "--n" => sim_cfg.n = numeric("--n")? as usize,
+            "--n" => {
+                let n = numeric("--n")? as usize;
+                sim_cfg.n = n;
+                scan_cfg.n = n;
+            }
+            "--depth" => scan_cfg.depth = numeric("--depth")? as usize,
+            "--threads" => scan_cfg.threads = numeric("--threads")? as usize,
             "--horizon" => sim_cfg.horizon = numeric("--horizon")? as usize,
             "--adversary" => {
                 let name = args.next().ok_or("--adversary requires a name")?;
@@ -70,6 +89,9 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unrecognized argument `{other}`")),
         }
     }
+    if sim_requested && scan_requested {
+        return Err("--sim and --scan are mutually exclusive".to_string());
+    }
     if sim_requested {
         if sim_cfg.n < 3 {
             return Err(
@@ -80,6 +102,15 @@ fn parse_args() -> Result<Options, String> {
             return Err("--runs and --horizon must be positive".to_string());
         }
         opts.sim = Some(sim_cfg);
+    }
+    if scan_requested {
+        if scan_cfg.n < 2 {
+            return Err("--n must be at least 2 for the layer scan".to_string());
+        }
+        if scan_cfg.threads == 0 {
+            return Err("--threads must be positive".to_string());
+        }
+        opts.scan = Some(scan_cfg);
     }
     Ok(opts)
 }
@@ -130,19 +161,48 @@ fn run_simulations(cfg: &SimBatchConfig, opts: &Options) {
     println!("Replay any run with its recorded seed: outcomes above are a pure function of (seed, run index).");
 }
 
+fn run_scan(cfg: &ScanConfig, opts: &Options) {
+    println!("Layered analysis of consensus — interned layer-scan scaling check\n");
+    let exp = interned_scan(cfg);
+    println!("[{}] {}", exp.id, exp.claim);
+    println!("{}", exp.table);
+    if opts.metrics {
+        println!("  wall time: {:.3} ms", exp.wall_nanos as f64 / 1e6);
+        for (name, total) in &exp.metrics.counters {
+            println!("  {name}: {total}");
+        }
+        for (name, g) in &exp.metrics.gauges {
+            println!("  {name}: last {} / max {}", g.last, g.max);
+        }
+    }
+    if let Some(path) = &opts.json_path {
+        write_json_lines(path, &[exp.json_record().to_string()]);
+    }
+    if exp.ok {
+        println!("Sequential and parallel scans agree; the witness re-verifies.");
+    } else {
+        println!("Scan cross-check FAILED: the two paths diverged or the witness broke.");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(opts) => opts,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: experiments [quick|full] [--json <path>] [--metrics]\n       experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>] [--adversary <name>] [--json <path>]"
+                "usage: experiments [quick|full] [--json <path>] [--metrics]\n       experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>] [--adversary <name>] [--json <path>]\n       experiments --scan [--n <k>] [--depth <k>] [--threads <k>] [--json <path>]"
             );
             std::process::exit(2);
         }
     };
     if let Some(sim_cfg) = &opts.sim {
         run_simulations(sim_cfg, &opts);
+        return;
+    }
+    if let Some(scan_cfg) = &opts.scan {
+        run_scan(scan_cfg, &opts);
         return;
     }
     println!(

@@ -1,0 +1,113 @@
+//! Scaling experiment for the interned state spaces: a Lemma 5.1 instance
+//! (layer valence connectivity in the mobile-failure model) at n = 4,
+//! run through both the sequential and the parallel expansion path.
+//!
+//! This is the acceptance experiment for the dense-id refactor: the two
+//! paths must produce identical [`LayerScan`] reports, and the witness the
+//! interned Theorem 4.2 engine extracts must still re-verify from scratch.
+//! n = 4 was out of enumeration reach for the state-keyed engines; the
+//! `--scan` mode of the `experiments` binary runs this instance in CI.
+
+use std::time::Instant;
+
+use layered_core::report::Table;
+use layered_core::{
+    scan_layer_valence_connectivity, scan_layer_valence_connectivity_parallel,
+    ImpossibilityWitness, ValenceSolver,
+};
+use layered_protocols::FloodMin;
+use layered_sync_mobile::MobileModel;
+
+use crate::Experiment;
+
+/// Parameters of the `--scan` mode.
+#[derive(Clone, Debug)]
+pub struct ScanConfig {
+    /// Number of processes (default 4 — the size the interning unlocked).
+    pub n: usize,
+    /// Scan depth: layers of every bivalent state down to this depth are
+    /// checked for valence connectivity.
+    pub depth: usize,
+    /// Worker threads for the parallel expansion path.
+    pub threads: usize,
+}
+
+impl Default for ScanConfig {
+    fn default() -> Self {
+        ScanConfig {
+            n: 4,
+            depth: 1,
+            threads: 4,
+        }
+    }
+}
+
+/// Runs the Lemma 5.1 layer scan sequentially and in parallel on the mobile
+/// model and cross-checks the results (see the module docs).
+#[must_use]
+pub fn interned_scan(cfg: &ScanConfig) -> Experiment {
+    let cfg = cfg.clone();
+    crate::measured(
+        "E-scan",
+        "Lemma 5.1 layer scan on interned state spaces (sequential ≡ parallel)",
+        move |obs| {
+            let mut table = Table::new(
+                "Interned layer scan — sequential vs. parallel expansion",
+                &[
+                    "model",
+                    "n",
+                    "path",
+                    "layers checked",
+                    "states seen",
+                    "all val-conn",
+                    "wall ms",
+                ],
+            );
+            let horizon = cfg.depth + 1;
+            let m = MobileModel::new(cfg.n, FloodMin::new(horizon as u16));
+
+            let start = Instant::now();
+            let mut solver = ValenceSolver::with_observer(&m, horizon, obs);
+            let seq = scan_layer_valence_connectivity(&mut solver, cfg.depth, true);
+            let seq_ms = start.elapsed().as_secs_f64() * 1e3;
+
+            let start = Instant::now();
+            let mut solver = ValenceSolver::with_observer(&m, horizon, obs);
+            let par =
+                scan_layer_valence_connectivity_parallel(&mut solver, cfg.depth, true, cfg.threads);
+            let par_ms = start.elapsed().as_secs_f64() * 1e3;
+
+            let identical = seq == par;
+            let witness = ImpossibilityWitness::build(&m, horizon, cfg.depth);
+            let verified = witness.is_some_and(|w| w.verify(&m).is_ok());
+
+            for (path, scan, ms) in [("sequential", &seq, seq_ms), ("parallel", &par, par_ms)] {
+                table.row_owned(vec![
+                    "M^mf (S₁)".to_string(),
+                    cfg.n.to_string(),
+                    path.to_string(),
+                    scan.layers_checked.to_string(),
+                    scan.states_seen.to_string(),
+                    if scan.all_connected() { "yes" } else { "no" }.to_string(),
+                    format!("{ms:.1}"),
+                ]);
+            }
+            table.row_owned(vec![
+                "M^mf (S₁)".to_string(),
+                cfg.n.to_string(),
+                "cross-check".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                if identical { "identical" } else { "DIVERGED" }.to_string(),
+                if verified {
+                    "witness ok"
+                } else {
+                    "witness BAD"
+                }
+                .to_string(),
+            ]);
+
+            (table, identical && seq.all_connected() && verified)
+        },
+    )
+}

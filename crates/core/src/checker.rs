@@ -17,6 +17,7 @@
 
 use std::collections::HashSet;
 
+use crate::space::{StateId, StateSpace};
 use crate::telemetry::{Observer, Span, NOOP};
 use crate::{LayeredModel, Pid, Value};
 
@@ -149,50 +150,61 @@ pub fn check_consensus_with<M: LayeredModel>(
         horizon,
         violations: Vec::new(),
     };
-    let mut frontier = model.initial_states();
+    let mut space: StateSpace<M> = StateSpace::new();
+    let mut frontier: Vec<StateId> = Vec::new();
+    {
+        let mut seen: HashSet<StateId> = HashSet::new();
+        for x in model.initial_states() {
+            let id = space.intern_with(&x, obs);
+            if seen.insert(id) {
+                frontier.push(id);
+            }
+        }
+    }
     for depth in 0..=horizon {
         obs.gauge("engine.frontier_width", frontier.len() as u64);
-        let mut next = Vec::new();
-        for x in &frontier {
+        let mut next: Vec<StateId> = Vec::new();
+        let mut seen: HashSet<StateId> = HashSet::new();
+        for &id in &frontier {
             report.states_explored += 1;
             obs.counter("engine.states_visited", 1);
-            for v in state_violations(model, x) {
-                if report.violations.len() < max_violations {
-                    obs.counter("checker.violations", 1);
-                    report.violations.push(v);
+            {
+                let x = space.resolve(id);
+                for v in state_violations(model, x) {
+                    if report.violations.len() < max_violations {
+                        obs.counter("checker.violations", 1);
+                        report.violations.push(v);
+                    }
+                }
+                if depth == horizon {
+                    let undecided: Vec<Pid> = model
+                        .obligated(x)
+                        .into_iter()
+                        .filter(|&i| model.decision(x, i).is_none())
+                        .collect();
+                    if !undecided.is_empty() && report.violations.len() < max_violations {
+                        obs.counter("checker.violations", 1);
+                        report.violations.push(Violation::Decision {
+                            state: x.clone(),
+                            undecided,
+                        });
+                    }
                 }
             }
-            if depth == horizon {
-                let undecided: Vec<Pid> = model
-                    .obligated(x)
-                    .into_iter()
-                    .filter(|&i| model.decision(x, i).is_none())
-                    .collect();
-                if !undecided.is_empty() && report.violations.len() < max_violations {
-                    obs.counter("checker.violations", 1);
-                    report.violations.push(Violation::Decision {
-                        state: x.clone(),
-                        undecided,
-                    });
+            if depth < horizon {
+                for y in space.successor_ids(model, id, obs) {
+                    if seen.insert(y) {
+                        next.push(y);
+                    } else {
+                        obs.counter("engine.dedup_hits", 1);
+                    }
                 }
-            } else {
-                next.extend(model.successors(x));
             }
             if report.violations.len() >= max_violations {
                 return report;
             }
         }
-        let mut seen = HashSet::new();
-        frontier = next
-            .into_iter()
-            .filter(|s| {
-                let fresh = seen.insert(s.clone());
-                if !fresh {
-                    obs.counter("engine.dedup_hits", 1);
-                }
-                fresh
-            })
-            .collect();
+        frontier = next;
         if frontier.is_empty() {
             break;
         }
@@ -212,39 +224,41 @@ pub fn trace_to<M: LayeredModel>(
     max_depth: usize,
 ) -> Option<crate::ExecutionTrace<M::State>> {
     use std::collections::HashMap;
-    let mut parent: HashMap<M::State, Option<M::State>> = HashMap::new();
-    let mut frontier = Vec::new();
+    let mut space: StateSpace<M> = StateSpace::new();
+    let mut parent: HashMap<StateId, Option<StateId>> = HashMap::new();
+    let mut frontier: Vec<StateId> = Vec::new();
     for x in model.initial_states() {
-        parent.entry(x.clone()).or_insert(None);
-        frontier.push(x);
+        let id = space.intern(&x);
+        if parent.insert(id, None).is_none() {
+            frontier.push(id);
+        }
     }
-    let mut found = frontier.iter().any(|x| x == target);
+    let is_found = |space: &StateSpace<M>, parent: &HashMap<StateId, Option<StateId>>| {
+        space.get(target).filter(|id| parent.contains_key(id))
+    };
+    let mut found = is_found(&space, &parent);
     let mut depth = 0;
-    while !found && depth < max_depth && !frontier.is_empty() {
+    while found.is_none() && depth < max_depth && !frontier.is_empty() {
         let mut next = Vec::new();
-        for x in &frontier {
-            for y in model.successors(x) {
-                if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(y.clone()) {
-                    e.insert(Some(x.clone()));
-                    if &y == target {
-                        found = true;
-                    }
+        for &id in &frontier {
+            for y in space.successor_ids(model, id, &NOOP) {
+                if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(y) {
+                    e.insert(Some(id));
                     next.push(y);
                 }
             }
         }
         frontier = next;
         depth += 1;
+        found = is_found(&space, &parent);
     }
-    if !found {
-        return None;
+    let target_id = found?;
+    let mut ids = vec![target_id];
+    while let Some(Some(p)) = parent.get(ids.last().expect("non-empty")) {
+        ids.push(*p);
     }
-    let mut path = vec![target.clone()];
-    while let Some(Some(p)) = parent.get(path.last().expect("non-empty")) {
-        path.push(p.clone());
-    }
-    path.reverse();
-    Some(crate::ExecutionTrace::new(path))
+    ids.reverse();
+    Some(crate::ExecutionTrace::new(space.materialize(&ids)))
 }
 
 fn failed_set<M: LayeredModel>(model: &M, x: &M::State) -> Vec<Pid> {

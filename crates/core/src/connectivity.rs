@@ -15,7 +15,9 @@
 use std::fmt::Debug;
 
 use crate::graph::Graph;
+use crate::space::{StateId, StateSpace};
 use crate::telemetry::{Observer, NOOP};
+use crate::valence::Valences;
 use crate::{LayeredModel, Pid, ValenceSolver, Value};
 
 /// Witness that `x ∼_s y`: the process `j` modulo which they agree, and a
@@ -82,23 +84,49 @@ pub fn similarity_graph_with<M: LayeredModel>(
 
 /// The graph `(X, ∼_v)` over the given set of states, computing valences
 /// with `solver` (and reporting `connectivity.pairs_tested` /
-/// `connectivity.valence_edges` to the solver's observer).
+/// `connectivity.valence_edges` to the solver's observer). Thin wrapper:
+/// interns the states and delegates to [`valence_graph_ids`].
 pub fn valence_graph<M: LayeredModel>(
     model: &M,
     solver: &mut ValenceSolver<'_, M>,
     states: &[M::State],
 ) -> Graph {
     let _ = model;
+    let ids: Vec<StateId> = states.iter().map(|x| solver.intern(x)).collect();
+    valence_graph_ids(solver, &ids)
+}
+
+/// Id-typed twin of [`valence_graph`]: builds `(X, ∼_v)` over interned
+/// states, assembling the adjacency directly in CSR form (no per-vertex
+/// `Vec` growth or membership scans).
+pub fn valence_graph_ids<M: LayeredModel>(
+    solver: &mut ValenceSolver<'_, M>,
+    ids: &[StateId],
+) -> Graph {
+    let vals: Vec<Valences> = ids.iter().map(|&id| solver.valences_id(id)).collect();
     let obs = solver.observer();
-    let vals: Vec<_> = states.iter().map(|x| solver.valences(x)).collect();
-    Graph::from_predicate(states.len(), |a, b| {
-        obs.counter("connectivity.pairs_tested", 1);
-        let edge = (vals[a].zero && vals[b].zero) || (vals[a].one && vals[b].one);
-        if edge {
-            obs.counter("connectivity.valence_edges", 1);
+    let n = ids.len();
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut edges = Vec::new();
+    offsets.push(0);
+    for a in 0..n {
+        for b in 0..n {
+            if b == a {
+                continue;
+            }
+            if a < b {
+                obs.counter("connectivity.pairs_tested", 1);
+            }
+            if (vals[a].zero && vals[b].zero) || (vals[a].one && vals[b].one) {
+                edges.push(b);
+                if a < b {
+                    obs.counter("connectivity.valence_edges", 1);
+                }
+            }
         }
-        edge
-    })
+        offsets.push(edges.len());
+    }
+    Graph::from_csr(n, &offsets, &edges)
 }
 
 /// Summary of a connectivity analysis of a state set.
@@ -148,6 +176,44 @@ pub fn valence_report<M: LayeredModel>(
 ) -> ConnectivityReport {
     let obs = solver.observer();
     ConnectivityReport::from_graph(&valence_graph(model, solver, states), obs)
+}
+
+/// Id-typed twin of [`valence_report`]: connectivity of `(X, ∼_v)` over
+/// interned states.
+pub fn valence_report_ids<M: LayeredModel>(
+    solver: &mut ValenceSolver<'_, M>,
+    ids: &[StateId],
+) -> ConnectivityReport {
+    let g = valence_graph_ids(solver, ids);
+    ConnectivityReport::from_graph(&g, solver.observer())
+}
+
+/// Id-typed twin of [`similarity_graph`]: the graph `(X, ∼_s)` over interned
+/// states resolved out of `space`.
+pub fn similarity_graph_ids<M: LayeredModel>(
+    model: &M,
+    space: &StateSpace<M>,
+    ids: &[StateId],
+    obs: &dyn Observer,
+) -> Graph {
+    Graph::from_predicate(ids.len(), |a, b| {
+        obs.counter("connectivity.pairs_tested", 1);
+        let edge = similar(model, space.resolve(ids[a]), space.resolve(ids[b]));
+        if edge {
+            obs.counter("connectivity.similarity_edges", 1);
+        }
+        edge
+    })
+}
+
+/// Id-typed twin of [`similarity_report`].
+pub fn similarity_report_ids<M: LayeredModel>(
+    model: &M,
+    space: &StateSpace<M>,
+    ids: &[StateId],
+    obs: &dyn Observer,
+) -> ConnectivityReport {
+    ConnectivityReport::from_graph(&similarity_graph_ids(model, space, ids, obs), obs)
 }
 
 /// The *s-diameter* of a state set: the diameter of `(X, ∼_s)`

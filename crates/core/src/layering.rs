@@ -20,8 +20,11 @@
 //! already violates Decision/Agreement/Validity at the horizon, which the
 //! [checker](crate::checker) surfaces separately.
 
-use crate::connectivity::{valence_report, ConnectivityReport};
+use std::collections::HashSet;
+
+use crate::connectivity::{valence_report_ids, ConnectivityReport};
 use crate::model::ExecutionTrace;
+use crate::space::{StateId, StateSpace};
 use crate::telemetry::Span;
 use crate::valence::{undecided_non_failed, Valence};
 use crate::{LayeredModel, ValenceSolver};
@@ -29,16 +32,27 @@ use crate::{LayeredModel, ValenceSolver};
 /// Lemma 4.1, executed: a bivalent state in `S(x)`, if any.
 ///
 /// Picks the first bivalent successor in the model's successor order, which
-/// keeps runs deterministic and reproducible.
+/// keeps runs deterministic and reproducible. Thin wrapper over
+/// [`bivalent_successor_id`].
 pub fn bivalent_successor<M: LayeredModel>(
     solver: &mut ValenceSolver<'_, M>,
     x: &M::State,
 ) -> Option<M::State> {
-    let model = solver.model();
+    let id = solver.intern(x);
+    let y = bivalent_successor_id(solver, id)?;
+    Some(solver.space().resolve(y).clone())
+}
+
+/// Id-typed twin of [`bivalent_successor`]: walks the interned successor
+/// list of `x` (cached in the solver's arena) without cloning states.
+pub fn bivalent_successor_id<M: LayeredModel>(
+    solver: &mut ValenceSolver<'_, M>,
+    x: StateId,
+) -> Option<StateId> {
     let obs = solver.observer();
-    model.successors(x).into_iter().find(|y| {
+    solver.successor_ids(x).into_iter().find(|&y| {
         obs.counter("layering.candidates_tested", 1);
-        solver.is_bivalent(y)
+        solver.is_bivalent_id(y)
     })
 }
 
@@ -83,6 +97,46 @@ impl<S> BivalentRunOutcome<S> {
     }
 }
 
+/// Id-typed result of the Theorem 4.2 construction: the chain is a path of
+/// [`StateId`]s into the solver's arena, materialized into full states only
+/// at the API boundary (see [`InternedRun::materialize`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InternedRun {
+    /// The constructed chain of bivalent state ids (empty when no bivalent
+    /// initial state exists).
+    pub chain: Vec<StateId>,
+    /// Why construction stopped early, if it did.
+    pub stuck: Option<Stuck>,
+    /// Non-failed undecided process counts along the chain (Lemma 3.1).
+    pub undecided_per_state: Vec<usize>,
+}
+
+impl InternedRun {
+    /// Whether a chain of the requested length was built.
+    #[must_use]
+    pub fn reached_target(&self) -> bool {
+        self.stuck.is_none() && !self.chain.is_empty()
+    }
+
+    /// Clones the chain's states back out of `space` into the state-typed
+    /// outcome the public wrappers return.
+    #[must_use]
+    pub fn materialize<M: LayeredModel>(
+        &self,
+        space: &StateSpace<M>,
+    ) -> BivalentRunOutcome<M::State> {
+        BivalentRunOutcome {
+            chain: if self.chain.is_empty() {
+                None
+            } else {
+                Some(ExecutionTrace::new(space.materialize(&self.chain)))
+            },
+            stuck: self.stuck.clone(),
+            undecided_per_state: self.undecided_per_state.clone(),
+        }
+    }
+}
+
 /// The Theorem 4.2 loop: find a bivalent initial state and extend it through
 /// `steps` layers, keeping every state bivalent.
 ///
@@ -93,17 +147,27 @@ pub fn build_bivalent_run<M: LayeredModel>(
     solver: &mut ValenceSolver<'_, M>,
     steps: usize,
 ) -> BivalentRunOutcome<M::State> {
-    let Some(x0) = solver.bivalent_initial_state() else {
+    let run = build_bivalent_run_interned(solver, steps);
+    run.materialize(solver.space())
+}
+
+/// Id-typed twin of [`build_bivalent_run`]: the whole Theorem 4.2 loop runs
+/// on dense ids; only the returned [`InternedRun`] needs materializing.
+pub fn build_bivalent_run_interned<M: LayeredModel>(
+    solver: &mut ValenceSolver<'_, M>,
+    steps: usize,
+) -> InternedRun {
+    let Some(x0) = solver.bivalent_initial_id() else {
         let obs = solver.observer();
         obs.counter("layering.stuck", 1);
         obs.event("layering.stuck", "no_bivalent_initial_state");
-        return BivalentRunOutcome {
-            chain: None,
+        return InternedRun {
+            chain: Vec::new(),
             stuck: Some(Stuck::NoBivalentInitialState),
             undecided_per_state: Vec::new(),
         };
     };
-    extend_bivalent_run(solver, x0, steps)
+    extend_bivalent_run_interned(solver, x0, steps)
 }
 
 /// The Theorem 4.2 loop from a given bivalent starting state.
@@ -116,28 +180,43 @@ pub fn extend_bivalent_run<M: LayeredModel>(
     start: M::State,
     steps: usize,
 ) -> BivalentRunOutcome<M::State> {
+    let id = solver.intern(&start);
+    let run = extend_bivalent_run_interned(solver, id, steps);
+    run.materialize(solver.space())
+}
+
+/// Id-typed twin of [`extend_bivalent_run`].
+///
+/// # Panics
+///
+/// Panics if `start` is not bivalent under the solver's horizon.
+pub fn extend_bivalent_run_interned<M: LayeredModel>(
+    solver: &mut ValenceSolver<'_, M>,
+    start: StateId,
+    steps: usize,
+) -> InternedRun {
     assert!(
-        solver.is_bivalent(&start),
+        solver.is_bivalent_id(start),
         "extend_bivalent_run requires a bivalent starting state"
     );
+    let model = solver.model();
     let obs = solver.observer();
     let _span = Span::enter(obs, "layering.bivalent_run");
-    let mut chain = ExecutionTrace::new(vec![start]);
-    let mut undecided = vec![undecided_non_failed(solver.model(), chain.last()).len()];
+    let mut chain = vec![start];
+    let mut undecided = vec![undecided_non_failed(model, solver.space().resolve(start)).len()];
     for _ in 0..steps {
-        let x = chain.last().clone();
-        match bivalent_successor(solver, &x) {
+        let x = *chain.last().expect("chain is non-empty");
+        match bivalent_successor_id(solver, x) {
             Some(y) => {
                 obs.counter("layering.extensions", 1);
-                undecided.push(undecided_non_failed(solver.model(), &y).len());
+                undecided.push(undecided_non_failed(model, solver.space().resolve(y)).len());
                 chain.push(y);
-                obs.gauge("layering.run_length", chain.steps() as u64);
+                obs.gauge("layering.run_length", (chain.len() - 1) as u64);
             }
             None => {
-                let layer = solver.model().successors(&x);
-                let model = solver.model();
-                let report = valence_report(model, solver, &layer);
-                let depth = model.depth(&x);
+                let layer = solver.successor_ids(x);
+                let report = valence_report_ids(solver, &layer);
+                let depth = model.depth(solver.space().resolve(x));
                 obs.counter("layering.stuck", 1);
                 obs.event(
                     "layering.stuck",
@@ -146,8 +225,8 @@ pub fn extend_bivalent_run<M: LayeredModel>(
                         report.states, report.components
                     ),
                 );
-                return BivalentRunOutcome {
-                    chain: Some(chain),
+                return InternedRun {
+                    chain,
                     stuck: Some(Stuck::NoBivalentSuccessor {
                         depth,
                         layer_report: report,
@@ -157,8 +236,8 @@ pub fn extend_bivalent_run<M: LayeredModel>(
             }
         }
     }
-    BivalentRunOutcome {
-        chain: Some(chain),
+    InternedRun {
+        chain,
         stuck: None,
         undecided_per_state: undecided,
     }
@@ -166,7 +245,7 @@ pub fn extend_bivalent_run<M: LayeredModel>(
 
 /// Result of sweeping layer valence connectivity over the reachable graph —
 /// premise (iii) of Theorem 4.2.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LayerScan<S> {
     /// Number of states whose layer was checked.
     pub layers_checked: usize,
@@ -197,23 +276,69 @@ pub fn scan_layer_valence_connectivity<M: LayeredModel>(
     depth_limit: usize,
     only_bivalent: bool,
 ) -> LayerScan<M::State> {
+    scan_ids(solver, depth_limit, only_bivalent)
+}
+
+/// [`scan_layer_valence_connectivity`] with the successor computation fanned
+/// out across up to `threads` scoped workers.
+///
+/// The reachable region is first expanded in parallel into the solver's
+/// arena ([`StateSpace::expand_layers_parallel`], which is bit-identical to
+/// sequential expansion); the scan itself then runs over fully cached
+/// adjacency. The returned [`LayerScan`] — layers checked, states seen, and
+/// any violation — is therefore identical to the sequential path's.
+pub fn scan_layer_valence_connectivity_parallel<M>(
+    solver: &mut ValenceSolver<'_, M>,
+    depth_limit: usize,
+    only_bivalent: bool,
+    threads: usize,
+) -> LayerScan<M::State>
+where
+    M: LayeredModel + Sync,
+    M::State: Send + Sync,
+{
+    let model = solver.model();
+    let obs = solver.observer();
+    let roots = model.initial_states();
+    // Valence lookahead reaches the horizon; the scan itself needs layers of
+    // states down to `depth_limit`. Expanding to the max covers both, so the
+    // scan below finds every successor list already cached.
+    let expand_to = solver.horizon().max(depth_limit + 1);
+    solver
+        .space_mut()
+        .expand_layers_parallel(model, &roots, expand_to, threads, obs);
+    scan_ids(solver, depth_limit, only_bivalent)
+}
+
+fn scan_ids<M: LayeredModel>(
+    solver: &mut ValenceSolver<'_, M>,
+    depth_limit: usize,
+    only_bivalent: bool,
+) -> LayerScan<M::State> {
     let model = solver.model();
     let obs = solver.observer();
     let _span = Span::enter(obs, "layering.layer_scan");
-    let mut frontier = model.initial_states();
+    let mut frontier: Vec<StateId> = Vec::new();
+    let mut roots_seen: HashSet<StateId> = HashSet::new();
+    for x in model.initial_states() {
+        let id = solver.intern(&x);
+        if roots_seen.insert(id) {
+            frontier.push(id);
+        }
+    }
     let mut states_seen = frontier.len();
     let mut layers_checked = 0;
     obs.gauge("engine.frontier_width", frontier.len() as u64);
     for _ in 0..=depth_limit {
-        let mut next = Vec::new();
-        for x in &frontier {
+        let mut next: Vec<StateId> = Vec::new();
+        let mut seen: HashSet<StateId> = HashSet::new();
+        for &id in &frontier {
             obs.counter("engine.states_visited", 1);
-            if only_bivalent && !solver.is_bivalent(x) {
+            if only_bivalent && !solver.is_bivalent_id(id) {
                 continue;
             }
-            let layer = solver.model().successors(x);
-            let model = solver.model();
-            let report = valence_report(model, solver, &layer);
+            let layer = solver.successor_ids(id);
+            let report = valence_report_ids(solver, &layer);
             layers_checked += 1;
             obs.counter("layering.layers_scanned", 1);
             if !report.connected {
@@ -227,21 +352,20 @@ pub fn scan_layer_valence_connectivity<M: LayeredModel>(
                 return LayerScan {
                     layers_checked,
                     states_seen,
-                    violation: Some((x.clone(), report)),
+                    violation: Some((solver.space().resolve(id).clone(), report)),
                 };
             }
-            if model.depth(x) < depth_limit {
-                next.extend(layer);
+            if model.depth(solver.space().resolve(id)) < depth_limit {
+                for y in layer {
+                    if seen.insert(y) {
+                        next.push(y);
+                    } else {
+                        obs.counter("engine.dedup_hits", 1);
+                    }
+                }
             }
         }
-        // Deduplicate the next frontier.
-        let mut seen = std::collections::HashSet::new();
-        let before = next.len();
-        frontier = next
-            .into_iter()
-            .filter(|s| seen.insert(s.clone()))
-            .collect();
-        obs.counter("engine.dedup_hits", (before - frontier.len()) as u64);
+        frontier = next;
         obs.gauge("engine.frontier_width", frontier.len() as u64);
         states_seen += frontier.len();
         if frontier.is_empty() {
@@ -264,36 +388,9 @@ pub fn check_lemma_3_1<M: LayeredModel>(
     depth_limit: usize,
 ) -> Option<M::State> {
     let model = solver.model();
-    let obs = solver.observer();
-    let n = model.num_processes();
     let t = model.max_failures();
-    let mut frontier = model.initial_states();
-    for _ in 0..=depth_limit {
-        let mut next = Vec::new();
-        for x in &frontier {
-            obs.counter("engine.states_visited", 1);
-            if solver.valence(x) == Valence::Bivalent
-                && undecided_non_failed(solver.model(), x).len() < n - t
-            {
-                return Some(x.clone());
-            }
-            if solver.model().depth(x) < depth_limit {
-                next.extend(solver.model().successors(x));
-            }
-        }
-        let mut seen = std::collections::HashSet::new();
-        let before = next.len();
-        frontier = next
-            .into_iter()
-            .filter(|s| seen.insert(s.clone()))
-            .collect();
-        obs.counter("engine.dedup_hits", (before - frontier.len()) as u64);
-        obs.gauge("engine.frontier_width", frontier.len() as u64);
-        if frontier.is_empty() {
-            break;
-        }
-    }
-    None
+    let n = model.num_processes();
+    lemma_sweep(solver, depth_limit, n - t, |_, _| {})
 }
 
 /// Lemma 3.2, checked exhaustively for systems displaying *no finite
@@ -310,33 +407,57 @@ pub fn check_lemma_3_2<M: LayeredModel>(
     depth_limit: usize,
 ) -> Option<M::State> {
     let model = solver.model();
-    let obs = solver.observer();
     let n = model.num_processes();
-    let mut frontier = model.initial_states();
+    lemma_sweep(solver, depth_limit, n, |m, x| {
+        assert!(
+            (0..n).all(|i| !m.failed_at(x, crate::Pid::new(i))),
+            "Lemma 3.2 applies only to systems displaying no finite failure"
+        );
+    })
+}
+
+/// Shared interned BFS behind the Lemma 3.1/3.2 checkers: returns the first
+/// bivalent state within `depth_limit` layers whose non-failed undecided
+/// count drops below `min_undecided`, running `precheck` on every visited
+/// state first.
+fn lemma_sweep<M: LayeredModel>(
+    solver: &mut ValenceSolver<'_, M>,
+    depth_limit: usize,
+    min_undecided: usize,
+    precheck: impl Fn(&M, &M::State),
+) -> Option<M::State> {
+    let model = solver.model();
+    let obs = solver.observer();
+    let mut frontier: Vec<StateId> = Vec::new();
+    let mut roots_seen: HashSet<StateId> = HashSet::new();
+    for x in model.initial_states() {
+        let id = solver.intern(&x);
+        if roots_seen.insert(id) {
+            frontier.push(id);
+        }
+    }
     for _ in 0..=depth_limit {
-        let mut next = Vec::new();
-        for x in &frontier {
+        let mut next: Vec<StateId> = Vec::new();
+        let mut seen: HashSet<StateId> = HashSet::new();
+        for &id in &frontier {
             obs.counter("engine.states_visited", 1);
-            assert!(
-                (0..n).all(|i| !solver.model().failed_at(x, crate::Pid::new(i))),
-                "Lemma 3.2 applies only to systems displaying no finite failure"
-            );
-            if solver.valence(x) == Valence::Bivalent
-                && undecided_non_failed(solver.model(), x).len() < n
+            precheck(model, solver.space().resolve(id));
+            if solver.valence_id(id) == Valence::Bivalent
+                && undecided_non_failed(model, solver.space().resolve(id)).len() < min_undecided
             {
-                return Some(x.clone());
+                return Some(solver.space().resolve(id).clone());
             }
-            if solver.model().depth(x) < depth_limit {
-                next.extend(solver.model().successors(x));
+            if model.depth(solver.space().resolve(id)) < depth_limit {
+                for y in solver.successor_ids(id) {
+                    if seen.insert(y) {
+                        next.push(y);
+                    } else {
+                        obs.counter("engine.dedup_hits", 1);
+                    }
+                }
             }
         }
-        let mut seen = std::collections::HashSet::new();
-        let before = next.len();
-        frontier = next
-            .into_iter()
-            .filter(|s| seen.insert(s.clone()))
-            .collect();
-        obs.counter("engine.dedup_hits", (before - frontier.len()) as u64);
+        frontier = next;
         obs.gauge("engine.frontier_width", frontier.len() as u64);
         if frontier.is_empty() {
             break;

@@ -23,10 +23,10 @@
 //! their states carry a layer counter. The analyses exploit this to memoize
 //! by state without tracking depth separately.
 
-use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::Hash;
 
+use crate::space::StateSpace;
 use crate::telemetry::{Observer, Span, NOOP};
 use crate::{Pid, Value};
 
@@ -155,24 +155,9 @@ pub fn states_at_depth_with<M: LayeredModel>(
     k: usize,
     obs: &dyn Observer,
 ) -> Vec<M::State> {
-    let mut frontier = vec![from.clone()];
-    for _ in 0..k {
-        let mut next: Vec<M::State> = Vec::new();
-        let mut seen: HashMap<M::State, ()> = HashMap::new();
-        for x in &frontier {
-            obs.counter("engine.states_visited", 1);
-            for y in model.successors(x) {
-                if seen.insert(y.clone(), ()).is_none() {
-                    next.push(y);
-                } else {
-                    obs.counter("engine.dedup_hits", 1);
-                }
-            }
-        }
-        frontier = next;
-        obs.gauge("engine.frontier_width", frontier.len() as u64);
-    }
-    frontier
+    let mut space: StateSpace<M> = StateSpace::new();
+    let levels = space.expand_layers(model, std::slice::from_ref(from), k, obs);
+    space.materialize(levels.last().expect("expand returns k + 1 levels"))
 }
 
 /// Statistics from a reachability sweep (see [`explore`]).
@@ -218,47 +203,15 @@ pub fn explore_with<M: LayeredModel>(
     obs: &dyn Observer,
 ) -> Exploration<M::State> {
     let _span = Span::enter(obs, "explore.sweep");
-    let mut levels: Vec<Vec<M::State>> = Vec::with_capacity(horizon + 1);
-    let mut total_edges = 0usize;
-    let mut frontier: Vec<M::State> = {
-        let mut seen = HashMap::new();
-        let mut v = Vec::new();
-        for r in roots {
-            if seen.insert(r.clone(), ()).is_none() {
-                v.push(r.clone());
-            } else {
-                obs.counter("engine.dedup_hits", 1);
-            }
-        }
-        v
-    };
-    let mut total_states = frontier.len();
-    obs.gauge("engine.frontier_width", frontier.len() as u64);
-    levels.push(frontier.clone());
-    for _ in 0..horizon {
-        let mut seen: HashMap<M::State, ()> = HashMap::new();
-        let mut next = Vec::new();
-        for x in &frontier {
-            obs.counter("engine.states_visited", 1);
-            let succ = model.successors(x);
-            total_edges += succ.len();
-            obs.counter("explore.edges", succ.len() as u64);
-            for y in succ {
-                if seen.insert(y.clone(), ()).is_none() {
-                    next.push(y);
-                } else {
-                    obs.counter("engine.dedup_hits", 1);
-                }
-            }
-        }
-        total_states += next.len();
-        obs.gauge("engine.frontier_width", next.len() as u64);
-        levels.push(next.clone());
-        frontier = next;
-    }
+    let mut space: StateSpace<M> = StateSpace::new();
+    let id_levels = space.expand_layers(model, roots, horizon, obs);
+    // Every frontier state's successor list was computed exactly once into
+    // the arena, so the cached edge total is the traversal's edge total.
+    let total_edges = space.edge_count();
+    obs.counter("explore.edges", total_edges as u64);
     Exploration {
-        levels,
-        total_states,
+        total_states: id_levels.iter().map(Vec::len).sum(),
+        levels: id_levels.iter().map(|ids| space.materialize(ids)).collect(),
         total_edges,
     }
 }

@@ -1,0 +1,467 @@
+//! Hash-consed state spaces: dense [`StateId`]s over a model's reachable
+//! states, with CSR-packed successor adjacency and deterministic parallel
+//! layer expansion.
+//!
+//! Every exact engine in this crate (valence, connectivity, layering, the
+//! consensus checker) explores the same graded state graph. Keying those
+//! explorations on full cloned model states makes each hash, clone and
+//! equality test cost `O(|state|)` — the direct cause of the n≤3 enumeration
+//! ceiling this module removes. A [`StateSpace`] interns each distinct state
+//! exactly once and hands out a dense `u32` [`StateId`]; the engines then
+//! memoize in flat `Vec`s indexed by id and walk successor lists that are
+//! computed once and packed into a single flat edge array (compressed sparse
+//! row layout).
+//!
+//! # Id layout and determinism
+//!
+//! Ids are assigned in *interning order*: the first distinct state presented
+//! to [`StateSpace::intern`] gets id 0, the next distinct one id 1, and so
+//! on. All exploration routines here present states in a canonical order
+//! (roots in the order given, then successor lists in model order, level by
+//! level), so for a fixed model and entry point the id assignment — and
+//! everything derived from it — is deterministic.
+//!
+//! The parallel path ([`StateSpace::expand_layers_parallel`],
+//! [`StateSpace::prefetch_successors`]) keeps that guarantee: worker threads
+//! only evaluate `model.successors(x)` for disjoint chunks of the frontier
+//! (a pure function under the [`LayeredModel`] contract), and the merge back
+//! into the arena happens on the calling thread *in frontier order* — the
+//! exact order the sequential path would have used. Parallelism changes how
+//! fast successor lists are produced, never which states exist, their ids,
+//! or the contents of any layer, so sequential and parallel expansion are
+//! bit-identical.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use crate::telemetry::{Observer, Span, NOOP};
+use crate::LayeredModel;
+
+/// Dense identifier of an interned state within one [`StateSpace`].
+///
+/// Ids are only meaningful relative to the space that produced them; they
+/// are assigned contiguously from 0 in interning order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StateId(u32);
+
+impl StateId {
+    /// The id as a dense `usize` index (`0..space.len()`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Range of a state's successor list inside the packed edge array.
+#[derive(Clone, Copy, Debug)]
+struct SuccRange {
+    start: u32,
+    len: u32,
+}
+
+/// A hash-consing arena over a model's states.
+///
+/// Interning deduplicates states structurally: `intern` returns the same
+/// [`StateId`] for equal states and stores each distinct state exactly once.
+/// Successor lists are computed lazily (or eagerly, in parallel, via
+/// [`StateSpace::prefetch_successors`]) and cached in CSR form, so each
+/// `model.successors` call happens at most once per state per space.
+///
+/// # Examples
+///
+/// ```
+/// use layered_core::space::StateSpace;
+/// use layered_core::testkit::CounterModel;
+/// use layered_core::LayeredModel;
+///
+/// let m = CounterModel::new(2, 4);
+/// let x0 = m.initial_states().remove(0);
+/// let mut space: StateSpace<CounterModel> = StateSpace::new();
+/// let id = space.intern(&x0);
+/// assert_eq!(space.intern(&x0), id); // double-intern: same id
+/// assert_eq!(space.resolve(id), &x0); // round-trip
+/// ```
+pub struct StateSpace<M: LayeredModel> {
+    states: Vec<M::State>,
+    /// Hash-bucketed index: state hash → candidate ids (collisions resolved
+    /// by equality against `states`). Stores every state once, in `states`.
+    index: HashMap<u64, Vec<StateId>>,
+    succ: Vec<Option<SuccRange>>,
+    edges: Vec<StateId>,
+}
+
+impl<M: LayeredModel> Default for StateSpace<M> {
+    fn default() -> Self {
+        StateSpace::new()
+    }
+}
+
+impl<M: LayeredModel> StateSpace<M> {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        StateSpace {
+            states: Vec::new(),
+            index: HashMap::new(),
+            succ: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of distinct states interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether no state has been interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Total successor edges cached so far (with multiplicity).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn hash_of(s: &M::State) -> u64 {
+        let mut h = DefaultHasher::new();
+        s.hash(&mut h);
+        h.finish()
+    }
+
+    /// Interns `s`, returning its dense id (allocating one on first sight).
+    pub fn intern(&mut self, s: &M::State) -> StateId {
+        self.intern_with(s, &NOOP)
+    }
+
+    /// [`StateSpace::intern`] with telemetry: reports `space.intern.hits` /
+    /// `space.intern.misses` counters and the `space.states` gauge to `obs`.
+    pub fn intern_with(&mut self, s: &M::State, obs: &dyn Observer) -> StateId {
+        let h = Self::hash_of(s);
+        if let Some(bucket) = self.index.get(&h) {
+            for &id in bucket {
+                if &self.states[id.index()] == s {
+                    obs.counter("space.intern.hits", 1);
+                    return id;
+                }
+            }
+        }
+        obs.counter("space.intern.misses", 1);
+        let id = StateId(u32::try_from(self.states.len()).expect("more than u32::MAX states"));
+        self.states.push(s.clone());
+        self.succ.push(None);
+        self.index.entry(h).or_default().push(id);
+        obs.gauge("space.states", self.states.len() as u64);
+        id
+    }
+
+    /// The id of `s` if it has been interned, without interning it.
+    #[must_use]
+    pub fn get(&self, s: &M::State) -> Option<StateId> {
+        let h = Self::hash_of(s);
+        self.index
+            .get(&h)?
+            .iter()
+            .copied()
+            .find(|id| &self.states[id.index()] == s)
+    }
+
+    /// The state behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this space.
+    #[must_use]
+    pub fn resolve(&self, id: StateId) -> &M::State {
+        &self.states[id.index()]
+    }
+
+    /// Clones the states behind `ids` back out of the arena (used to
+    /// materialize id paths into state-typed witnesses at the API boundary).
+    #[must_use]
+    pub fn materialize(&self, ids: &[StateId]) -> Vec<M::State> {
+        ids.iter().map(|&id| self.resolve(id).clone()).collect()
+    }
+
+    /// The cached successor list of `id`, or `None` if it has not been
+    /// computed yet.
+    #[must_use]
+    pub fn cached_successors(&self, id: StateId) -> Option<&[StateId]> {
+        self.succ[id.index()].map(|r| {
+            let start = r.start as usize;
+            &self.edges[start..start + r.len as usize]
+        })
+    }
+
+    /// Interns the given successor states of `id` and packs them into the
+    /// edge array. No-op if `id`'s successors are already cached.
+    fn record_successors(&mut self, id: StateId, succs: &[M::State], obs: &dyn Observer) {
+        if self.succ[id.index()].is_some() {
+            return;
+        }
+        let start = u32::try_from(self.edges.len()).expect("more than u32::MAX edges");
+        for y in succs {
+            let yid = self.intern_with(y, obs);
+            self.edges.push(yid);
+        }
+        let len = u32::try_from(succs.len()).expect("layer larger than u32::MAX");
+        self.succ[id.index()] = Some(SuccRange { start, len });
+    }
+
+    /// The successor ids of `id` under `model`'s layering, computing and
+    /// caching the list on first use.
+    pub fn successor_ids(&mut self, model: &M, id: StateId, obs: &dyn Observer) -> Vec<StateId> {
+        if self.succ[id.index()].is_none() {
+            let x = self.states[id.index()].clone();
+            let succs = model.successors(&x);
+            self.record_successors(id, &succs, obs);
+        }
+        self.cached_successors(id)
+            .expect("successors just recorded")
+            .to_vec()
+    }
+
+    /// Eagerly computes and caches the successor lists of `ids`, fanning the
+    /// `model.successors` calls out across up to `threads` scoped workers.
+    ///
+    /// Determinism: workers receive disjoint chunks of the (already
+    /// deduplicated) id list and only evaluate the pure successor function;
+    /// the results are merged into the arena on the calling thread in the
+    /// order of `ids`. The resulting interning order — and therefore every
+    /// id, layer and report derived from it — is identical to calling
+    /// [`StateSpace::successor_ids`] sequentially over `ids`.
+    pub fn prefetch_successors(
+        &mut self,
+        model: &M,
+        ids: &[StateId],
+        threads: usize,
+        obs: &dyn Observer,
+    ) where
+        M: Sync,
+        M::State: Send + Sync,
+    {
+        let pending: Vec<(StateId, M::State)> = ids
+            .iter()
+            .filter(|id| self.succ[id.index()].is_none())
+            .map(|&id| (id, self.states[id.index()].clone()))
+            .collect();
+        if pending.is_empty() {
+            return;
+        }
+        let threads = threads.max(1).min(pending.len());
+        if threads == 1 {
+            for (id, x) in &pending {
+                let succs = model.successors(x);
+                self.record_successors(*id, &succs, obs);
+            }
+            return;
+        }
+        let chunk = pending.len().div_ceil(threads);
+        let computed: Vec<Vec<Vec<M::State>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = pending
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || part.iter().map(|(_, x)| model.successors(x)).collect())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("successor worker panicked"))
+                .collect()
+        });
+        for ((id, _), succs) in pending.iter().zip(computed.iter().flatten()) {
+            self.record_successors(*id, succs, obs);
+        }
+    }
+
+    /// Breadth-first expansion of the layered graph from `roots` for
+    /// `horizon` layers, interning every state and caching every successor
+    /// list. Returns the interned levels (`levels[d]` = distinct states at
+    /// depth `d` relative to the roots, in first-seen order).
+    ///
+    /// Telemetry: the sweep runs under a `space.build` span and reports
+    /// `engine.states_visited`, `engine.dedup_hits` and the
+    /// `engine.frontier_width` gauge alongside the interning counters.
+    pub fn expand_layers(
+        &mut self,
+        model: &M,
+        roots: &[M::State],
+        horizon: usize,
+        obs: &dyn Observer,
+    ) -> Vec<Vec<StateId>> {
+        self.expand_with(model, roots, horizon, obs, |_, _| {})
+    }
+
+    /// [`StateSpace::expand_layers`] with the per-level successor
+    /// computation fanned out across up to `threads` scoped workers.
+    ///
+    /// Bit-identical to the sequential path (see
+    /// [`StateSpace::prefetch_successors`] for why).
+    pub fn expand_layers_parallel(
+        &mut self,
+        model: &M,
+        roots: &[M::State],
+        horizon: usize,
+        threads: usize,
+        obs: &dyn Observer,
+    ) -> Vec<Vec<StateId>>
+    where
+        M: Sync,
+        M::State: Send + Sync,
+    {
+        self.expand_with(model, roots, horizon, obs, |space, frontier| {
+            space.prefetch_successors(model, frontier, threads, obs);
+        })
+    }
+
+    fn expand_with(
+        &mut self,
+        model: &M,
+        roots: &[M::State],
+        horizon: usize,
+        obs: &dyn Observer,
+        mut prefetch: impl FnMut(&mut Self, &[StateId]),
+    ) -> Vec<Vec<StateId>> {
+        let _span = Span::enter(obs, "space.build");
+        let mut levels: Vec<Vec<StateId>> = Vec::with_capacity(horizon + 1);
+        let mut frontier: Vec<StateId> = Vec::new();
+        let mut seen: HashSet<StateId> = HashSet::new();
+        for r in roots {
+            let id = self.intern_with(r, obs);
+            if seen.insert(id) {
+                frontier.push(id);
+            } else {
+                obs.counter("engine.dedup_hits", 1);
+            }
+        }
+        obs.gauge("engine.frontier_width", frontier.len() as u64);
+        levels.push(frontier.clone());
+        for _ in 0..horizon {
+            prefetch(self, &frontier);
+            let mut seen: HashSet<StateId> = HashSet::new();
+            let mut next = Vec::new();
+            for &id in &frontier {
+                obs.counter("engine.states_visited", 1);
+                for y in self.successor_ids(model, id, obs) {
+                    if seen.insert(y) {
+                        next.push(y);
+                    } else {
+                        obs.counter("engine.dedup_hits", 1);
+                    }
+                }
+            }
+            obs.gauge("engine.frontier_width", next.len() as u64);
+            levels.push(next.clone());
+            frontier = next;
+        }
+        levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::MetricsRegistry;
+    use crate::testkit::CounterModel;
+
+    #[test]
+    fn intern_round_trips_and_deduplicates() {
+        let m = CounterModel::new(2, 4);
+        let mut space: StateSpace<CounterModel> = StateSpace::new();
+        let states = m.initial_states();
+        let ids: Vec<StateId> = states.iter().map(|s| space.intern(s)).collect();
+        // Dense, contiguous, in interning order.
+        for (k, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), k);
+            assert_eq!(space.resolve(*id), &states[k]);
+        }
+        // Double interning returns the same ids and allocates nothing.
+        let before = space.len();
+        for (k, s) in states.iter().enumerate() {
+            assert_eq!(space.intern(s), ids[k]);
+        }
+        assert_eq!(space.len(), before);
+        assert_eq!(space.get(&states[0]), Some(ids[0]));
+    }
+
+    #[test]
+    fn successor_lists_are_cached_once() {
+        let m = CounterModel::new(2, 4);
+        let mut space: StateSpace<CounterModel> = StateSpace::new();
+        let x0 = m.initial_states().remove(0);
+        let id = space.intern(&x0);
+        assert!(space.cached_successors(id).is_none());
+        let a = space.successor_ids(&m, id, &NOOP);
+        let edges_after_first = space.edge_count();
+        let b = space.successor_ids(&m, id, &NOOP);
+        assert_eq!(a, b);
+        assert_eq!(space.edge_count(), edges_after_first, "no recompute");
+        assert_eq!(space.materialize(&a), m.successors(&x0));
+    }
+
+    #[test]
+    fn expand_layers_matches_model_exploration() {
+        let m = CounterModel::new(3, 4);
+        let roots = m.initial_states();
+        let mut space: StateSpace<CounterModel> = StateSpace::new();
+        let levels = space.expand_layers(&m, &roots, 3, &NOOP);
+        let reference = crate::explore(&m, &roots, 3);
+        assert_eq!(levels.len(), reference.levels.len());
+        for (ids, states) in levels.iter().zip(&reference.levels) {
+            assert_eq!(&space.materialize(ids), states);
+        }
+    }
+
+    #[test]
+    fn parallel_expansion_is_bit_identical() {
+        let m = CounterModel::new(3, 4);
+        let roots = m.initial_states();
+        let mut seq: StateSpace<CounterModel> = StateSpace::new();
+        let seq_levels = seq.expand_layers(&m, &roots, 3, &NOOP);
+        for threads in [2, 3, 8] {
+            let mut par: StateSpace<CounterModel> = StateSpace::new();
+            let par_levels = par.expand_layers_parallel(&m, &roots, 3, threads, &NOOP);
+            assert_eq!(seq_levels, par_levels, "threads={threads}");
+            assert_eq!(seq.len(), par.len());
+            for k in 0..seq.len() {
+                let id = StateId(k as u32);
+                assert_eq!(seq.resolve(id), par.resolve(id));
+                assert_eq!(seq.cached_successors(id), par.cached_successors(id));
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_marks_all_requested_states() {
+        let m = CounterModel::new(2, 4);
+        let mut space: StateSpace<CounterModel> = StateSpace::new();
+        let ids: Vec<StateId> = m.initial_states().iter().map(|s| space.intern(s)).collect();
+        space.prefetch_successors(&m, &ids, 4, &NOOP);
+        for &id in &ids {
+            assert!(space.cached_successors(id).is_some());
+        }
+        // Prefetching again is a no-op.
+        let edges = space.edge_count();
+        space.prefetch_successors(&m, &ids, 4, &NOOP);
+        assert_eq!(space.edge_count(), edges);
+    }
+
+    #[test]
+    fn interning_telemetry_counts_hits_and_misses() {
+        let m = CounterModel::new(2, 4);
+        let reg = MetricsRegistry::new();
+        let mut space: StateSpace<CounterModel> = StateSpace::new();
+        let x0 = m.initial_states().remove(0);
+        space.intern_with(&x0, &reg);
+        space.intern_with(&x0, &reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("space.intern.misses"), 1);
+        assert_eq!(snap.counter("space.intern.hits"), 1);
+        assert_eq!(snap.gauge_max("space.states"), 1);
+    }
+}

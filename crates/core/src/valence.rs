@@ -20,8 +20,7 @@
 //! *Decision*-violation witnesses and are surfaced by the
 //! [checker](crate::checker).
 
-use std::collections::HashMap;
-
+use crate::space::{StateId, StateSpace};
 use crate::telemetry::{Observer, NOOP};
 use crate::{LayeredModel, Pid, Value};
 
@@ -114,7 +113,13 @@ impl Valence {
 pub struct ValenceSolver<'a, M: LayeredModel> {
     model: &'a M,
     horizon: usize,
-    memo: HashMap<M::State, Valences>,
+    /// Hash-consing arena shared by every engine built on this solver:
+    /// valence memoization, successor caching and the layer scans all key on
+    /// the dense [`StateId`]s it hands out.
+    space: StateSpace<M>,
+    /// Valence memo, indexed by [`StateId`] (grown lazily as the space
+    /// grows; `None` = not classified yet).
+    memo: Vec<Option<Valences>>,
     obs: &'a dyn Observer,
 }
 
@@ -136,9 +141,35 @@ impl<'a, M: LayeredModel> ValenceSolver<'a, M> {
         ValenceSolver {
             model,
             horizon,
-            memo: HashMap::new(),
+            space: StateSpace::new(),
+            memo: Vec::new(),
             obs,
         }
+    }
+
+    /// The solver's hash-consing arena. Ids returned by
+    /// [`ValenceSolver::intern`] and the id-typed engine entry points are
+    /// relative to this space.
+    #[must_use]
+    pub fn space(&self) -> &StateSpace<M> {
+        &self.space
+    }
+
+    /// Mutable access to the arena (used by the layering engine to expand
+    /// layers — possibly in parallel — before classifying them).
+    pub fn space_mut(&mut self) -> &mut StateSpace<M> {
+        &mut self.space
+    }
+
+    /// Interns `x` into the solver's space.
+    pub fn intern(&mut self, x: &M::State) -> StateId {
+        self.space.intern_with(x, self.obs)
+    }
+
+    /// The successor ids of `id`, computed (and cached) via the arena.
+    pub fn successor_ids(&mut self, id: StateId) -> Vec<StateId> {
+        let (model, obs) = (self.model, self.obs);
+        self.space.successor_ids(model, id, obs)
     }
 
     /// The observer engines built on this solver report to.
@@ -173,25 +204,49 @@ impl<'a, M: LayeredModel> ValenceSolver<'a, M> {
         flags
     }
 
-    /// The valence flags of `x` (memoized).
-    pub fn valences(&mut self, x: &M::State) -> Valences {
+    /// The valence flags of the interned state `id` (memoized in a flat
+    /// vector indexed by id — no state hashing or cloning on the hot path).
+    pub fn valences_id(&mut self, id: StateId) -> Valences {
         self.obs.counter("valence.queries", 1);
-        if let Some(&v) = self.memo.get(x) {
+        if let Some(Some(v)) = self.memo.get(id.index()) {
             self.obs.counter("valence.memo_hits", 1);
-            return v;
+            return *v;
         }
-        let mut flags = self.local_valences(x);
-        if self.model.depth(x) < self.horizon && !(flags.zero && flags.one) {
-            for y in self.model.successors(x) {
-                flags = flags.union(self.valences(&y));
+        let (mut flags, depth) = {
+            let x = self.space.resolve(id);
+            (self.local_valences(x), self.model.depth(x))
+        };
+        if depth < self.horizon && !(flags.zero && flags.one) {
+            for y in self.successor_ids(id) {
+                flags = flags.union(self.valences_id(y));
                 if flags.zero && flags.one {
                     break;
                 }
             }
         }
-        self.memo.insert(x.clone(), flags);
+        if self.memo.len() < self.space.len() {
+            self.memo.resize(self.space.len(), None);
+        }
+        self.memo[id.index()] = Some(flags);
         self.obs.counter("valence.states_classified", 1);
         flags
+    }
+
+    /// The valence classification of the interned state `id`.
+    pub fn valence_id(&mut self, id: StateId) -> Valence {
+        self.valences_id(id).classify()
+    }
+
+    /// Whether the interned state `id` is bivalent.
+    pub fn is_bivalent_id(&mut self, id: StateId) -> bool {
+        self.valence_id(id).is_bivalent()
+    }
+
+    /// The valence flags of `x` (memoized). Thin wrapper: interns `x` and
+    /// delegates to [`ValenceSolver::valences_id`].
+    pub fn valences(&mut self, x: &M::State) -> Valences {
+        let id = self.intern(x);
+        self.valences_id(id)
     }
 
     /// The valence classification of `x`.
@@ -215,7 +270,7 @@ impl<'a, M: LayeredModel> ValenceSolver<'a, M> {
     /// Number of memoized states (useful to report exploration effort).
     #[must_use]
     pub fn memo_len(&self) -> usize {
-        self.memo.len()
+        self.memo.iter().filter(|v| v.is_some()).count()
     }
 
     /// The underlying model.
@@ -231,10 +286,20 @@ impl<'a, M: LayeredModel> ValenceSolver<'a, M> {
     /// `Con₀` must have one; returning `None` therefore certifies that the
     /// protocol violates decision or validity already at the horizon.
     pub fn bivalent_initial_state(&mut self) -> Option<M::State> {
-        self.model
+        let id = self.bivalent_initial_id()?;
+        Some(self.space.resolve(id).clone())
+    }
+
+    /// Id-typed twin of [`ValenceSolver::bivalent_initial_state`]: interns
+    /// the initial states in order and returns the first bivalent one.
+    pub fn bivalent_initial_id(&mut self) -> Option<StateId> {
+        let ids: Vec<StateId> = self
+            .model
             .initial_states()
-            .into_iter()
-            .find(|x0| self.is_bivalent(x0))
+            .iter()
+            .map(|x0| self.intern(x0))
+            .collect();
+        ids.into_iter().find(|&id| self.is_bivalent_id(id))
     }
 }
 

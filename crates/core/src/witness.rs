@@ -10,6 +10,7 @@
 
 use crate::connectivity::valence_report;
 use crate::model::{ExecutionTrace, TraceError};
+use crate::space::{StateId, StateSpace};
 use crate::valence::undecided_non_failed;
 use crate::{LayeredModel, ValenceSolver};
 
@@ -73,17 +74,8 @@ impl<S: Clone + Eq + std::hash::Hash + std::fmt::Debug> ImpossibilityWitness<S> 
         M: LayeredModel<State = S>,
     {
         let mut solver = ValenceSolver::new(model, horizon);
-        let outcome = crate::layering::build_bivalent_run(&mut solver, steps);
-        if !outcome.reached_target() {
-            return None;
-        }
-        let chain = outcome.chain?;
-        let undecided = outcome.undecided_per_state;
-        Some(ImpossibilityWitness {
-            chain,
-            horizon,
-            undecided,
-        })
+        let interned = InternedWitness::build_with(&mut solver, steps)?;
+        Some(interned.materialize(solver.space()))
     }
 
     /// Re-verifies every part of the witness from scratch.
@@ -140,6 +132,66 @@ impl<S: Clone + Eq + std::hash::Hash + std::fmt::Debug> ImpossibilityWitness<S> 
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.chain.steps() == 0
+    }
+}
+
+/// The id-typed form of an impossibility witness: the chain is a path of
+/// [`StateId`]s into the solver's arena, so engines can pass witnesses
+/// around without cloning states. Full states are cloned out only at the
+/// verification/serialization boundary via
+/// [`materialize`](InternedWitness::materialize).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InternedWitness {
+    /// The ever-bivalent chain as arena ids.
+    pub chain: Vec<StateId>,
+    /// The analysis horizon used for valence.
+    pub horizon: usize,
+    /// Undecided non-failed processes at each chain state.
+    pub undecided: Vec<usize>,
+}
+
+impl InternedWitness {
+    /// Runs the Theorem 4.2 engine on `solver` for `steps` layers and
+    /// packages the resulting id chain, or `None` if the run got stuck.
+    pub fn build_with<M: LayeredModel>(
+        solver: &mut ValenceSolver<'_, M>,
+        steps: usize,
+    ) -> Option<Self> {
+        let outcome = crate::layering::build_bivalent_run_interned(solver, steps);
+        if !outcome.reached_target() {
+            return None;
+        }
+        Some(InternedWitness {
+            chain: outcome.chain,
+            horizon: solver.horizon(),
+            undecided: outcome.undecided_per_state,
+        })
+    }
+
+    /// Clones the chain's states out of `space` into the state-typed,
+    /// self-contained witness that [`ImpossibilityWitness::verify`] checks.
+    #[must_use]
+    pub fn materialize<M: LayeredModel>(
+        &self,
+        space: &StateSpace<M>,
+    ) -> ImpossibilityWitness<M::State> {
+        ImpossibilityWitness {
+            chain: ExecutionTrace::new(space.materialize(&self.chain)),
+            horizon: self.horizon,
+            undecided: self.undecided.clone(),
+        }
+    }
+
+    /// Length of the witnessed bivalent run, in layers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chain.len().saturating_sub(1)
+    }
+
+    /// Whether the witness is a single state.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chain.len() <= 1
     }
 }
 

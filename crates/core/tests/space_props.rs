@@ -1,0 +1,74 @@
+//! Property tests for the hash-consing state arena: interning round-trips,
+//! id density, and sequential/parallel expansion equivalence under random
+//! model shapes and interning orders.
+
+use proptest::prelude::*;
+
+use layered_core::testkit::{reachable_space, CounterModel};
+use layered_core::{LayeredModel, NoopObserver, StateSpace};
+
+/// Every distinct state reachable in 3 layers of a 3-way branching model —
+/// the pool random interning orders draw from.
+fn pool() -> Vec<<CounterModel as LayeredModel>::State> {
+    let m = CounterModel::new(3, 3);
+    let (space, levels) = reachable_space(&m, 3);
+    levels
+        .into_iter()
+        .flatten()
+        .map(|id| space.resolve(id).clone())
+        .collect()
+}
+
+fn arb_picks() -> impl Strategy<Value = Vec<usize>> {
+    let len = pool().len();
+    proptest::collection::vec(0..len, 1..64)
+}
+
+proptest! {
+    /// `resolve(intern(s)) == s`, double-interning returns the same id, and
+    /// ids stay dense in first-seen order — for arbitrary interning orders.
+    #[test]
+    fn intern_round_trips_under_random_orders(picks in arb_picks()) {
+        let states = pool();
+        let mut space: StateSpace<CounterModel> = StateSpace::new();
+        let mut first_id = std::collections::HashMap::new();
+        for &k in &picks {
+            let s = &states[k];
+            let id = space.intern(s);
+            prop_assert_eq!(space.resolve(id), s);
+            let prior = *first_id.entry(k).or_insert(id);
+            prop_assert_eq!(prior, id, "double-intern must return the first id");
+            prop_assert_eq!(space.get(s), Some(id));
+        }
+        // One arena slot per distinct state presented.
+        prop_assert_eq!(space.len(), first_id.len());
+        // Ids are dense and assigned in first-seen order.
+        let mut seen = std::collections::HashSet::new();
+        let mut next = 0usize;
+        for &k in &picks {
+            if seen.insert(k) {
+                prop_assert_eq!(first_id[&k].index(), next);
+                next += 1;
+            }
+        }
+    }
+
+    /// Parallel expansion is bit-identical to sequential for arbitrary
+    /// branching factors, horizons, and thread counts.
+    #[test]
+    fn parallel_expansion_matches_sequential(
+        branch in 1u8..4,
+        horizon in 0usize..4,
+        threads in 1usize..9,
+    ) {
+        let m = CounterModel::new(3, branch);
+        let roots = m.initial_states();
+        let mut seq: StateSpace<CounterModel> = StateSpace::new();
+        let a = seq.expand_layers(&m, &roots, horizon, &NoopObserver);
+        let mut par: StateSpace<CounterModel> = StateSpace::new();
+        let b = par.expand_layers_parallel(&m, &roots, horizon, threads, &NoopObserver);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(seq.len(), par.len());
+        prop_assert_eq!(seq.edge_count(), par.edge_count());
+    }
+}

@@ -5,8 +5,8 @@
 //! reproduced as a checkable artifact rather than re-proved on paper.
 
 use layered_core::{
-    extend_bivalent_run, undecided_non_failed, BivalentRunOutcome, LayeredModel, Pid, Valence,
-    ValenceSolver,
+    extend_bivalent_run, undecided_non_failed, BivalentRunOutcome, LayeredModel, NoopObserver, Pid,
+    StateId, StateSpace, ValenceSolver,
 };
 use layered_protocols::SyncProtocol;
 
@@ -64,24 +64,33 @@ pub fn check_lemma_6_4<P: SyncProtocol>(
     solver: &mut ValenceSolver<'_, CrashModel<P>>,
     limit: usize,
 ) -> Option<CrashState<P::LocalState>> {
-    let mut frontier = model.initial_states();
+    // The sweep runs entirely on arena ids: states with many failures are
+    // re-reached along many failure orders, and interning collapses them
+    // once instead of re-hashing full round states at every level. (Crash
+    // states embed their round, so a state occurs at exactly one depth and
+    // the global dedup below matches the per-level dedup it replaces.)
+    let mut seen = std::collections::HashSet::new();
+    let mut frontier: Vec<StateId> = model
+        .initial_states()
+        .iter()
+        .map(|x| solver.intern(x))
+        .filter(|id| seen.insert(*id))
+        .collect();
     for k in 0..limit {
         let mut next = Vec::new();
-        for x in &frontier {
+        for &id in &frontier {
             // Only executions with at most k failures by round k qualify.
-            if x.failure_count() <= k {
-                let y = model.apply(x, None); // failure-free round k+1
-                if solver.valence(&y) == Valence::Bivalent {
-                    return Some(y);
+            let qualifies = solver.space().resolve(id).failure_count() <= k;
+            if qualifies {
+                let y = model.apply(solver.space().resolve(id), None); // failure-free round k+1
+                let yid = solver.intern(&y);
+                if solver.is_bivalent_id(yid) {
+                    return Some(solver.space().resolve(yid).clone());
                 }
             }
-            next.extend(model.successors(x));
+            next.extend(solver.successor_ids(id));
         }
-        let mut seen = std::collections::HashSet::new();
-        frontier = next
-            .into_iter()
-            .filter(|s| seen.insert(s.clone()))
-            .collect();
+        frontier = next.into_iter().filter(|id| seen.insert(*id)).collect();
         if frontier.is_empty() {
             break;
         }
@@ -104,13 +113,26 @@ pub fn check_display_below_budget<P: SyncProtocol>(
 ) -> Option<(CrashState<P::LocalState>, CrashState<P::LocalState>, Pid)> {
     let n = model.num_processes();
     let t = model.resilience();
-    let mut frontier = model.initial_states();
+    let obs = NoopObserver;
+    let mut space: StateSpace<CrashModel<P>> = StateSpace::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut frontier: Vec<StateId> = model
+        .initial_states()
+        .iter()
+        .map(|x| space.intern(x))
+        .filter(|id| seen.insert(*id))
+        .collect();
     for depth in 0..=depth_limit {
-        for (ai, x) in frontier.iter().enumerate() {
+        for (ai, &a) in frontier.iter().enumerate() {
+            let x = space.resolve(a);
             if x.failure_count() >= t {
                 continue;
             }
-            for y in frontier[ai..].iter().filter(|y| y.failure_count() < t) {
+            for &b in &frontier[ai..] {
+                let y = space.resolve(b);
+                if y.failure_count() >= t {
+                    continue;
+                }
                 for j in Pid::all(n) {
                     if !model.agree_modulo(x, y, j) {
                         continue;
@@ -126,11 +148,10 @@ pub fn check_display_below_budget<P: SyncProtocol>(
         if depth == depth_limit {
             break;
         }
-        let mut seen = std::collections::HashSet::new();
         let mut next = Vec::new();
-        for x in &frontier {
-            for s in model.successors(x) {
-                if seen.insert(s.clone()) {
+        for &id in &frontier {
+            for s in space.successor_ids(model, id, &obs) {
+                if seen.insert(s) {
                     next.push(s);
                 }
             }
@@ -145,7 +166,7 @@ pub fn check_display_below_budget<P: SyncProtocol>(
 
 #[cfg(test)]
 mod tests {
-    use layered_core::{check_lemma_3_1, LayeredModel, Value};
+    use layered_core::{check_lemma_3_1, LayeredModel, Valence, Value};
     use layered_protocols::FloodMin;
 
     use super::*;

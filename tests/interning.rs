@@ -1,0 +1,72 @@
+//! Cross-model interning conformance: the sequential and parallel layer
+//! scans must produce identical [`LayerScan`] reports over every model at
+//! n = 3, and impossibility witnesses built through the interned engines
+//! must still re-verify from scratch.
+//!
+//! These are the acceptance checks for the dense-id refactor: parallelism
+//! may change how fast the state space is built, never what it contains.
+
+use layered_consensus::async_mp::MpModel;
+use layered_consensus::async_sm::SmModel;
+use layered_consensus::core::{
+    scan_layer_valence_connectivity, scan_layer_valence_connectivity_parallel,
+    ImpossibilityWitness, LayeredModel, ValenceSolver,
+};
+use layered_consensus::iis::IisModel;
+use layered_consensus::protocols::{FloodMin, MpFloodMin, SmFloodMin};
+use layered_consensus::sync_crash::CrashModel;
+use layered_consensus::sync_mobile::MobileModel;
+
+/// Runs the Lemma 4.1 layer scan sequentially and in parallel (several
+/// thread counts) and asserts the reports are identical.
+fn assert_scan_parity<M>(model: &M, horizon: usize, depth: usize)
+where
+    M: LayeredModel + Sync,
+    M::State: Send + Sync,
+{
+    let mut seq = ValenceSolver::new(model, horizon);
+    let reference = scan_layer_valence_connectivity(&mut seq, depth, true);
+    for threads in [1, 2, 8] {
+        let mut par = ValenceSolver::new(model, horizon);
+        let scan = scan_layer_valence_connectivity_parallel(&mut par, depth, true, threads);
+        assert_eq!(reference, scan, "threads={threads}");
+    }
+}
+
+#[test]
+fn scan_parity_sync_mobile() {
+    assert_scan_parity(&MobileModel::new(3, FloodMin::new(2)), 2, 1);
+}
+
+#[test]
+fn scan_parity_async_sm() {
+    assert_scan_parity(&SmModel::new(3, SmFloodMin::new(2)), 2, 1);
+}
+
+#[test]
+fn scan_parity_async_mp() {
+    assert_scan_parity(&MpModel::new(3, MpFloodMin::new(2)), 2, 1);
+}
+
+#[test]
+fn scan_parity_sync_crash() {
+    assert_scan_parity(&CrashModel::new(3, 1, FloodMin::new(2)), 2, 1);
+}
+
+#[test]
+fn scan_parity_iis() {
+    assert_scan_parity(&IisModel::new(3, SmFloodMin::new(2)), 2, 1);
+}
+
+/// Witnesses built by the interned Theorem 4.2 engine materialize into
+/// state-typed chains that a fresh, untrusting solver accepts.
+#[test]
+fn interned_witnesses_verify_across_models() {
+    let m = MobileModel::new(3, FloodMin::new(2));
+    let w = ImpossibilityWitness::build(&m, 2, 1).expect("bivalent run in M^mf");
+    assert!(w.verify(&m).is_ok());
+
+    let m = MpModel::new(3, MpFloodMin::new(2));
+    let w = ImpossibilityWitness::build(&m, 2, 1).expect("bivalent run in MP");
+    assert!(w.verify(&m).is_ok());
+}
