@@ -28,8 +28,8 @@
 
 use std::collections::HashSet;
 
-use layered_core::{LayeredModel, Pid, Value};
-use layered_protocols::MpProtocol;
+use layered_core::{canonicalize_by_min, LayeredModel, Pid, PidPerm, Symmetric, Value};
+use layered_protocols::{Anonymous, MpProtocol};
 
 use crate::perm::{drop_last_arrangements, permutations};
 use crate::state::MpState;
@@ -366,6 +366,51 @@ impl<P: MpProtocol> LayeredModel for MpModel<P> {
                 .collect(),
             None => x.always_proper().collect(),
         }
+    }
+}
+
+// Renaming relocates the per-process vectors, moves each mailbox to its
+// renamed receiver, and relabels sender tags inside it (re-sorted to keep
+// the sender-sorted canonical mailbox order). Unlike the other models,
+// `S^per` itself is equivariant: its action alphabet — all permutations,
+// all drop-last arrangements, all concurrent adjacent pairs — is closed
+// under renaming, so `symmetric_layering` is unconditionally true and the
+// quotient engine applies to the paper's own layering.
+impl<P> Symmetric for MpModel<P>
+where
+    P: MpProtocol + Anonymous,
+    P::LocalState: Ord,
+    P::Msg: Ord,
+{
+    fn permute_state(&self, x: &Self::State, perm: &PidPerm) -> Self::State {
+        let mailboxes = perm
+            .permute_vec(&x.mailboxes)
+            .into_iter()
+            .map(|mailbox| {
+                let mut mailbox: Vec<(Pid, P::Msg)> = mailbox
+                    .into_iter()
+                    .map(|(from, msg)| (perm.apply(from), msg))
+                    .collect();
+                mailbox.sort_by_key(|&(from, _)| from);
+                mailbox
+            })
+            .collect();
+        MpState {
+            round: x.round,
+            inputs: perm.permute_vec(&x.inputs),
+            locals: perm.permute_vec(&x.locals),
+            decided: perm.permute_vec(&x.decided),
+            phases_done: perm.permute_vec(&x.phases_done),
+            mailboxes,
+        }
+    }
+
+    fn symmetric_layering(&self) -> bool {
+        true
+    }
+
+    fn canonicalize(&self, x: &Self::State) -> (Self::State, PidPerm) {
+        canonicalize_by_min(self, x)
     }
 }
 

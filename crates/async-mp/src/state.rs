@@ -17,7 +17,7 @@ use layered_core::{Pid, Value};
 /// * `x[p₁…pₙ]` and `x[p₁…p_{n−1}]` do **not** agree modulo `pₙ`, because
 ///   `pₙ`'s sent messages sit in *other* processes' mailboxes — which is
 ///   precisely why the diamond (common-successor) argument is needed there.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct MpState<L, M> {
     /// Completed layers.
     pub round: u16,

@@ -160,9 +160,13 @@ pub fn schedule_for<P: SmProtocol>(
 ) -> Vec<SmOp> {
     let n = x.len();
     let mut ops = Vec::new();
-    let (j, early_bound, j_participates) = match action {
-        SmAction::Absent(j) => (j, n, false),
-        SmAction::Staggered { j, k } => (j, k, true),
+    let (j, early_mask, j_participates) = match action {
+        SmAction::Absent(j) => (j, u64::MAX, false),
+        SmAction::Staggered { j, k } => {
+            let mask = if k == 0 { 0 } else { u64::MAX >> (64 - k) };
+            (j, mask, true)
+        }
+        SmAction::Split { j, early } => (j, early, true),
     };
     let wants_write = |i: usize| protocol.write_value(&x.locals[i]).is_some();
     let emit_reads = |ops: &mut Vec<SmOp>, reader: usize| {
@@ -181,7 +185,7 @@ pub fn schedule_for<P: SmProtocol>(
     }
     // R₁
     for i in 0..n {
-        if i != j.index() && i < early_bound {
+        if i != j.index() && (early_mask >> i) & 1 == 1 {
             emit_reads(&mut ops, i);
         }
     }
@@ -191,7 +195,7 @@ pub fn schedule_for<P: SmProtocol>(
     }
     // R₂
     for i in 0..n {
-        if i != j.index() && i >= early_bound {
+        if i != j.index() && (early_mask >> i) & 1 == 0 {
             emit_reads(&mut ops, i);
         }
     }

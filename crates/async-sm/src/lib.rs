@@ -43,5 +43,5 @@ mod sim;
 mod state;
 
 pub use interp::{layer_action_is_legal_schedule, replay, schedule_for, ScheduleError, SmOp};
-pub use model::{SmAction, SmModel};
+pub use model::{SmAction, SmLayering, SmModel};
 pub use state::SmState;

@@ -20,8 +20,8 @@
 
 use std::collections::HashSet;
 
-use layered_core::{LayeredModel, Pid, Value};
-use layered_protocols::SmProtocol;
+use layered_core::{canonicalize_by_min, LayeredModel, Pid, PidPerm, Symmetric, Value};
+use layered_protocols::{Anonymous, SmProtocol};
 
 use crate::state::SmState;
 
@@ -42,6 +42,32 @@ pub enum SmAction {
         /// paper).
         k: usize,
     },
+    /// `(j, E)`: `j` writes late; the proper processes in the *arbitrary*
+    /// set `E` read early, the rest — and `j` — read late. The
+    /// renaming-closed generalization of `Staggered` (whose prefix `[k]` is
+    /// the special case `E = {0, …, k−1}`) that
+    /// [`SmLayering::FullSplit`] enumerates.
+    Split {
+        /// The slow process.
+        j: Pid,
+        /// Early-reader set as a bitmask over 0-based process indices
+        /// (bit `i` ⇒ process `i` reads at `R₁`; `j`'s bit is ignored).
+        early: u64,
+    },
+}
+
+/// Which successor function the model exposes through
+/// [`LayeredModel::successors`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SmLayering {
+    /// The paper's synchronic layering `S^rw`: early readers form a prefix
+    /// `[k]`.
+    #[default]
+    Synchronic,
+    /// Early readers form an arbitrary subset `E` ([`SmAction::Split`]),
+    /// plus the absences. (Exponential branching, but closed under process
+    /// renaming — the layering the symmetry-reduced engine quotients.)
+    FullSplit,
 }
 
 /// The shared-memory model, parameterized by a deterministic phase protocol.
@@ -65,6 +91,7 @@ pub struct SmModel<P: SmProtocol> {
     /// Processes with at least this many completed phases are obliged to
     /// have decided at horizon states; `None` means "completed every phase".
     obligation: Option<u16>,
+    layering: SmLayering,
 }
 
 impl<P: SmProtocol> SmModel<P> {
@@ -80,7 +107,15 @@ impl<P: SmProtocol> SmModel<P> {
             n,
             protocol,
             obligation: None,
+            layering: SmLayering::Synchronic,
         }
+    }
+
+    /// Selects the successor function exposed by [`LayeredModel`].
+    #[must_use]
+    pub fn with_layering(mut self, layering: SmLayering) -> Self {
+        self.layering = layering;
+        self
     }
 
     /// Obliges every process with at least `phases` completed local phases
@@ -98,13 +133,29 @@ impl<P: SmProtocol> SmModel<P> {
         &self.protocol
     }
 
-    /// All actions available in a layer.
+    /// All actions available in a synchronic (`S^rw`) layer.
     #[must_use]
     pub fn actions(&self) -> Vec<SmAction> {
         let mut out = Vec::new();
         for j in Pid::all(self.n) {
             for k in 0..=self.n {
                 out.push(SmAction::Staggered { j, k });
+            }
+            out.push(SmAction::Absent(j));
+        }
+        out
+    }
+
+    /// All actions available in a full-split layer: per slow process `j`,
+    /// every early-reader subset of the proper processes, plus the absence.
+    #[must_use]
+    pub fn split_actions(&self) -> Vec<SmAction> {
+        let mut out = Vec::new();
+        for j in Pid::all(self.n) {
+            for early in 0..(1u64 << self.n) {
+                if (early >> j.index()) & 1 == 0 {
+                    out.push(SmAction::Split { j, early });
+                }
             }
             out.push(SmAction::Absent(j));
         }
@@ -124,12 +175,16 @@ impl<P: SmProtocol> SmModel<P> {
         let mut decided = x.decided.clone();
         let mut phases_done = x.phases_done.clone();
 
-        let (j, early_bound, j_participates) = match action {
-            SmAction::Absent(j) => (j, n, false),
+        // Early readers as a bitmask: with `j` absent there is no `W₂`, so
+        // the two snapshots coincide and the mask is irrelevant.
+        let (j, early_mask, j_participates) = match action {
+            SmAction::Absent(j) => (j, u64::MAX, false),
             SmAction::Staggered { j, k } => {
                 assert!(k <= n, "k ranges over 0..=n");
-                (j, k, true)
+                let mask = if k == 0 { 0 } else { u64::MAX >> (64 - k) };
+                (j, mask, true)
             }
+            SmAction::Split { j, early } => (j, early, true),
         };
 
         // W₁: proper processes write.
@@ -167,8 +222,8 @@ impl<P: SmProtocol> SmModel<P> {
             if i == j.index() {
                 continue;
             }
-            // The paper's `i ≤ k` is 1-based; 0-based: index < early_bound.
-            if i < early_bound {
+            // The paper's `i ≤ k` is 1-based; as a 0-based mask: bit i set.
+            if (early_mask >> i) & 1 == 1 {
                 absorb(i, &early_snapshot);
             } else {
                 absorb(i, &late_snapshot);
@@ -191,9 +246,27 @@ impl<P: SmProtocol> SmModel<P> {
     /// The layer `S^rw(x)`, deduplicated.
     #[must_use]
     pub fn layer(&self, x: &SmState<P::LocalState, P::Reg>) -> Vec<SmState<P::LocalState, P::Reg>> {
+        self.layer_of(x, self.actions())
+    }
+
+    /// The full-split layer of `x` (what [`SmLayering::FullSplit`] exposes
+    /// as [`LayeredModel::successors`]), deduplicated.
+    #[must_use]
+    pub fn full_split_layer(
+        &self,
+        x: &SmState<P::LocalState, P::Reg>,
+    ) -> Vec<SmState<P::LocalState, P::Reg>> {
+        self.layer_of(x, self.split_actions())
+    }
+
+    fn layer_of(
+        &self,
+        x: &SmState<P::LocalState, P::Reg>,
+        actions: Vec<SmAction>,
+    ) -> Vec<SmState<P::LocalState, P::Reg>> {
         let mut out = Vec::new();
         let mut seen = HashSet::new();
-        for action in self.actions() {
+        for action in actions {
             let y = self.apply(x, action);
             if seen.insert(y.clone()) {
                 out.push(y);
@@ -258,7 +331,10 @@ impl<P: SmProtocol> LayeredModel for SmModel<P> {
     }
 
     fn successors(&self, x: &Self::State) -> Vec<Self::State> {
-        self.layer(x)
+        match self.layering {
+            SmLayering::Synchronic => self.layer(x),
+            SmLayering::FullSplit => self.full_split_layer(x),
+        }
     }
 
     fn depth(&self, x: &Self::State) -> usize {
@@ -304,6 +380,39 @@ impl<P: SmProtocol> LayeredModel for SmModel<P> {
                 .collect(),
             None => x.always_proper().collect(),
         }
+    }
+}
+
+// Renaming relocates every per-process component, registers included (the
+// registers are single-writer, so `V_i` travels with process `i`). For an
+// anonymous protocol the full-split environment is equivariant:
+// `(π·x)(π(j), π(E)) = π·(x(j, E))` and `(π·x)(π(j), A) = π·(x(j, A))`, and
+// arbitrary early-reader subsets are closed under renaming. The synchronic
+// `S^rw` is not (prefixes `[k]` aren't renaming-closed), so only
+// `SmLayering::FullSplit` may be quotiented.
+impl<P> Symmetric for SmModel<P>
+where
+    P: SmProtocol + Anonymous,
+    P::LocalState: Ord,
+    P::Reg: Ord,
+{
+    fn permute_state(&self, x: &Self::State, perm: &PidPerm) -> Self::State {
+        SmState {
+            phase: x.phase,
+            inputs: perm.permute_vec(&x.inputs),
+            regs: perm.permute_vec(&x.regs),
+            locals: perm.permute_vec(&x.locals),
+            decided: perm.permute_vec(&x.decided),
+            phases_done: perm.permute_vec(&x.phases_done),
+        }
+    }
+
+    fn symmetric_layering(&self) -> bool {
+        self.layering == SmLayering::FullSplit
+    }
+
+    fn canonicalize(&self, x: &Self::State) -> (Self::State, PidPerm) {
+        canonicalize_by_min(self, x)
     }
 }
 

@@ -62,6 +62,11 @@ impl<P: SmProtocol> SimModel for SmModel<P> {
                 args: vec![j.index() as u64, k as u64],
                 fault: false,
             },
+            SmAction::Split { j, early } => MoveRecord {
+                kind: "split",
+                args: vec![j.index() as u64, early],
+                fault: false,
+            },
         }
     }
 }

@@ -10,7 +10,7 @@ use layered_core::{Pid, Value};
 /// of process `j`'s local state, which is exactly why `x(j, n)` and
 /// `x(j, A)` do **not** agree modulo `j` and the bridge argument of
 /// Lemma 5.3 is needed.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SmState<L, R> {
     /// Completed virtual rounds (layers).
     pub phase: u16,

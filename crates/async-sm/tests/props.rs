@@ -105,7 +105,7 @@ proptest! {
         let advanced = (0..3).filter(|&i| y.phases_done[i] == 1).count();
         match to_action(3, a) {
             SmAction::Absent(_) => prop_assert_eq!(advanced, 2),
-            SmAction::Staggered { .. } => prop_assert_eq!(advanced, 3),
+            SmAction::Staggered { .. } | SmAction::Split { .. } => prop_assert_eq!(advanced, 3),
         }
     }
 }

@@ -5,6 +5,12 @@
 //! before the arena refactor — a `HashMap<State, Valences>` memo keyed by
 //! full cloned states — so the benchmark measures exactly what interning
 //! buys on the hot path.
+//!
+//! The interned index now hashes with the vendored FxHash
+//! (`vendor/fxhash`) instead of the standard library's SipHash; the
+//! `interned` series below measures the index with that hasher, while the
+//! `clone_keyed` baseline keeps the default SipHash map, so the gap shown
+//! here includes the hasher swap.
 
 use std::collections::HashMap;
 use std::time::Duration;

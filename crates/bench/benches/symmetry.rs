@@ -1,0 +1,72 @@
+//! Cost of symmetry reduction: the Lemma 5.1 layer scan over canonical
+//! orbits (`QuotientSolver`) vs. the full interned space (`ValenceSolver`),
+//! on the mobile model's equivariant `Full` layering at n = 3 and n = 4.
+//!
+//! Canonicalization pays n! per interned state to hash and compare n! fewer
+//! states; the crossover is where the orbit factor beats the factorial —
+//! these benchmarks pin down where that happens for the scan sizes CI runs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use layered_core::{
+    scan_layer_valence_connectivity, scan_layer_valence_connectivity_quotient, LayeredModel,
+    QuotientSolver, Symmetric, ValenceSolver,
+};
+use layered_protocols::FloodMin;
+use layered_sync_mobile::{MobileLayering, MobileModel};
+
+fn sym_model(n: usize, horizon: usize) -> MobileModel<FloodMin> {
+    MobileModel::new(n, FloodMin::new(horizon as u16)).with_layering(MobileLayering::Full)
+}
+
+fn bench_quotient_vs_full_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetry_scan");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+
+    for n in [3usize, 4] {
+        let depth = 1usize;
+        let horizon = depth + 1;
+        let m = sym_model(n, horizon);
+        group.bench_function(BenchmarkId::new("full", n), |b| {
+            b.iter(|| {
+                let mut solver = ValenceSolver::new(&m, horizon);
+                scan_layer_valence_connectivity(&mut solver, depth, true).states_seen
+            })
+        });
+        group.bench_function(BenchmarkId::new("quotient", n), |b| {
+            b.iter(|| {
+                let mut solver = QuotientSolver::new(&m, horizon);
+                scan_layer_valence_connectivity_quotient(&mut solver, depth, true).states_seen
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_canonicalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("canonicalize");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+
+    for n in [3usize, 4, 5] {
+        let m = sym_model(n, 2);
+        let states = m.initial_states();
+        group.bench_function(BenchmarkId::new("initial_states", n), |b| {
+            b.iter(|| {
+                states
+                    .iter()
+                    .map(|x| m.canonicalize(x).0)
+                    .collect::<Vec<_>>()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quotient_vs_full_scan, bench_canonicalize);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! experiments [quick] [--json <path>] [--metrics]
 //! experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>]
 //!             [--adversary <name>] [--json <path>] [--metrics]
-//! experiments --scan [--n <k>] [--depth <k>] [--threads <k>]
+//! experiments --scan [--quotient] [--n <k>] [--depth <k>] [--threads <k>]
 //!             [--json <path>] [--metrics]
 //! ```
 //!
@@ -23,11 +23,16 @@
 //!   Lemma 5.1 instance (default n = 4) through both the sequential and
 //!   the parallel expansion path, cross-checked for identity
 //!   (`--n`/`--depth`/`--threads` control the instance).
+//! * `--scan --quotient` — the symmetry-reduced variant: the same Lemma
+//!   5.1 instance over canonical orbits, cross-checked against the full
+//!   space when n ≤ 4 and quotient-only beyond (the reduction is what
+//!   makes n = 5 reachable).
 
 use std::io::Write;
 
 use layered_bench::{
-    all_experiments, interned_scan, known_adversary, sim_batch, ScanConfig, Scope, SimBatchConfig,
+    all_experiments, interned_scan, known_adversary, quotient_scan, sim_batch, ScanConfig, Scope,
+    SimBatchConfig,
 };
 
 struct Options {
@@ -63,6 +68,7 @@ fn parse_args() -> Result<Options, String> {
             "full" => opts.scope = Scope::Full,
             "--sim" => sim_requested = true,
             "--scan" => scan_requested = true,
+            "--quotient" => scan_cfg.quotient = true,
             "--seed" => sim_cfg.seed = numeric("--seed")?,
             "--runs" => sim_cfg.runs = numeric("--runs")? as usize,
             "--n" => {
@@ -102,6 +108,9 @@ fn parse_args() -> Result<Options, String> {
             return Err("--runs and --horizon must be positive".to_string());
         }
         opts.sim = Some(sim_cfg);
+    }
+    if scan_cfg.quotient && !scan_requested {
+        return Err("--quotient only applies to --scan".to_string());
     }
     if scan_requested {
         if scan_cfg.n < 2 {
@@ -162,8 +171,16 @@ fn run_simulations(cfg: &SimBatchConfig, opts: &Options) {
 }
 
 fn run_scan(cfg: &ScanConfig, opts: &Options) {
-    println!("Layered analysis of consensus — interned layer-scan scaling check\n");
-    let exp = interned_scan(cfg);
+    if cfg.quotient {
+        println!("Layered analysis of consensus — symmetry-reduced layer-scan check\n");
+    } else {
+        println!("Layered analysis of consensus — interned layer-scan scaling check\n");
+    }
+    let exp = if cfg.quotient {
+        quotient_scan(cfg)
+    } else {
+        interned_scan(cfg)
+    };
     println!("[{}] {}", exp.id, exp.claim);
     println!("{}", exp.table);
     if opts.metrics {
@@ -179,7 +196,11 @@ fn run_scan(cfg: &ScanConfig, opts: &Options) {
         write_json_lines(path, &[exp.json_record().to_string()]);
     }
     if exp.ok {
-        println!("Sequential and parallel scans agree; the witness re-verifies.");
+        if cfg.quotient {
+            println!("Quotient and full verdicts agree; the de-quotiented witness re-verifies.");
+        } else {
+            println!("Sequential and parallel scans agree; the witness re-verifies.");
+        }
     } else {
         println!("Scan cross-check FAILED: the two paths diverged or the witness broke.");
         std::process::exit(1);
@@ -192,7 +213,7 @@ fn main() {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: experiments [quick|full] [--json <path>] [--metrics]\n       experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>] [--adversary <name>] [--json <path>]\n       experiments --scan [--n <k>] [--depth <k>] [--threads <k>] [--json <path>]"
+                "usage: experiments [quick|full] [--json <path>] [--metrics]\n       experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>] [--adversary <name>] [--json <path>]\n       experiments --scan [--quotient] [--n <k>] [--depth <k>] [--threads <k>] [--json <path>]"
             );
             std::process::exit(2);
         }

@@ -13,10 +13,11 @@ use std::time::Instant;
 use layered_core::report::Table;
 use layered_core::{
     scan_layer_valence_connectivity, scan_layer_valence_connectivity_parallel,
-    ImpossibilityWitness, ValenceSolver,
+    scan_layer_valence_connectivity_quotient, scan_layer_valence_connectivity_quotient_parallel,
+    ImpossibilityWitness, QuotientSolver, ValenceSolver,
 };
 use layered_protocols::FloodMin;
-use layered_sync_mobile::MobileModel;
+use layered_sync_mobile::{MobileLayering, MobileModel};
 
 use crate::Experiment;
 
@@ -30,6 +31,9 @@ pub struct ScanConfig {
     pub depth: usize,
     /// Worker threads for the parallel expansion path.
     pub threads: usize,
+    /// Run the symmetry-reduced quotient scan instead of the plain
+    /// interned scan (the `--quotient` flag).
+    pub quotient: bool,
 }
 
 impl Default for ScanConfig {
@@ -38,6 +42,7 @@ impl Default for ScanConfig {
             n: 4,
             depth: 1,
             threads: 4,
+            quotient: false,
         }
     }
 }
@@ -108,6 +113,134 @@ pub fn interned_scan(cfg: &ScanConfig) -> Experiment {
             ]);
 
             (table, identical && seq.all_connected() && verified)
+        },
+    )
+}
+
+/// Runs the symmetry-reduced Lemma 5.1 layer scan over canonical orbits
+/// (the `--scan --quotient` mode).
+///
+/// The mobile model is switched to its equivariant `Full` layering and the
+/// scan walks the quotient under process renaming. At n ≤ 4 the full-space
+/// scan is run alongside as a baseline and the two must reach the same
+/// lemma verdict — with the quotient visiting at least 3× fewer states at
+/// n = 4 (the PR's acceptance bound). At n ≥ 5 only the quotient runs: the
+/// whole point of the reduction is that the full space is out of reach
+/// there. In every case the de-quotiented witness must re-verify against
+/// the full model.
+#[must_use]
+pub fn quotient_scan(cfg: &ScanConfig) -> Experiment {
+    let cfg = cfg.clone();
+    crate::measured(
+        "E-sym",
+        "Lemma 5.1 layer scan over canonical orbits (quotient ≡ full verdicts)",
+        move |obs| {
+            let mut table = Table::new(
+                "Symmetry-reduced layer scan — canonical orbits vs. the full space",
+                &[
+                    "model",
+                    "n",
+                    "space",
+                    "layers checked",
+                    "states seen",
+                    "all val-conn",
+                    "wall ms",
+                ],
+            );
+            let horizon = cfg.depth + 1;
+            let m = MobileModel::new(cfg.n, FloodMin::new(horizon as u16))
+                .with_layering(MobileLayering::Full);
+            let model_label = "M^mf (Full)";
+
+            // Quotient scan, sequential and parallel expansion paths.
+            let start = Instant::now();
+            let mut solver = QuotientSolver::with_observer(&m, horizon, obs);
+            let quot = scan_layer_valence_connectivity_quotient(&mut solver, cfg.depth, true);
+            let quot_ms = start.elapsed().as_secs_f64() * 1e3;
+            let orbits = solver.space().len();
+            let covered = solver.space().covered_states();
+
+            let start = Instant::now();
+            let mut par_solver = QuotientSolver::with_observer(&m, horizon, obs);
+            let par = scan_layer_valence_connectivity_quotient_parallel(
+                &mut par_solver,
+                cfg.depth,
+                true,
+                cfg.threads,
+            );
+            let par_ms = start.elapsed().as_secs_f64() * 1e3;
+            let paths_agree = quot == par;
+
+            // Full-space baseline, only at sizes the full engine can reach.
+            let full = (cfg.n <= 4).then(|| {
+                let start = Instant::now();
+                let mut solver = ValenceSolver::with_observer(&m, horizon, obs);
+                let scan = scan_layer_valence_connectivity(&mut solver, cfg.depth, true);
+                (scan, start.elapsed().as_secs_f64() * 1e3)
+            });
+
+            let witness = ImpossibilityWitness::build_quotient(&m, horizon, cfg.depth);
+            let verified = witness.is_some_and(|w| w.verify(&m).is_ok());
+
+            // Headline numbers as gauges so the JSON record carries the
+            // full-vs-quotient comparison as stable machine-readable fields.
+            obs.gauge("scan.sym.n", cfg.n as u64);
+            obs.gauge("scan.sym.quotient.states_seen", quot.states_seen as u64);
+            obs.gauge("scan.sym.quotient.wall_ns", (quot_ms * 1e6) as u64);
+            if let Some((scan, ms)) = &full {
+                obs.gauge("scan.sym.full.states_seen", scan.states_seen as u64);
+                obs.gauge("scan.sym.full.wall_ns", (*ms * 1e6) as u64);
+            }
+
+            let mut rows: Vec<(&str, &layered_core::LayerScan<_>, f64)> = Vec::new();
+            if let Some((scan, ms)) = &full {
+                rows.push(("full", scan, *ms));
+            }
+            rows.push(("quotient (seq)", &quot, quot_ms));
+            rows.push(("quotient (par)", &par, par_ms));
+            for (space, scan, ms) in rows {
+                table.row_owned(vec![
+                    model_label.to_string(),
+                    cfg.n.to_string(),
+                    space.to_string(),
+                    scan.layers_checked.to_string(),
+                    scan.states_seen.to_string(),
+                    if scan.all_connected() { "yes" } else { "no" }.to_string(),
+                    format!("{ms:.1}"),
+                ]);
+            }
+
+            let parity = full
+                .as_ref()
+                .is_none_or(|(scan, _)| scan.violation.is_none() == quot.violation.is_none());
+            let reduced = cfg.n < 4
+                || full
+                    .as_ref()
+                    .is_none_or(|(scan, _)| scan.states_seen >= 3 * quot.states_seen);
+            table.row_owned(vec![
+                model_label.to_string(),
+                cfg.n.to_string(),
+                "cross-check".to_string(),
+                format!("{orbits} orbits"),
+                format!("{covered} covered"),
+                match (&full, parity, reduced) {
+                    (None, _, _) => "quotient only".to_string(),
+                    (Some(_), true, true) => "verdicts agree".to_string(),
+                    (Some(_), false, _) => "verdict DIVERGED".to_string(),
+                    (Some(_), _, false) => "reduction < 3x".to_string(),
+                },
+                if verified {
+                    "witness ok"
+                } else {
+                    "witness BAD"
+                }
+                .to_string(),
+            ]);
+
+            (
+                table,
+                paths_agree && parity && reduced && verified && quot.all_connected(),
+            )
         },
     )
 }

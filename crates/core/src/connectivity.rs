@@ -16,8 +16,9 @@ use std::fmt::Debug;
 
 use crate::graph::Graph;
 use crate::space::{StateId, StateSpace};
+use crate::sym::Symmetric;
 use crate::telemetry::{Observer, NOOP};
-use crate::valence::Valences;
+use crate::valence::{QuotientSolver, Valences};
 use crate::{LayeredModel, Pid, ValenceSolver, Value};
 
 /// Witness that `x ∼_s y`: the process `j` modulo which they agree, and a
@@ -104,8 +105,14 @@ pub fn valence_graph_ids<M: LayeredModel>(
     ids: &[StateId],
 ) -> Graph {
     let vals: Vec<Valences> = ids.iter().map(|&id| solver.valences_id(id)).collect();
-    let obs = solver.observer();
-    let n = ids.len();
+    valence_graph_from_flags(&vals, solver.observer())
+}
+
+/// Assembles `(X, ∼_v)` in CSR form directly from precomputed valence
+/// flags — the shared back half of [`valence_graph_ids`] and its quotient
+/// twin.
+fn valence_graph_from_flags(vals: &[Valences], obs: &dyn Observer) -> Graph {
+    let n = vals.len();
     let mut offsets = Vec::with_capacity(n + 1);
     let mut edges = Vec::new();
     offsets.push(0);
@@ -127,6 +134,22 @@ pub fn valence_graph_ids<M: LayeredModel>(
         offsets.push(edges.len());
     }
     Graph::from_csr(n, &offsets, &edges)
+}
+
+/// Quotient twin of [`valence_graph_ids`]: the graph `(X, ∼_v)` over orbit
+/// representatives in a [`QuotientSolver`]'s arena.
+///
+/// Because a shared-valence edge depends only on the two states' valence
+/// *flags* — and valence is invariant under process renaming — collapsing a
+/// layer to orbit representatives preserves which valence classes are
+/// present, and therefore preserves the *connected* verdict of the layer's
+/// valence graph (vertex and edge counts legitimately shrink).
+pub fn quotient_valence_graph_ids<M: Symmetric>(
+    solver: &mut QuotientSolver<'_, M>,
+    ids: &[StateId],
+) -> Graph {
+    let vals: Vec<Valences> = ids.iter().map(|&id| solver.valences_id(id)).collect();
+    valence_graph_from_flags(&vals, solver.observer())
 }
 
 /// Summary of a connectivity analysis of a state set.
@@ -185,6 +208,18 @@ pub fn valence_report_ids<M: LayeredModel>(
     ids: &[StateId],
 ) -> ConnectivityReport {
     let g = valence_graph_ids(solver, ids);
+    ConnectivityReport::from_graph(&g, solver.observer())
+}
+
+/// Quotient twin of [`valence_report_ids`]: connectivity of `(X, ∼_v)` over
+/// orbit representatives. The `connected` verdict matches the full layer's
+/// (see [`quotient_valence_graph_ids`]); `states`, `components` and
+/// `diameter` describe the collapsed graph.
+pub fn quotient_valence_report_ids<M: Symmetric>(
+    solver: &mut QuotientSolver<'_, M>,
+    ids: &[StateId],
+) -> ConnectivityReport {
+    let g = quotient_valence_graph_ids(solver, ids);
     ConnectivityReport::from_graph(&g, solver.observer())
 }
 

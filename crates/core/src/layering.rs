@@ -22,11 +22,12 @@
 
 use std::collections::HashSet;
 
-use crate::connectivity::{valence_report_ids, ConnectivityReport};
+use crate::connectivity::{quotient_valence_report_ids, valence_report_ids, ConnectivityReport};
 use crate::model::ExecutionTrace;
 use crate::space::{StateId, StateSpace};
+use crate::sym::Symmetric;
 use crate::telemetry::Span;
-use crate::valence::{undecided_non_failed, Valence};
+use crate::valence::{undecided_non_failed, QuotientSolver, Valence};
 use crate::{LayeredModel, ValenceSolver};
 
 /// Lemma 4.1, executed: a bivalent state in `S(x)`, if any.
@@ -376,6 +377,228 @@ fn scan_ids<M: LayeredModel>(
         layers_checked,
         states_seen,
         violation: None,
+    }
+}
+
+/// Quotient twin of [`scan_layer_valence_connectivity`]: sweeps one orbit
+/// representative per reachable orbit and checks valence connectivity of
+/// each representative's *orbit-collapsed* layer.
+///
+/// Soundness: over an equivariant layering the quotient BFS visits exactly
+/// the orbits of the full BFS's states (bivalence is orbit-invariant, so
+/// the `only_bivalent` filter selects the same orbits), and a collapsed
+/// layer's `connected` verdict equals the full layer's (see
+/// [`quotient_valence_report_ids`]). `layers_checked` / `states_seen`
+/// count *orbits* and are therefore smaller than the full scan's — that
+/// reduction is the point.
+pub fn scan_layer_valence_connectivity_quotient<M: Symmetric>(
+    solver: &mut QuotientSolver<'_, M>,
+    depth_limit: usize,
+    only_bivalent: bool,
+) -> LayerScan<M::State> {
+    scan_quotient_ids(solver, depth_limit, only_bivalent)
+}
+
+/// [`scan_layer_valence_connectivity_quotient`] with the successor
+/// computation *and canonicalization* fanned out across up to `threads`
+/// scoped workers, by pre-expanding the quotient graph with
+/// [`QuotientSpace::expand_layers_parallel`](crate::space::QuotientSpace::expand_layers_parallel)
+/// (bit-identical to sequential expansion) before the scan.
+pub fn scan_layer_valence_connectivity_quotient_parallel<M>(
+    solver: &mut QuotientSolver<'_, M>,
+    depth_limit: usize,
+    only_bivalent: bool,
+    threads: usize,
+) -> LayerScan<M::State>
+where
+    M: Symmetric + Sync,
+    M::State: Send + Sync,
+{
+    let model = solver.model();
+    let obs = solver.observer();
+    let roots = model.initial_states();
+    let expand_to = solver.horizon().max(depth_limit + 1);
+    solver
+        .space_mut()
+        .expand_layers_parallel(model, &roots, expand_to, threads, obs);
+    scan_quotient_ids(solver, depth_limit, only_bivalent)
+}
+
+fn scan_quotient_ids<M: Symmetric>(
+    solver: &mut QuotientSolver<'_, M>,
+    depth_limit: usize,
+    only_bivalent: bool,
+) -> LayerScan<M::State> {
+    let model = solver.model();
+    let obs = solver.observer();
+    let _span = Span::enter(obs, "layering.layer_scan");
+    let mut frontier: Vec<StateId> = Vec::new();
+    let mut roots_seen: HashSet<StateId> = HashSet::new();
+    for x in model.initial_states() {
+        let (id, _) = solver.intern(&x);
+        if roots_seen.insert(id) {
+            frontier.push(id);
+        }
+    }
+    let mut states_seen = frontier.len();
+    let mut layers_checked = 0;
+    obs.gauge("engine.frontier_width", frontier.len() as u64);
+    for _ in 0..=depth_limit {
+        let mut next: Vec<StateId> = Vec::new();
+        let mut seen: HashSet<StateId> = HashSet::new();
+        for &id in &frontier {
+            obs.counter("engine.states_visited", 1);
+            if only_bivalent && !solver.is_bivalent_id(id) {
+                continue;
+            }
+            let layer = solver.successor_ids(id);
+            let report = quotient_valence_report_ids(solver, &layer);
+            layers_checked += 1;
+            obs.counter("layering.layers_scanned", 1);
+            if !report.connected {
+                obs.event(
+                    "layering.scan_violation",
+                    &format!(
+                        "disconnected layer: {} orbits in {} components",
+                        report.states, report.components
+                    ),
+                );
+                return LayerScan {
+                    layers_checked,
+                    states_seen,
+                    violation: Some((solver.space().resolve(id).clone(), report)),
+                };
+            }
+            if model.depth(solver.space().resolve(id)) < depth_limit {
+                for y in layer {
+                    if seen.insert(y) {
+                        next.push(y);
+                    } else {
+                        obs.counter("engine.dedup_hits", 1);
+                    }
+                }
+            }
+        }
+        frontier = next;
+        obs.gauge("engine.frontier_width", frontier.len() as u64);
+        states_seen += frontier.len();
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    LayerScan {
+        layers_checked,
+        states_seen,
+        violation: None,
+    }
+}
+
+/// Quotient twin of [`bivalent_successor_id`]: the first bivalent orbit in
+/// the collapsed layer of `x`'s representative, in edge order.
+pub fn bivalent_successor_quotient_id<M: Symmetric>(
+    solver: &mut QuotientSolver<'_, M>,
+    x: StateId,
+) -> Option<StateId> {
+    let obs = solver.observer();
+    solver.successor_ids(x).into_iter().find(|&y| {
+        obs.counter("layering.candidates_tested", 1);
+        solver.is_bivalent_id(y)
+    })
+}
+
+/// The Theorem 4.2 loop over the quotient graph: finds a bivalent initial
+/// orbit and extends it through `steps` collapsed layers, keeping every
+/// orbit bivalent. The returned [`InternedRun`]'s chain holds ids into the
+/// solver's [`QuotientSpace`](crate::space::QuotientSpace); de-quotient it
+/// into a genuine execution with [`dequotient_run`].
+///
+/// The recorded undecided counts are taken on the representatives, which
+/// is sound: the number of undecided non-failed processes is invariant
+/// under renaming (`decision` and `failed_at` transport along the
+/// permutation), so every member of the orbit has the same count.
+pub fn build_bivalent_run_quotient<M: Symmetric>(
+    solver: &mut QuotientSolver<'_, M>,
+    steps: usize,
+) -> InternedRun {
+    let obs = solver.observer();
+    let _span = Span::enter(obs, "layering.bivalent_run");
+    let Some(x0) = solver.bivalent_initial_id() else {
+        obs.counter("layering.stuck", 1);
+        obs.event("layering.stuck", "no_bivalent_initial_state");
+        return InternedRun {
+            chain: Vec::new(),
+            stuck: Some(Stuck::NoBivalentInitialState),
+            undecided_per_state: Vec::new(),
+        };
+    };
+    let model = solver.model();
+    let mut chain = vec![x0];
+    let mut undecided = vec![undecided_non_failed(model, solver.space().resolve(x0)).len()];
+    for _ in 0..steps {
+        let x = *chain.last().expect("chain is non-empty");
+        match bivalent_successor_quotient_id(solver, x) {
+            Some(y) => {
+                obs.counter("layering.extensions", 1);
+                undecided.push(undecided_non_failed(model, solver.space().resolve(y)).len());
+                chain.push(y);
+                obs.gauge("layering.run_length", (chain.len() - 1) as u64);
+            }
+            None => {
+                let layer = solver.successor_ids(x);
+                let report = quotient_valence_report_ids(solver, &layer);
+                let depth = model.depth(solver.space().resolve(x));
+                obs.counter("layering.stuck", 1);
+                obs.event(
+                    "layering.stuck",
+                    &format!(
+                        "no_bivalent_successor depth={depth} layer_orbits={} components={}",
+                        report.states, report.components
+                    ),
+                );
+                return InternedRun {
+                    chain,
+                    stuck: Some(Stuck::NoBivalentSuccessor {
+                        depth,
+                        layer_report: report,
+                    }),
+                    undecided_per_state: undecided,
+                };
+            }
+        }
+    }
+    InternedRun {
+        chain,
+        stuck: None,
+        undecided_per_state: undecided,
+    }
+}
+
+/// Materializes a quotient-built [`InternedRun`] into a state-typed outcome
+/// whose chain is a *genuine execution* of the model, reconstructed from
+/// the per-edge witnessing permutations (see
+/// [`QuotientSpace::dequotient_path`](crate::space::QuotientSpace::dequotient_path)).
+///
+/// # Panics
+///
+/// Panics if the run's chain ids are not connected by cached quotient edges
+/// (they always are for runs built by [`build_bivalent_run_quotient`] on
+/// the same solver).
+pub fn dequotient_run<M: Symmetric>(
+    solver: &QuotientSolver<'_, M>,
+    run: &InternedRun,
+) -> BivalentRunOutcome<M::State> {
+    BivalentRunOutcome {
+        chain: if run.chain.is_empty() {
+            None
+        } else {
+            let states = solver
+                .space()
+                .dequotient_path(solver.model(), &run.chain)
+                .expect("quotient run chains follow cached edges");
+            Some(ExecutionTrace::new(states))
+        },
+        stuck: run.stuck.clone(),
+        undecided_per_state: run.undecided_per_state.clone(),
     }
 }
 

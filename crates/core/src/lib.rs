@@ -48,6 +48,7 @@ pub mod report;
 pub mod sim;
 pub mod space;
 pub mod stats;
+pub mod sym;
 pub mod telemetry;
 pub mod testkit;
 mod valence;
@@ -60,17 +61,19 @@ pub use checker::{
     check_graded, trace_to, ConsensusReport, Violation,
 };
 pub use connectivity::{
-    input_interpolation, s_diameter, similar, similarity_chain_between,
-    similarity_chain_between_with, similarity_graph, similarity_graph_ids, similarity_graph_with,
-    similarity_report, similarity_report_ids, similarity_report_with, similarity_witness,
-    valence_graph, valence_graph_ids, valence_report, valence_report_ids, ConnectivityReport,
-    SimilarityChain, SimilarityWitness,
+    input_interpolation, quotient_valence_graph_ids, quotient_valence_report_ids, s_diameter,
+    similar, similarity_chain_between, similarity_chain_between_with, similarity_graph,
+    similarity_graph_ids, similarity_graph_with, similarity_report, similarity_report_ids,
+    similarity_report_with, similarity_witness, valence_graph, valence_graph_ids, valence_report,
+    valence_report_ids, ConnectivityReport, SimilarityChain, SimilarityWitness,
 };
 pub use layering::{
-    bivalent_successor, bivalent_successor_id, build_bivalent_run, build_bivalent_run_interned,
-    check_lemma_3_1, check_lemma_3_2, extend_bivalent_run, extend_bivalent_run_interned,
-    scan_layer_valence_connectivity, scan_layer_valence_connectivity_parallel, BivalentRunOutcome,
-    InternedRun, LayerScan, Stuck,
+    bivalent_successor, bivalent_successor_id, bivalent_successor_quotient_id, build_bivalent_run,
+    build_bivalent_run_interned, build_bivalent_run_quotient, check_lemma_3_1, check_lemma_3_2,
+    dequotient_run, extend_bivalent_run, extend_bivalent_run_interned,
+    scan_layer_valence_connectivity, scan_layer_valence_connectivity_parallel,
+    scan_layer_valence_connectivity_quotient, scan_layer_valence_connectivity_quotient_parallel,
+    BivalentRunOutcome, InternedRun, LayerScan, Stuck,
 };
 pub use model::{
     explore, explore_with, states_at_depth, states_at_depth_with, ExecutionTrace, Exploration,
@@ -78,8 +81,9 @@ pub use model::{
 };
 pub use pid::{binary_input_vectors, Pid, Value};
 pub use sim::{MoveRecord, SimModel};
-pub use space::{StateId, StateSpace};
+pub use space::{QuotientSpace, StateId, StateSpace};
 pub use stats::{census, census_with, LevelCensus};
+pub use sym::{canonicalize_by_min, orbit_size, PidPerm, Symmetric};
 pub use telemetry::{JsonlObserver, MetricsRegistry, MetricsSnapshot, NoopObserver, Observer};
-pub use valence::{undecided_non_failed, Valence, ValenceSolver, Valences};
+pub use valence::{undecided_non_failed, QuotientSolver, Valence, ValenceSolver, Valences};
 pub use witness::{ImpossibilityWitness, InternedWitness, WitnessError};

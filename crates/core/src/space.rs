@@ -31,11 +31,12 @@
 //! or the contents of any layer, so sequential and parallel expansion are
 //! bit-identical.
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 
+use fxhash::{FxHashMap, FxHasher};
+
+use crate::sym::{PidPerm, Symmetric};
 use crate::telemetry::{Observer, Span, NOOP};
 use crate::LayeredModel;
 
@@ -87,7 +88,10 @@ pub struct StateSpace<M: LayeredModel> {
     states: Vec<M::State>,
     /// Hash-bucketed index: state hash → candidate ids (collisions resolved
     /// by equality against `states`). Stores every state once, in `states`.
-    index: HashMap<u64, Vec<StateId>>,
+    /// Keyed and hashed with the vendored FxHash — states are hashed on
+    /// every intern, and the keyless multiply-rotate mix is both faster
+    /// than `std`'s SipHash and deterministic across runs and machines.
+    index: FxHashMap<u64, Vec<StateId>>,
     succ: Vec<Option<SuccRange>>,
     edges: Vec<StateId>,
 }
@@ -104,7 +108,7 @@ impl<M: LayeredModel> StateSpace<M> {
     pub fn new() -> Self {
         StateSpace {
             states: Vec::new(),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             succ: Vec::new(),
             edges: Vec::new(),
         }
@@ -129,7 +133,7 @@ impl<M: LayeredModel> StateSpace<M> {
     }
 
     fn hash_of(s: &M::State) -> u64 {
-        let mut h = DefaultHasher::new();
+        let mut h = FxHasher::default();
         s.hash(&mut h);
         h.finish()
     }
@@ -188,6 +192,14 @@ impl<M: LayeredModel> StateSpace<M> {
         ids.iter().map(|&id| self.resolve(id).clone()).collect()
     }
 
+    /// Borrowed twin of [`StateSpace::materialize`]: views into the arena
+    /// for callers that only need to *read* the states behind `ids` — no
+    /// per-state clone.
+    #[must_use]
+    pub fn resolve_many(&self, ids: &[StateId]) -> Vec<&M::State> {
+        ids.iter().map(|&id| self.resolve(id)).collect()
+    }
+
     /// The cached successor list of `id`, or `None` if it has not been
     /// computed yet.
     #[must_use]
@@ -217,8 +229,10 @@ impl<M: LayeredModel> StateSpace<M> {
     /// caching the list on first use.
     pub fn successor_ids(&mut self, model: &M, id: StateId, obs: &dyn Observer) -> Vec<StateId> {
         if self.succ[id.index()].is_none() {
-            let x = self.states[id.index()].clone();
-            let succs = model.successors(&x);
+            // The successor computation only needs a shared borrow of the
+            // arena; the borrow ends before `record_successors` mutates it,
+            // so the previous full state clone here was pure overhead.
+            let succs = model.successors(&self.states[id.index()]);
             self.record_successors(id, &succs, obs);
         }
         self.cached_successors(id)
@@ -245,28 +259,34 @@ impl<M: LayeredModel> StateSpace<M> {
         M: Sync,
         M::State: Send + Sync,
     {
-        let pending: Vec<(StateId, M::State)> = ids
+        let pending: Vec<StateId> = ids
             .iter()
+            .copied()
             .filter(|id| self.succ[id.index()].is_none())
-            .map(|&id| (id, self.states[id.index()].clone()))
             .collect();
         if pending.is_empty() {
             return;
         }
         let threads = threads.max(1).min(pending.len());
         if threads == 1 {
-            for (id, x) in &pending {
-                let succs = model.successors(x);
-                self.record_successors(*id, &succs, obs);
+            for &id in &pending {
+                let succs = model.successors(&self.states[id.index()]);
+                self.record_successors(id, &succs, obs);
             }
             return;
         }
-        let chunk = pending.len().div_ceil(threads);
+        // Workers borrow the arena's state vector directly (no per-state
+        // clones); the merge below runs after the scope ends, when the
+        // shared borrow is released.
+        let states = &self.states;
         let computed: Vec<Vec<Vec<M::State>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = pending
-                .chunks(chunk)
+            let handles: Vec<_> = balanced_chunks(&pending, threads)
                 .map(|part| {
-                    scope.spawn(move || part.iter().map(|(_, x)| model.successors(x)).collect())
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|id| model.successors(&states[id.index()]))
+                            .collect()
+                    })
                 })
                 .collect();
             handles
@@ -274,8 +294,8 @@ impl<M: LayeredModel> StateSpace<M> {
                 .map(|h| h.join().expect("successor worker panicked"))
                 .collect()
         });
-        for ((id, _), succs) in pending.iter().zip(computed.iter().flatten()) {
-            self.record_successors(*id, succs, obs);
+        for (&id, succs) in pending.iter().zip(computed.iter().flatten()) {
+            self.record_successors(id, succs, obs);
         }
     }
 
@@ -360,6 +380,452 @@ impl<M: LayeredModel> StateSpace<M> {
             frontier = next;
         }
         levels
+    }
+}
+
+/// Splits `items` into at most `parts` contiguous chunks whose lengths
+/// differ by at most one (the first `len % parts` chunks get the extra
+/// element). Unlike `chunks(len.div_ceil(parts))`, this never produces a
+/// degenerate tail chunk — 9 items over 8 workers yield chunks of
+/// 2,1,1,1,1,1,1,1 instead of four chunks of 2 and one of 1 on 5 workers.
+fn balanced_chunks<T>(items: &[T], parts: usize) -> impl Iterator<Item = &[T]> {
+    let parts = parts.clamp(1, items.len().max(1));
+    let base = items.len() / parts;
+    let extra = items.len() % parts;
+    let mut start = 0;
+    (0..parts).map(move |k| {
+        let len = base + usize::from(k < extra);
+        let part = &items[start..start + len];
+        start += len;
+        part
+    })
+}
+
+/// A hash-consing arena over *canonical orbit representatives* of a
+/// [`Symmetric`] model's states.
+///
+/// Interning canonicalizes first: all `n!` process renamings of a state
+/// collapse to one [`StateId`], so the arena holds exactly one state per
+/// orbit and successor lists are computed once per orbit instead of once
+/// per member. Each cached edge `c → c'` additionally stores a permutation
+/// `σ` such that `σ · y = c'` for the raw successor `y ∈ S(c)` it came
+/// from; [`QuotientSpace::dequotient_path`] folds those witnesses back into
+/// a genuine execution of the model (see the de-quotienting recurrence
+/// there), which is how id paths through the quotient turn into runs that
+/// pass [`ExecutionTrace::validate`](crate::ExecutionTrace::validate).
+///
+/// # Soundness requires an equivariant layering
+///
+/// The construction is a quotient of the layered graph only when
+/// `S(π·x) = π·S(x)`; [`QuotientSpace::new`] therefore panics unless
+/// [`Symmetric::symmetric_layering`] holds for the model's current
+/// configuration (each model crate's *full* layering variant).
+///
+/// # Id layout and determinism
+///
+/// Identical to [`StateSpace`]: ids are assigned in interning order of the
+/// canonical representatives, successor lists are CSR-packed, and the
+/// parallel expansion path is bit-identical to the sequential one (workers
+/// compute *and canonicalize* successors for disjoint frontier chunks —
+/// both pure — and the merge happens on the calling thread in frontier
+/// order).
+pub struct QuotientSpace<M: Symmetric> {
+    /// Canonical representatives, indexed by [`StateId`].
+    states: Vec<M::State>,
+    /// Orbit size of each representative (distinct renamings of it).
+    orbit_sizes: Vec<u64>,
+    index: FxHashMap<u64, Vec<StateId>>,
+    succ: Vec<Option<SuccRange>>,
+    edges: Vec<StateId>,
+    /// Per-edge witnessing permutation, parallel to `edges`: for the edge
+    /// at position `e` from `c` to `c'`, `edge_perms[e] · y = c'` where
+    /// `y ∈ S(c)` is the raw successor the edge was computed from.
+    edge_perms: Vec<PidPerm>,
+}
+
+/// A raw successor, canonicalized: the orbit representative, the witnessing
+/// permutation, and the orbit size (precomputed off-arena so parallel
+/// workers can do the `n!`-enumeration work).
+type CanonSucc<M> = (<M as LayeredModel>::State, PidPerm, u64);
+
+impl<M: Symmetric> QuotientSpace<M> {
+    /// An empty quotient arena for `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's current layering is not equivariant
+    /// ([`Symmetric::symmetric_layering`] is `false`) — quotienting a
+    /// prefix-based layering would silently prune reachable orbits.
+    #[must_use]
+    pub fn new(model: &M) -> Self {
+        assert!(
+            model.symmetric_layering(),
+            "QuotientSpace requires an equivariant layering \
+             (use the model's full/symmetric layering variant)"
+        );
+        QuotientSpace {
+            states: Vec::new(),
+            orbit_sizes: Vec::new(),
+            index: FxHashMap::default(),
+            succ: Vec::new(),
+            edges: Vec::new(),
+            edge_perms: Vec::new(),
+        }
+    }
+
+    /// Number of orbits interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether no orbit has been interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Total successor edges cached so far (with multiplicity).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total full-space states covered by the interned orbits (the sum of
+    /// their orbit sizes) — the denominator-free form of the compression
+    /// the quotient achieves.
+    #[must_use]
+    pub fn covered_states(&self) -> u64 {
+        self.orbit_sizes.iter().sum()
+    }
+
+    fn hash_of(s: &M::State) -> u64 {
+        let mut h = FxHasher::default();
+        s.hash(&mut h);
+        h.finish()
+    }
+
+    /// Interns a state that is *already* a canonical representative with a
+    /// known orbit size. Internal: callers go through `intern_with`.
+    fn intern_canonical(&mut self, rep: &M::State, orbit: u64, obs: &dyn Observer) -> StateId {
+        let h = Self::hash_of(rep);
+        if let Some(bucket) = self.index.get(&h) {
+            for &id in bucket {
+                if &self.states[id.index()] == rep {
+                    obs.counter("space.canon.hits", 1);
+                    return id;
+                }
+            }
+        }
+        let id = StateId(u32::try_from(self.states.len()).expect("more than u32::MAX orbits"));
+        self.states.push(rep.clone());
+        self.orbit_sizes.push(orbit);
+        self.succ.push(None);
+        self.index.entry(h).or_default().push(id);
+        obs.counter("space.canon.orbit_states", orbit);
+        obs.gauge("space.states", self.states.len() as u64);
+        // Average orbit size ×100 (fixed-point): how many full-space states
+        // each interned representative stands for.
+        obs.gauge(
+            "space.quotient.ratio",
+            self.covered_states() * 100 / self.states.len() as u64,
+        );
+        id
+    }
+
+    /// Interns the orbit of `x`, returning the representative's id and a
+    /// permutation `π` with `π · x == representative`.
+    pub fn intern(&mut self, model: &M, x: &M::State) -> (StateId, PidPerm) {
+        self.intern_with(model, x, &NOOP)
+    }
+
+    /// [`QuotientSpace::intern`] with telemetry: canonicalization runs
+    /// under a `space.canonicalize` span and reports `space.canon.hits` /
+    /// `space.canon.orbit_states` counters plus the `space.states` and
+    /// `space.quotient.ratio` gauges.
+    pub fn intern_with(
+        &mut self,
+        model: &M,
+        x: &M::State,
+        obs: &dyn Observer,
+    ) -> (StateId, PidPerm) {
+        let (rep, perm, orbit) = {
+            let _span = Span::enter(obs, "space.canonicalize");
+            let (rep, perm) = model.canonicalize(x);
+            let orbit = crate::sym::orbit_size(model, x) as u64;
+            (rep, perm, orbit)
+        };
+        let id = self.intern_canonical(&rep, orbit, obs);
+        (id, perm)
+    }
+
+    /// The representative's id for `x`'s orbit if it has been interned,
+    /// without interning it.
+    #[must_use]
+    pub fn get(&self, model: &M, x: &M::State) -> Option<StateId> {
+        let (rep, _) = model.canonicalize(x);
+        let h = Self::hash_of(&rep);
+        self.index
+            .get(&h)?
+            .iter()
+            .copied()
+            .find(|id| self.states[id.index()] == rep)
+    }
+
+    /// The canonical representative behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this space.
+    #[must_use]
+    pub fn resolve(&self, id: StateId) -> &M::State {
+        &self.states[id.index()]
+    }
+
+    /// The orbit size of the representative behind `id`.
+    #[must_use]
+    pub fn orbit_size_of(&self, id: StateId) -> u64 {
+        self.orbit_sizes[id.index()]
+    }
+
+    /// Clones the representatives behind `ids` out of the arena.
+    #[must_use]
+    pub fn materialize(&self, ids: &[StateId]) -> Vec<M::State> {
+        ids.iter().map(|&id| self.resolve(id).clone()).collect()
+    }
+
+    /// The cached successor list of `id` (orbit representatives), or `None`
+    /// if it has not been computed yet.
+    #[must_use]
+    pub fn cached_successors(&self, id: StateId) -> Option<&[StateId]> {
+        self.succ[id.index()].map(|r| {
+            let start = r.start as usize;
+            &self.edges[start..start + r.len as usize]
+        })
+    }
+
+    /// The cached successor list of `id` together with the per-edge
+    /// witnessing permutations.
+    #[must_use]
+    pub fn cached_successors_with_perms(&self, id: StateId) -> Option<(&[StateId], &[PidPerm])> {
+        self.succ[id.index()].map(|r| {
+            let (start, end) = (r.start as usize, r.start as usize + r.len as usize);
+            (&self.edges[start..end], &self.edge_perms[start..end])
+        })
+    }
+
+    /// Canonicalizes the raw successors of the representative behind `id`
+    /// (pure; used directly by parallel workers).
+    fn canon_successors_of(&self, model: &M, id: StateId) -> Vec<CanonSucc<M>> {
+        model
+            .successors(&self.states[id.index()])
+            .into_iter()
+            .map(|y| {
+                let (rep, perm) = model.canonicalize(&y);
+                let orbit = crate::sym::orbit_size(model, &y) as u64;
+                (rep, perm, orbit)
+            })
+            .collect()
+    }
+
+    /// Interns pre-canonicalized successors of `id` into the edge arrays,
+    /// deduplicating by representative id (first witness wins). No-op if
+    /// `id`'s successors are already cached.
+    fn record_successors(&mut self, id: StateId, succs: &[CanonSucc<M>], obs: &dyn Observer) {
+        if self.succ[id.index()].is_some() {
+            return;
+        }
+        let start = u32::try_from(self.edges.len()).expect("more than u32::MAX edges");
+        let mut seen: HashSet<StateId> = HashSet::new();
+        for (rep, perm, orbit) in succs {
+            let yid = self.intern_canonical(rep, *orbit, obs);
+            if seen.insert(yid) {
+                self.edges.push(yid);
+                self.edge_perms.push(perm.clone());
+            }
+        }
+        let len = u32::try_from(seen.len()).expect("layer larger than u32::MAX");
+        self.succ[id.index()] = Some(SuccRange { start, len });
+    }
+
+    /// The successor orbit ids of `id` under `model`'s layering, computing,
+    /// canonicalizing and caching the list on first use. Multiple raw
+    /// successors in the same orbit collapse to one edge.
+    pub fn successor_ids(&mut self, model: &M, id: StateId, obs: &dyn Observer) -> Vec<StateId> {
+        if self.succ[id.index()].is_none() {
+            let succs = self.canon_successors_of(model, id);
+            self.record_successors(id, &succs, obs);
+        }
+        self.cached_successors(id)
+            .expect("successors just recorded")
+            .to_vec()
+    }
+
+    /// Eagerly computes, canonicalizes and caches the successor lists of
+    /// `ids`, fanning the per-orbit work (`model.successors` plus the
+    /// `n!`-enumeration canonicalization of every raw successor — the
+    /// expensive part of quotient expansion) across up to `threads` scoped
+    /// workers. Deterministic for the same reason as
+    /// [`StateSpace::prefetch_successors`]: workers only run pure
+    /// functions, and the merge happens in frontier order.
+    pub fn prefetch_successors(
+        &mut self,
+        model: &M,
+        ids: &[StateId],
+        threads: usize,
+        obs: &dyn Observer,
+    ) where
+        M: Sync,
+        M::State: Send + Sync,
+    {
+        let pending: Vec<StateId> = ids
+            .iter()
+            .copied()
+            .filter(|id| self.succ[id.index()].is_none())
+            .collect();
+        if pending.is_empty() {
+            return;
+        }
+        let threads = threads.max(1).min(pending.len());
+        if threads == 1 {
+            for &id in &pending {
+                let succs = self.canon_successors_of(model, id);
+                self.record_successors(id, &succs, obs);
+            }
+            return;
+        }
+        let this = &*self;
+        let computed: Vec<Vec<Vec<CanonSucc<M>>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = balanced_chunks(&pending, threads)
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|&id| this.canon_successors_of(model, id))
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("canonicalization worker panicked"))
+                .collect()
+        });
+        for (&id, succs) in pending.iter().zip(computed.iter().flatten()) {
+            self.record_successors(id, succs, obs);
+        }
+    }
+
+    /// Breadth-first expansion of the *quotient* graph from `roots` for
+    /// `horizon` layers: each root is canonicalized and interned, and each
+    /// level holds the distinct orbit representatives at that depth.
+    ///
+    /// Telemetry mirrors [`StateSpace::expand_layers`] (`space.build` span,
+    /// `engine.*` counters) plus the quotient counters from
+    /// [`QuotientSpace::intern_with`].
+    pub fn expand_layers(
+        &mut self,
+        model: &M,
+        roots: &[M::State],
+        horizon: usize,
+        obs: &dyn Observer,
+    ) -> Vec<Vec<StateId>> {
+        self.expand_with(model, roots, horizon, obs, |_, _| {})
+    }
+
+    /// [`QuotientSpace::expand_layers`] with per-level successor
+    /// computation and canonicalization fanned out across up to `threads`
+    /// scoped workers. Bit-identical to the sequential path.
+    pub fn expand_layers_parallel(
+        &mut self,
+        model: &M,
+        roots: &[M::State],
+        horizon: usize,
+        threads: usize,
+        obs: &dyn Observer,
+    ) -> Vec<Vec<StateId>>
+    where
+        M: Sync,
+        M::State: Send + Sync,
+    {
+        self.expand_with(model, roots, horizon, obs, |space, frontier| {
+            space.prefetch_successors(model, frontier, threads, obs);
+        })
+    }
+
+    fn expand_with(
+        &mut self,
+        model: &M,
+        roots: &[M::State],
+        horizon: usize,
+        obs: &dyn Observer,
+        mut prefetch: impl FnMut(&mut Self, &[StateId]),
+    ) -> Vec<Vec<StateId>> {
+        let _span = Span::enter(obs, "space.build");
+        let mut levels: Vec<Vec<StateId>> = Vec::with_capacity(horizon + 1);
+        let mut frontier: Vec<StateId> = Vec::new();
+        let mut seen: HashSet<StateId> = HashSet::new();
+        for r in roots {
+            let (id, _) = self.intern_with(model, r, obs);
+            if seen.insert(id) {
+                frontier.push(id);
+            } else {
+                obs.counter("engine.dedup_hits", 1);
+            }
+        }
+        obs.gauge("engine.frontier_width", frontier.len() as u64);
+        levels.push(frontier.clone());
+        for _ in 0..horizon {
+            prefetch(self, &frontier);
+            let mut seen: HashSet<StateId> = HashSet::new();
+            let mut next = Vec::new();
+            for &id in &frontier {
+                obs.counter("engine.states_visited", 1);
+                for y in self.successor_ids(model, id, obs) {
+                    if seen.insert(y) {
+                        next.push(y);
+                    } else {
+                        obs.counter("engine.dedup_hits", 1);
+                    }
+                }
+            }
+            obs.gauge("engine.frontier_width", next.len() as u64);
+            levels.push(next.clone());
+            frontier = next;
+        }
+        levels
+    }
+
+    /// De-quotients an id path into a genuine execution of the model.
+    ///
+    /// Given representatives `c₀ → c₁ → ⋯ → c_k` along cached quotient
+    /// edges with witnesses `σᵢ` (`σᵢ · yᵢ = cᵢ` for a raw successor
+    /// `yᵢ ∈ S(cᵢ₋₁)`), the recurrence
+    ///
+    /// ```text
+    ///     ρ₀ = id,   ρᵢ = ρᵢ₋₁ ∘ σᵢ⁻¹,   xᵢ = ρᵢ · cᵢ
+    /// ```
+    ///
+    /// produces states with `x₀ = c₀` and `xᵢ ∈ S(xᵢ₋₁)`: indeed
+    /// `xᵢ = ρᵢ₋₁ · yᵢ` with `yᵢ ∈ S(cᵢ₋₁)`, and equivariance gives
+    /// `ρᵢ₋₁ · S(cᵢ₋₁) = S(ρᵢ₋₁ · cᵢ₋₁) = S(xᵢ₋₁)`. Since canonical
+    /// representatives of initial-state orbits are themselves initial
+    /// states (the initial set is closed under renaming), the returned
+    /// sequence is a genuine `S`-execution whenever `c₀` is initial.
+    ///
+    /// Returns `None` if some consecutive pair is not a cached quotient
+    /// edge (successors never computed, or not actually adjacent).
+    #[must_use]
+    pub fn dequotient_path(&self, model: &M, path: &[StateId]) -> Option<Vec<M::State>> {
+        let first = path.first()?;
+        let mut out = vec![self.resolve(*first).clone()];
+        let mut rho = PidPerm::identity(model.num_processes());
+        for pair in path.windows(2) {
+            let (succs, perms) = self.cached_successors_with_perms(pair[0])?;
+            let pos = succs.iter().position(|&s| s == pair[1])?;
+            rho = rho.compose(&perms[pos].inverse());
+            out.push(model.permute_state(self.resolve(pair[1]), &rho));
+        }
+        Some(out)
     }
 }
 
@@ -449,6 +915,85 @@ mod tests {
         let edges = space.edge_count();
         space.prefetch_successors(&m, &ids, 4, &NOOP);
         assert_eq!(space.edge_count(), edges);
+    }
+
+    #[test]
+    fn balanced_chunks_never_degenerate() {
+        let items: Vec<u32> = (0..9).collect();
+        let parts: Vec<&[u32]> = balanced_chunks(&items, 8).collect();
+        assert_eq!(parts.len(), 8);
+        let lens: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert_eq!(lens, vec![2, 1, 1, 1, 1, 1, 1, 1]);
+        let flat: Vec<u32> = parts.iter().flat_map(|p| p.iter().copied()).collect();
+        assert_eq!(flat, items, "chunks cover the slice in order");
+        // More workers than items: one chunk per item.
+        assert_eq!(balanced_chunks(&items[..2], 8).count(), 2);
+    }
+
+    #[test]
+    fn quotient_interning_collapses_orbits() {
+        let m = CounterModel::new(3, 2);
+        let mut q: QuotientSpace<CounterModel> = QuotientSpace::new(&m);
+        // All single-one input vectors are one orbit.
+        let mut ids = Vec::new();
+        for inputs in crate::binary_input_vectors(3) {
+            if inputs.iter().filter(|&&v| v == crate::Value::ONE).count() == 1 {
+                let (id, perm) = q.intern(&m, &m.initial_state(&inputs));
+                // The witness maps the state onto the stored representative.
+                assert_eq!(
+                    &m.permute_state(&m.initial_state(&inputs), &perm),
+                    q.resolve(id)
+                );
+                ids.push(id);
+            }
+        }
+        assert!(ids.windows(2).all(|w| w[0] == w[1]), "one orbit, one id");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.orbit_size_of(ids[0]), 3);
+        assert_eq!(q.covered_states(), 3);
+    }
+
+    #[test]
+    fn quotient_expansion_parity_and_dequotient() {
+        let m = CounterModel::new(3, 3);
+        let roots = m.initial_states();
+        let mut q: QuotientSpace<CounterModel> = QuotientSpace::new(&m);
+        let levels = q.expand_layers(&m, &roots, 2, &NOOP);
+        // 2^3 = 8 input vectors collapse to 4 orbits (0..=3 ones).
+        assert_eq!(levels[0].len(), 4);
+        // Parallel expansion is bit-identical.
+        for threads in [2, 3, 8] {
+            let mut par: QuotientSpace<CounterModel> = QuotientSpace::new(&m);
+            let par_levels = par.expand_layers_parallel(&m, &roots, 2, threads, &NOOP);
+            assert_eq!(levels, par_levels, "threads={threads}");
+            assert_eq!(q.len(), par.len());
+        }
+        // Any root-to-leaf id path de-quotients into a genuine execution.
+        let path = vec![levels[0][0], q.cached_successors(levels[0][0]).unwrap()[1]];
+        let path = {
+            let mut p = path;
+            let last = *p.last().unwrap();
+            p.push(q.cached_successors(last).unwrap()[0]);
+            p
+        };
+        let genuine = q.dequotient_path(&m, &path).expect("cached edges");
+        let trace = crate::ExecutionTrace::new(genuine);
+        assert!(trace.validate(&m).is_ok());
+    }
+
+    #[test]
+    fn quotient_telemetry_reports_canon_counters() {
+        let m = CounterModel::new(3, 2);
+        let reg = MetricsRegistry::new();
+        let mut q: QuotientSpace<CounterModel> = QuotientSpace::new(&m);
+        let x = m.initial_state(&[crate::Value::ONE, crate::Value::ZERO, crate::Value::ZERO]);
+        let y = m.initial_state(&[crate::Value::ZERO, crate::Value::ZERO, crate::Value::ONE]);
+        q.intern_with(&m, &x, &reg);
+        q.intern_with(&m, &y, &reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("space.canon.hits"), 1, "same orbit twice");
+        assert_eq!(snap.counter("space.canon.orbit_states"), 3);
+        assert_eq!(snap.gauge_max("space.quotient.ratio"), 300);
     }
 
     #[test]

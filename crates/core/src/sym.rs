@@ -1,0 +1,337 @@
+//! Symmetry reduction: process-renaming orbits of global states.
+//!
+//! Every model in the paper is *anonymous* up to process names: permuting
+//! the process identifiers of a global state (inputs, local states,
+//! decisions, failure flags, register/mailbox slots — everything indexed by
+//! a [`Pid`]) yields another legal global state of the same model, and for
+//! the *symmetric* layering variants the layers commute with the renaming:
+//!
+//! ```text
+//!     S(π · x) = π · S(x)        (equivariance)
+//! ```
+//!
+//! Valence is invariant under renaming — a permutation moves *processes*,
+//! never decision *values*, so a nonfaulty 0-decision reachable from `x` is
+//! a nonfaulty 0-decision reachable from `π · x` — and therefore every
+//! valence-connectivity lemma only needs to be checked on one state per
+//! orbit. [`QuotientSpace`](crate::space::QuotientSpace) exploits this by
+//! interning only canonical orbit representatives; this module provides the
+//! group machinery it is built on:
+//!
+//! * [`PidPerm`] — a permutation of `0..n` process identifiers with the
+//!   usual group operations,
+//! * [`Symmetric`] — the trait a model implements to expose its renaming
+//!   action and a canonical-representative choice,
+//! * [`canonicalize_by_min`] — the default representative: the
+//!   lexicographic minimum of the orbit under the state's `Ord`.
+//!
+//! # Equivariance is a property of the layering, not the model
+//!
+//! The *prefix-based* layerings (`S₁`, `S^rw`, `S^t`) are **not**
+//! equivariant: they privilege the natural order of process indices (a
+//! prefix `[k]` of receivers/readers), so the permuted image of a layer
+//! action need not be a layer action. Each model crate therefore carries a
+//! *full* (subset-based) layering variant — genuine layers of the same
+//! underlying model that merely drop the prefix restriction — and
+//! [`Symmetric::symmetric_layering`] reports whether the model's current
+//! configuration is equivariant. The quotient constructions refuse to run
+//! over a non-equivariant layering; they would silently prune reachable
+//! orbits otherwise.
+
+use std::collections::HashSet;
+
+use crate::{LayeredModel, Pid};
+
+/// A permutation `π` of the process identifiers `0..n`, stored in map form:
+/// `perm.apply(Pid::new(i)) == Pid::new(map[i])`.
+///
+/// Acting on a state, `π` *relocates roles*: the process that played index
+/// `i` in `x` plays index `π(i)` in `π · x` (so for any per-process vector
+/// `v` of the state, `(π · v)[π(i)] = v[i]`).
+///
+/// # Examples
+///
+/// ```
+/// use layered_core::sym::PidPerm;
+/// use layered_core::Pid;
+///
+/// let swap = PidPerm::from_map(vec![1, 0, 2]);
+/// assert_eq!(swap.apply(Pid::new(0)), Pid::new(1));
+/// assert_eq!(swap.inverse(), swap);
+/// assert!(swap.compose(&swap).is_identity());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PidPerm {
+    map: Vec<u8>,
+}
+
+impl PidPerm {
+    /// The identity permutation on `n` processes.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        PidPerm {
+            map: (0..n).map(|i| i as u8).collect(),
+        }
+    }
+
+    /// Builds a permutation from its map form (`map[i]` = image of `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` is not a permutation of `0..map.len()`.
+    #[must_use]
+    pub fn from_map(map: Vec<u8>) -> Self {
+        let n = map.len();
+        let mut seen = vec![false; n];
+        for &image in &map {
+            let image = image as usize;
+            assert!(image < n && !seen[image], "not a permutation of 0..{n}");
+            seen[image] = true;
+        }
+        PidPerm { map }
+    }
+
+    /// Number of processes the permutation acts on.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether this is the identity.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().enumerate().all(|(i, &j)| i as u8 == j)
+    }
+
+    /// The image `π(i)` of a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside `0..degree()`.
+    #[must_use]
+    pub fn apply(&self, i: Pid) -> Pid {
+        Pid::new(self.map[i.index()] as usize)
+    }
+
+    /// The inverse permutation `π⁻¹`.
+    #[must_use]
+    pub fn inverse(&self) -> PidPerm {
+        let mut inv = vec![0u8; self.map.len()];
+        for (i, &j) in self.map.iter().enumerate() {
+            inv[j as usize] = i as u8;
+        }
+        PidPerm { map: inv }
+    }
+
+    /// Composition `π ∘ τ`: first `τ`, then `self`
+    /// (`(π ∘ τ)(i) = π(τ(i))`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degrees differ.
+    #[must_use]
+    pub fn compose(&self, tau: &PidPerm) -> PidPerm {
+        assert_eq!(self.degree(), tau.degree(), "degree mismatch");
+        PidPerm {
+            map: tau.map.iter().map(|&i| self.map[i as usize]).collect(),
+        }
+    }
+
+    /// Permutes a per-process vector: `out[π(i)] = v[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != degree()`.
+    #[must_use]
+    pub fn permute_vec<T: Clone>(&self, v: &[T]) -> Vec<T> {
+        assert_eq!(v.len(), self.degree(), "vector/permutation length mismatch");
+        let mut out: Vec<Option<T>> = vec![None; v.len()];
+        for (i, item) in v.iter().enumerate() {
+            out[self.map[i] as usize] = Some(item.clone());
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("permutation is total"))
+            .collect()
+    }
+
+    /// All `n!` permutations of `0..n`, in lexicographic order of their map
+    /// form (so the identity comes first). Intended for the small `n` of
+    /// exhaustive scans; panics if `n > 8` to catch accidental blowups.
+    #[must_use]
+    pub fn all(n: usize) -> Vec<PidPerm> {
+        assert!(n <= 8, "refusing to enumerate {n}! permutations");
+        let mut out = Vec::new();
+        let mut current: Vec<u8> = (0..n as u8).collect();
+        let mut used = vec![false; n];
+        fn rec(
+            n: usize,
+            depth: usize,
+            current: &mut Vec<u8>,
+            used: &mut [bool],
+            out: &mut Vec<PidPerm>,
+        ) {
+            if depth == n {
+                out.push(PidPerm {
+                    map: current.clone(),
+                });
+                return;
+            }
+            for j in 0..n {
+                if !used[j] {
+                    used[j] = true;
+                    current[depth] = j as u8;
+                    rec(n, depth + 1, current, used, out);
+                    used[j] = false;
+                }
+            }
+        }
+        rec(n, 0, &mut current, &mut used, &mut out);
+        out
+    }
+}
+
+/// A model whose states carry a process-renaming action.
+///
+/// Implementors must satisfy, for all permutations `π`, `τ` and states `x`:
+///
+/// * **action laws** — `permute_state(x, id) == x` and
+///   `permute_state(permute_state(x, τ), π) == permute_state(x, π ∘ τ)`;
+/// * **observable equivariance** — per-process observables transport along
+///   the renaming: `decision(π·x, π(i)) == decision(x, i)`,
+///   `failed_at(π·x, π(i)) == failed_at(x, i)`, `depth(π·x) == depth(x)`,
+///   and `inputs_of(π·x)[π(i)] == inputs_of(x)[i]`;
+/// * **layer equivariance**, *when [`symmetric_layering`](Self::symmetric_layering)
+///   returns `true`* — `successors(π·x)` equals `successors(x)` mapped
+///   through `π`, as sets.
+///
+/// [`canonicalize`](Self::canonicalize) must pick the same representative
+/// for every member of an orbit and return the witnessing permutation `π`
+/// with `permute_state(x, π) == representative`. Models with `Ord` states
+/// implement it as a one-liner over [`canonicalize_by_min`].
+pub trait Symmetric: LayeredModel {
+    /// The renaming action `π · x` (role of old index `i` moves to `π(i)`).
+    fn permute_state(&self, x: &Self::State, perm: &PidPerm) -> Self::State;
+
+    /// Whether the model's *current layering configuration* is equivariant
+    /// (`S(π·x) = π·S(x)`). Quotient constructions require `true`.
+    fn symmetric_layering(&self) -> bool;
+
+    /// The canonical representative of `x`'s orbit, plus a permutation `π`
+    /// with `permute_state(x, π) == representative`.
+    fn canonicalize(&self, x: &Self::State) -> (Self::State, PidPerm);
+}
+
+/// The default canonical representative: the lexicographically least state
+/// of the orbit under `Ord`, found by brute-force enumeration of all `n!`
+/// renamings (fine for the `n ≤ 5` of exhaustive scans — at most 120
+/// candidate states per call).
+pub fn canonicalize_by_min<M>(model: &M, x: &M::State) -> (M::State, PidPerm)
+where
+    M: Symmetric,
+    M::State: Ord,
+{
+    let mut best: Option<(M::State, PidPerm)> = None;
+    for perm in PidPerm::all(model.num_processes()) {
+        let y = model.permute_state(x, &perm);
+        match &best {
+            Some((b, _)) if *b <= y => {}
+            _ => best = Some((y, perm)),
+        }
+    }
+    best.expect("n >= 1, so the orbit is non-empty")
+}
+
+/// The size of `x`'s orbit under renaming: the number of distinct states
+/// `π · x` over all `n!` permutations (equal to `n!` divided by the order
+/// of `x`'s stabilizer subgroup).
+pub fn orbit_size<M: Symmetric>(model: &M, x: &M::State) -> usize {
+    let mut seen: HashSet<M::State> = HashSet::new();
+    for perm in PidPerm::all(model.num_processes()) {
+        seen.insert(model.permute_state(x, &perm));
+    }
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::CounterModel;
+    use crate::Value;
+
+    #[test]
+    fn identity_and_inverse_laws() {
+        for n in 1..=4 {
+            let id = PidPerm::identity(n);
+            assert!(id.is_identity());
+            for p in PidPerm::all(n) {
+                assert_eq!(p.compose(&id), p);
+                assert_eq!(id.compose(&p), p);
+                assert!(p.compose(&p.inverse()).is_identity());
+                assert!(p.inverse().compose(&p).is_identity());
+            }
+        }
+    }
+
+    #[test]
+    fn composition_is_associative_and_matches_apply() {
+        let perms = PidPerm::all(3);
+        for a in &perms {
+            for b in &perms {
+                for c in &perms {
+                    assert_eq!(a.compose(b).compose(c), a.compose(&b.compose(c)));
+                }
+                // (a ∘ b)(i) = a(b(i))
+                for i in 0..3 {
+                    let i = Pid::new(i);
+                    assert_eq!(a.compose(b).apply(i), a.apply(b.apply(i)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_enumerates_n_factorial_distinct_perms() {
+        for (n, fact) in [(1, 1), (2, 2), (3, 6), (4, 24)] {
+            let perms = PidPerm::all(n);
+            assert_eq!(perms.len(), fact);
+            let mut distinct: HashSet<Vec<u8>> = HashSet::new();
+            for p in &perms {
+                assert!(distinct.insert(p.map.clone()));
+            }
+            assert!(perms[0].is_identity(), "identity first (lexicographic)");
+        }
+    }
+
+    #[test]
+    fn permute_vec_relocates_roles() {
+        // π = (0→1, 1→2, 2→0): old index 0's entry lands at index 1.
+        let p = PidPerm::from_map(vec![1, 2, 0]);
+        assert_eq!(p.permute_vec(&['a', 'b', 'c']), vec!['c', 'a', 'b']);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn from_map_rejects_non_permutations() {
+        let _ = PidPerm::from_map(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn counter_model_canonicalization() {
+        let m = CounterModel::new(3, 2);
+        let x = m.initial_state(&[Value::ONE, Value::ZERO, Value::ONE]);
+        let (rep, pi) = m.canonicalize(&x);
+        // The witnessing permutation maps x onto the representative.
+        assert_eq!(m.permute_state(&x, &pi), rep);
+        // The representative is canonical: re-canonicalizing is the identity.
+        let (rep2, pi2) = m.canonicalize(&rep);
+        assert_eq!(rep2, rep);
+        assert!(pi2.is_identity() || m.permute_state(&rep, &pi2) == rep);
+        // Orbit of a (1,0,1) input vector: 3 arrangements.
+        assert_eq!(orbit_size(&m, &x), 3);
+        // Every orbit member canonicalizes to the same representative.
+        for perm in PidPerm::all(3) {
+            let y = m.permute_state(&x, &perm);
+            assert_eq!(m.canonicalize(&y).0, rep);
+        }
+    }
+}

@@ -15,6 +15,7 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::space::{StateId, StateSpace};
+use crate::sym::{canonicalize_by_min, PidPerm, Symmetric};
 use crate::telemetry::NOOP;
 use crate::{LayeredModel, Pid, Value};
 
@@ -43,7 +44,7 @@ pub struct CounterModel {
 }
 
 /// The state of a [`CounterModel`].
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct CounterState {
     /// The input vector this run started from.
     pub inputs: Vec<Value>,
@@ -124,6 +125,26 @@ impl LayeredModel for CounterModel {
             depth: x.depth + 1,
             label: 0,
         }
+    }
+}
+
+impl Symmetric for CounterModel {
+    fn permute_state(&self, x: &CounterState, perm: &PidPerm) -> CounterState {
+        CounterState {
+            inputs: perm.permute_vec(&x.inputs),
+            depth: x.depth,
+            label: x.label,
+        }
+    }
+
+    fn symmetric_layering(&self) -> bool {
+        // Successors ignore process identity entirely (only `depth` and
+        // `label` change), so the layering is trivially equivariant.
+        true
+    }
+
+    fn canonicalize(&self, x: &CounterState) -> (CounterState, PidPerm) {
+        canonicalize_by_min(self, x)
     }
 }
 

@@ -20,7 +20,8 @@
 //! *Decision*-violation witnesses and are surfaced by the
 //! [checker](crate::checker).
 
-use crate::space::{StateId, StateSpace};
+use crate::space::{QuotientSpace, StateId, StateSpace};
+use crate::sym::{PidPerm, Symmetric};
 use crate::telemetry::{Observer, NOOP};
 use crate::{LayeredModel, Pid, Value};
 
@@ -189,19 +190,7 @@ impl<'a, M: LayeredModel> ValenceSolver<'a, M> {
     /// Non-binary decision values are ignored by the binary-valence solver
     /// (Section 7's generalized valence handles them).
     pub fn local_valences(&self, x: &M::State) -> Valences {
-        self.obs.counter("valence.decided_probes", 1);
-        let mut flags = Valences::NONE;
-        for i in Pid::all(self.model.num_processes()) {
-            if self.model.failed_at(x, i) {
-                continue;
-            }
-            match self.model.decision(x, i) {
-                Some(Value::ZERO) => flags.zero = true,
-                Some(Value::ONE) => flags.one = true,
-                _ => {}
-            }
-        }
-        flags
+        local_valence_flags(self.model, x, self.obs)
     }
 
     /// The valence flags of the interned state `id` (memoized in a flat
@@ -299,6 +288,179 @@ impl<'a, M: LayeredModel> ValenceSolver<'a, M> {
             .iter()
             .map(|x0| self.intern(x0))
             .collect();
+        ids.into_iter().find(|&id| self.is_bivalent_id(id))
+    }
+}
+
+/// Shared locally-visible-decision sweep behind both solvers.
+fn local_valence_flags<M: LayeredModel>(model: &M, x: &M::State, obs: &dyn Observer) -> Valences {
+    obs.counter("valence.decided_probes", 1);
+    let mut flags = Valences::NONE;
+    for i in Pid::all(model.num_processes()) {
+        if model.failed_at(x, i) {
+            continue;
+        }
+        match model.decision(x, i) {
+            Some(Value::ZERO) => flags.zero = true,
+            Some(Value::ONE) => flags.one = true,
+            _ => {}
+        }
+    }
+    flags
+}
+
+/// Memoizing valence solver over the *quotient* successor graph of a
+/// [`Symmetric`] model: the twin of [`ValenceSolver`] with the memo indexed
+/// by canonical orbit id.
+///
+/// Valence is invariant under process renaming — a permutation relocates
+/// processes, never decision values, and transports `failed_at` along with
+/// `decision` — so the valence flags of an orbit representative are the
+/// valence flags of every member: no permutation of the [`Valences`] flags
+/// is needed when reading answers back for a non-canonical state (the
+/// witnessing permutation matters for reconstructing *runs*, not flags).
+/// One memo entry per orbit replaces up to `n!` entries in the full-space
+/// solver.
+pub struct QuotientSolver<'a, M: Symmetric> {
+    model: &'a M,
+    horizon: usize,
+    space: QuotientSpace<M>,
+    /// Valence memo, indexed by canonical orbit [`StateId`].
+    memo: Vec<Option<Valences>>,
+    obs: &'a dyn Observer,
+}
+
+impl<'a, M: Symmetric> QuotientSolver<'a, M> {
+    /// Creates a quotient solver exploring to total depth `horizon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's current layering is not equivariant (see
+    /// [`QuotientSpace::new`]).
+    #[must_use]
+    pub fn new(model: &'a M, horizon: usize) -> Self {
+        QuotientSolver::with_observer(model, horizon, &NOOP)
+    }
+
+    /// Like [`QuotientSolver::new`], with telemetry.
+    #[must_use]
+    pub fn with_observer(model: &'a M, horizon: usize, obs: &'a dyn Observer) -> Self {
+        QuotientSolver {
+            model,
+            horizon,
+            space: QuotientSpace::new(model),
+            memo: Vec::new(),
+            obs,
+        }
+    }
+
+    /// The solver's quotient arena.
+    #[must_use]
+    pub fn space(&self) -> &QuotientSpace<M> {
+        &self.space
+    }
+
+    /// Mutable access to the quotient arena (used by the layering engine to
+    /// pre-expand layers, possibly in parallel).
+    pub fn space_mut(&mut self) -> &mut QuotientSpace<M> {
+        &mut self.space
+    }
+
+    /// Interns `x`'s orbit, returning the representative's id and the
+    /// witnessing permutation (`π · x` = representative).
+    pub fn intern(&mut self, x: &M::State) -> (StateId, PidPerm) {
+        self.space.intern_with(self.model, x, self.obs)
+    }
+
+    /// The successor orbit ids of `id`, computed (and cached) via the arena.
+    pub fn successor_ids(&mut self, id: StateId) -> Vec<StateId> {
+        let (model, obs) = (self.model, self.obs);
+        self.space.successor_ids(model, id, obs)
+    }
+
+    /// The observer engines built on this solver report to.
+    #[must_use]
+    pub fn observer(&self) -> &'a dyn Observer {
+        self.obs
+    }
+
+    /// The analysis horizon.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// The underlying model.
+    #[must_use]
+    pub fn model(&self) -> &'a M {
+        self.model
+    }
+
+    /// The valence flags of the orbit behind `id` (memoized per orbit).
+    pub fn valences_id(&mut self, id: StateId) -> Valences {
+        self.obs.counter("valence.queries", 1);
+        if let Some(Some(v)) = self.memo.get(id.index()) {
+            self.obs.counter("valence.memo_hits", 1);
+            return *v;
+        }
+        let (mut flags, depth) = {
+            let x = self.space.resolve(id);
+            (
+                local_valence_flags(self.model, x, self.obs),
+                self.model.depth(x),
+            )
+        };
+        if depth < self.horizon && !(flags.zero && flags.one) {
+            for y in self.successor_ids(id) {
+                flags = flags.union(self.valences_id(y));
+                if flags.zero && flags.one {
+                    break;
+                }
+            }
+        }
+        if self.memo.len() < self.space.len() {
+            self.memo.resize(self.space.len(), None);
+        }
+        self.memo[id.index()] = Some(flags);
+        self.obs.counter("valence.states_classified", 1);
+        flags
+    }
+
+    /// The valence classification of the orbit behind `id`.
+    pub fn valence_id(&mut self, id: StateId) -> Valence {
+        self.valences_id(id).classify()
+    }
+
+    /// Whether the orbit behind `id` is bivalent.
+    pub fn is_bivalent_id(&mut self, id: StateId) -> bool {
+        self.valence_id(id).is_bivalent()
+    }
+
+    /// The valence flags of `x` (canonicalized, then memoized by orbit).
+    pub fn valences(&mut self, x: &M::State) -> Valences {
+        let (id, _) = self.intern(x);
+        self.valences_id(id)
+    }
+
+    /// Number of memoized orbits.
+    #[must_use]
+    pub fn memo_len(&self) -> usize {
+        self.memo.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Interns the initial states (orbit-collapsed, in order) and returns
+    /// the first bivalent representative. Since the consensus initial set
+    /// `Con₀` is closed under renaming, representatives of initial orbits
+    /// are themselves genuine initial states.
+    pub fn bivalent_initial_id(&mut self) -> Option<StateId> {
+        let mut ids: Vec<StateId> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for x0 in self.model.initial_states() {
+            let (id, _) = self.intern(&x0);
+            if seen.insert(id) {
+                ids.push(id);
+            }
+        }
         ids.into_iter().find(|&id| self.is_bivalent_id(id))
     }
 }

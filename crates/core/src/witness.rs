@@ -11,7 +11,8 @@
 use crate::connectivity::valence_report;
 use crate::model::{ExecutionTrace, TraceError};
 use crate::space::{StateId, StateSpace};
-use crate::valence::undecided_non_failed;
+use crate::sym::Symmetric;
+use crate::valence::{undecided_non_failed, QuotientSolver};
 use crate::{LayeredModel, ValenceSolver};
 
 /// A packaged impossibility argument for one model + protocol instance.
@@ -76,6 +77,48 @@ impl<S: Clone + Eq + std::hash::Hash + std::fmt::Debug> ImpossibilityWitness<S> 
         let mut solver = ValenceSolver::new(model, horizon);
         let interned = InternedWitness::build_with(&mut solver, steps)?;
         Some(interned.materialize(solver.space()))
+    }
+
+    /// Like [`build`](Self::build), but runs the Theorem 4.2 engine over
+    /// the symmetry-reduced quotient graph — one orbit representative per
+    /// equivalence class of states under process renaming — and then
+    /// *de-quotients* the resulting chain back into a genuine execution of
+    /// `model` using the per-edge witnessing permutations.
+    ///
+    /// The returned witness is indistinguishable from a full-space one: it
+    /// passes the same [`verify`](Self::verify) (which replays layer
+    /// transitions, bivalence, and undecided counts against the model from
+    /// scratch, with no knowledge of the quotient). The undecided counts
+    /// are recomputed on the de-quotiented states rather than copied from
+    /// the representatives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's active layering is not equivariant
+    /// (`symmetric_layering()` is `false`) — quotienting a non-equivariant
+    /// layering would be unsound.
+    pub fn build_quotient<M>(model: &M, horizon: usize, steps: usize) -> Option<Self>
+    where
+        M: Symmetric<State = S>,
+    {
+        let mut solver = QuotientSolver::new(model, horizon);
+        let run = crate::layering::build_bivalent_run_quotient(&mut solver, steps);
+        if !run.reached_target() {
+            return None;
+        }
+        let states = solver
+            .space()
+            .dequotient_path(model, &run.chain)
+            .expect("quotient run chains follow cached edges");
+        let undecided = states
+            .iter()
+            .map(|x| undecided_non_failed(model, x).len())
+            .collect();
+        Some(ImpossibilityWitness {
+            chain: ExecutionTrace::new(states),
+            horizon,
+            undecided,
+        })
     }
 
     /// Re-verifies every part of the witness from scratch.

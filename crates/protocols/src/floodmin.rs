@@ -18,11 +18,15 @@ use std::collections::BTreeSet;
 
 use layered_core::{Pid, Value};
 
-use crate::traits::{MpProtocol, SmProtocol, SyncProtocol};
+use crate::traits::{Anonymous, MpProtocol, SmProtocol, SyncProtocol};
 
 /// Local state of every FloodMin variant: the set of known input values and
 /// the number of completed rounds/phases.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+///
+/// Derives `Ord` (sets compare lexicographically, then the phase counter)
+/// so model states built over it can be canonicalized by the symmetry
+/// engine's minimum-over-orbit rule.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FloodState {
     /// Input values heard of so far (always contains the own input).
     pub known: BTreeSet<Value>,
@@ -122,6 +126,10 @@ impl SyncProtocol for FloodMin {
     }
 }
 
+// FloodMin's transitions only union value sets and bump a counter; no hook
+// reads `me`, `to`, or a sender pid.
+impl Anonymous for FloodMin {}
+
 /// A protocol that decides its own input immediately, without communicating.
 ///
 /// Violates Agreement on every mixed-input run; used to validate that the
@@ -159,6 +167,8 @@ impl SyncProtocol for HastyMin {
         Some(ls.min_known())
     }
 }
+
+impl Anonymous for HastyMin {}
 
 /// Shared-memory FloodMin: write the known set, read all registers, union
 /// them in; decide the minimum after `phases` local phases.
@@ -218,6 +228,8 @@ impl SmProtocol for SmFloodMin {
         format!("SmFloodMin(deadline={})", self.phases)
     }
 }
+
+impl Anonymous for SmFloodMin {}
 
 /// Message-passing FloodMin: broadcast the known set each local phase;
 /// decide the minimum after `phases` local phases.
@@ -285,6 +297,10 @@ impl MpProtocol for MpFloodMin {
         format!("MpFloodMin(deadline={})", self.phases)
     }
 }
+
+// The broadcast in `send` enumerates destinations but the *message* is
+// pid-independent, and `absorb` ignores sender tags.
+impl Anonymous for MpFloodMin {}
 
 #[cfg(test)]
 mod tests {

@@ -48,5 +48,5 @@ pub use eig::{Eig, EigState, EigTree};
 pub use floodmin::{FloodMin, FloodState, HastyMin, MpFloodMin, SmFloodMin};
 pub use fullinfo::{FullInfoMin, View};
 pub use relay::{MpRelayRace, RelayMsg, RelayState, SmRelayRace, SyncRelayRace};
-pub use traits::{MpProtocol, SmProtocol, SyncProtocol};
+pub use traits::{Anonymous, MpProtocol, SmProtocol, SyncProtocol};
 pub use trivial::{MpConstant, MpIdentity, TrivialState};

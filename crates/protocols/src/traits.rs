@@ -27,6 +27,27 @@ fn type_short_name<T>() -> String {
         .to_string()
 }
 
+/// Marker for *anonymous* (pid-oblivious) protocols: the behavior of a
+/// process depends only on its input and on the contents of the messages /
+/// registers it observes — never on process identifiers.
+///
+/// Formally, for every permutation `π` of the process names, running the
+/// protocol at process `π(i)` with `i`'s input and `π`-renamed observations
+/// produces the `π`-renamed local state of running it at `i`. FloodMin-style
+/// protocols qualify (their local state is a value *set* plus a counter);
+/// protocols that break ties by pid, inspect sender identities, or seed
+/// state with `me` do not.
+///
+/// Anonymity is what makes a model's global transition relation equivariant
+/// under process renaming, which in turn is the soundness precondition for
+/// the symmetry-reduced quotient engine
+/// ([`QuotientSpace`](layered_core::QuotientSpace)): the model crates'
+/// `Symmetric` impls are bounded on this marker. Implement it only after
+/// checking the law above — an incorrect `Anonymous` claim silently
+/// invalidates every quotient verdict (the per-model `symmetry.rs` tests
+/// check equivariance empirically at small `n`).
+pub trait Anonymous {}
+
 /// A protocol for synchronous round-based models (`M^mf` of Section 5 and
 /// the t-resilient synchronous model of Section 6).
 ///

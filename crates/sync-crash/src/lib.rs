@@ -41,6 +41,6 @@ mod sim;
 mod state;
 
 pub use lemmas::{check_display_below_budget, check_lemma_6_4, lemma_6_1_chain, lemma_6_2_witness};
-pub use model::CrashModel;
+pub use model::{CrashLayering, CrashModel};
 pub use sim::CrashMove;
 pub use state::CrashState;

@@ -27,10 +27,25 @@
 
 use std::collections::HashSet;
 
-use layered_core::{LayeredModel, Pid, Value};
-use layered_protocols::SyncProtocol;
+use layered_core::{canonicalize_by_min, LayeredModel, Pid, PidPerm, Symmetric, Value};
+use layered_protocols::{Anonymous, SyncProtocol};
 
 use crate::state::CrashState;
+
+/// Which successor function the model exposes through
+/// [`LayeredModel::successors`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CrashLayering {
+    /// The paper's `S^t`: a newly failing process blocks its messages to a
+    /// prefix `[k]` of the processes.
+    #[default]
+    Prefix,
+    /// The full failure environment: a newly failing process blocks its
+    /// messages to an *arbitrary* destination subset `G`. (Exponential
+    /// branching, but closed under process renaming — the layering the
+    /// symmetry-reduced engine quotients.)
+    Full,
+}
 
 /// The t-resilient synchronous model, parameterized by a deterministic
 /// round protocol.
@@ -56,6 +71,7 @@ pub struct CrashModel<P: SyncProtocol> {
     n: usize,
     t: usize,
     protocol: P,
+    layering: CrashLayering,
 }
 
 impl<P: SyncProtocol> CrashModel<P> {
@@ -69,7 +85,19 @@ impl<P: SyncProtocol> CrashModel<P> {
     pub fn new(n: usize, t: usize, protocol: P) -> Self {
         assert!(n >= 3, "the Section 6 analysis assumes n >= 3");
         assert!((1..=n - 2).contains(&t), "requires 1 <= t <= n - 2");
-        CrashModel { n, t, protocol }
+        CrashModel {
+            n,
+            t,
+            protocol,
+            layering: CrashLayering::Prefix,
+        }
+    }
+
+    /// Selects the successor function exposed by [`LayeredModel`].
+    #[must_use]
+    pub fn with_layering(mut self, layering: CrashLayering) -> Self {
+        self.layering = layering;
+        self
     }
 
     /// The resilience parameter `t`.
@@ -103,21 +131,42 @@ impl<P: SyncProtocol> CrashModel<P> {
         x: &CrashState<P::LocalState>,
         new_failure: Option<(Pid, usize)>,
     ) -> CrashState<P::LocalState> {
+        let prefixed = new_failure.map(|(j, k)| {
+            assert!(k <= self.n, "prefix bound out of range");
+            (j, Pid::all(k).collect::<Vec<_>>())
+        });
+        self.apply_subset(x, prefixed.as_ref().map(|(j, g)| (*j, g.as_slice())))
+    }
+
+    /// Like [`apply`](Self::apply), but `new_failure = Some((j, G))` blocks
+    /// `j`'s messages to an *arbitrary* destination subset `G` — the general
+    /// failure environment that [`CrashLayering::Full`] exposes.
+    ///
+    /// As with prefixes, the failure is recorded only if a message is
+    /// actually lost, so `G ⊆ {j}` is identical to the failure-free round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is already failed or the failure budget `t` is
+    /// exhausted.
+    #[must_use]
+    pub fn apply_subset(
+        &self,
+        x: &CrashState<P::LocalState>,
+        new_failure: Option<(Pid, &[Pid])>,
+    ) -> CrashState<P::LocalState> {
         let n = self.n;
         let mut failed = x.failed.clone();
         let mut blocked: HashSet<(usize, usize)> = HashSet::new(); // (from, to)
-        if let Some((j, k)) = new_failure {
+        if let Some((j, lost_to)) = new_failure {
             assert!(!x.failed.contains(&j), "process already failed");
-            assert!(k <= n, "prefix bound out of range");
             assert!(x.failed.len() < self.t, "failure budget exhausted");
-            let mut lost_any = false;
-            for to in 0..k {
-                if to != j.index() {
-                    blocked.insert((j.index(), to));
-                    lost_any = true;
+            for to in lost_to {
+                if *to != j {
+                    blocked.insert((j.index(), to.index()));
                 }
             }
-            if lost_any {
+            if !blocked.is_empty() {
                 failed.insert(j);
             }
         }
@@ -171,6 +220,32 @@ impl<P: SyncProtocol> CrashModel<P> {
         }
         out
     }
+
+    /// The full-environment layer of `x`: `{ x(j, G) }` over all arbitrary
+    /// destination subsets `G`, deduplicated (what
+    /// [`CrashLayering::Full`] exposes as [`LayeredModel::successors`]).
+    #[must_use]
+    pub fn full_layer(&self, x: &CrashState<P::LocalState>) -> Vec<CrashState<P::LocalState>> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let clean = self.apply_subset(x, None);
+        seen.insert(clean.clone());
+        out.push(clean);
+        if x.failed.len() < self.t {
+            for j in Pid::all(self.n).filter(|j| !x.failed.contains(j)) {
+                for mask in 1..(1usize << self.n) {
+                    let lost: Vec<Pid> = Pid::all(self.n)
+                        .filter(|p| (mask >> p.index()) & 1 == 1)
+                        .collect();
+                    let y = self.apply_subset(x, Some((j, &lost)));
+                    if seen.insert(y.clone()) {
+                        out.push(y);
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 impl<P: SyncProtocol> LayeredModel for CrashModel<P> {
@@ -202,7 +277,10 @@ impl<P: SyncProtocol> LayeredModel for CrashModel<P> {
     }
 
     fn successors(&self, x: &Self::State) -> Vec<Self::State> {
-        self.layer(x)
+        match self.layering {
+            CrashLayering::Prefix => self.layer(x),
+            CrashLayering::Full => self.full_layer(x),
+        }
     }
 
     fn depth(&self, x: &Self::State) -> usize {
@@ -249,6 +327,37 @@ impl<P: SyncProtocol> LayeredModel for CrashModel<P> {
 
     fn obligated(&self, x: &Self::State) -> Vec<Pid> {
         self.non_failed(x)
+    }
+}
+
+// Renaming relocates the per-process vectors and relabels the environment's
+// failure record. For an anonymous protocol the *full* environment is
+// equivariant — `(π·x)(π(j), π(G)) = π·(x(j, G))`, including the
+// observable-fault record, since "some message actually lost" is
+// renaming-invariant. The prefix layering `S^t` is not (prefixes `[k]` are
+// not closed under renaming), so only `CrashLayering::Full` may be
+// quotiented.
+impl<P> Symmetric for CrashModel<P>
+where
+    P: SyncProtocol + Anonymous,
+    P::LocalState: Ord,
+{
+    fn permute_state(&self, x: &Self::State, perm: &PidPerm) -> Self::State {
+        CrashState {
+            round: x.round,
+            inputs: perm.permute_vec(&x.inputs),
+            locals: perm.permute_vec(&x.locals),
+            decided: perm.permute_vec(&x.decided),
+            failed: x.failed.iter().map(|&p| perm.apply(p)).collect(),
+        }
+    }
+
+    fn symmetric_layering(&self) -> bool {
+        self.layering == CrashLayering::Full
+    }
+
+    fn canonicalize(&self, x: &Self::State) -> (Self::State, PidPerm) {
+        canonicalize_by_min(self, x)
     }
 }
 

@@ -11,7 +11,7 @@ use layered_core::{Pid, Value};
 /// (paper assumption (iii)); a recorded process is silenced forever in all
 /// subsequent rounds (assumption (ii)). A process is recorded as failed in
 /// the first round in which one of its messages is actually lost.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct CrashState<L> {
     /// Completed rounds.
     pub round: u16,

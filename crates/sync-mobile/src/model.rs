@@ -16,8 +16,8 @@
 
 use std::collections::HashSet;
 
-use layered_core::{LayeredModel, Pid, Value};
-use layered_protocols::SyncProtocol;
+use layered_core::{canonicalize_by_min, LayeredModel, Pid, PidPerm, Symmetric, Value};
+use layered_protocols::{Anonymous, SyncProtocol};
 
 use crate::state::MobileState;
 
@@ -246,6 +246,38 @@ impl<P: SyncProtocol> LayeredModel for MobileModel<P> {
     fn crash_step(&self, x: &Self::State, j: Pid) -> Self::State {
         let everyone: Vec<Pid> = Pid::all(self.n).collect();
         self.apply(x, j, &everyone)
+    }
+}
+
+// Process renaming acts on M^mf states by relocating every per-process
+// component. For an anonymous protocol the *full* environment is
+// equivariant: `(π·x)(π(j), π(G)) = π·(x(j, G))`, because losing `π(j)`'s
+// messages to `π(G)` in the renamed state loses exactly the renamed copies
+// of the messages lost in the original, and local transitions ignore pids.
+// Enumerating all `(j, G)` therefore enumerates the same layer up to
+// renaming — the `Full` layering is symmetric. `S₁` is *not*: prefix sets
+// `[k]` are not closed under renaming (checked by the symmetry tests), so
+// `symmetric_layering` reports it unusable for quotienting.
+impl<P> Symmetric for MobileModel<P>
+where
+    P: SyncProtocol + Anonymous,
+    P::LocalState: Ord,
+{
+    fn permute_state(&self, x: &Self::State, perm: &PidPerm) -> Self::State {
+        MobileState {
+            round: x.round,
+            inputs: perm.permute_vec(&x.inputs),
+            locals: perm.permute_vec(&x.locals),
+            decided: perm.permute_vec(&x.decided),
+        }
+    }
+
+    fn symmetric_layering(&self) -> bool {
+        self.layering == MobileLayering::Full
+    }
+
+    fn canonicalize(&self, x: &Self::State) -> (Self::State, PidPerm) {
+        canonicalize_by_min(self, x)
     }
 }
 

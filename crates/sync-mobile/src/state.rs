@@ -8,7 +8,7 @@ use layered_core::{Pid, Value};
 /// Per the paper (Section 5, footnote 3), the environment's local state in
 /// `M^mf` is constant and is therefore not represented; the `round` counter
 /// is analysis bookkeeping that is common knowledge in a synchronous model.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct MobileState<L> {
     /// Completed rounds.
     pub round: u16,

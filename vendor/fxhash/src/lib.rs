@@ -1,0 +1,132 @@
+//! Offline stand-in for the `fxhash` crate (see vendor/README.md).
+//!
+//! Implements the Firefox/rustc "Fx" hash: a non-cryptographic multiply-
+//! rotate mix consumed word by word. Unlike `std`'s SipHash it has no
+//! per-process random keys, so hashes — and therefore any iteration order
+//! or bucket layout derived from them — are identical across runs and
+//! machines, which is exactly what the deterministic interning arenas in
+//! this workspace want. It is *not* DoS-resistant; all keys hashed here are
+//! produced by the engines themselves, never by an adversary.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FxHash family: a 64-bit odd constant derived from
+/// the golden ratio, chosen to diffuse low-order bits across the word.
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx streaming hasher: for each input word `w`,
+/// `state = (rotl5(state) ^ w) * K`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            // Fold the tail length in so "ab" + "c" != "a" + "bc".
+            self.mix(u64::from_le_bytes(word) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.mix(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.mix(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.mix(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s (no keys, fully deterministic).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes a single `Hash` value with [`FxHasher`] (convenience mirror of
+/// the real crate's `fxhash::hash64`).
+pub fn hash64<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash64(&[1u8, 2, 3][..]), hash64(&[1u8, 2, 3][..]));
+        assert_eq!(hash64("layered"), hash64("layered"));
+    }
+
+    #[test]
+    fn distinguishes_tail_splits() {
+        let mut a = FxHasher::default();
+        a.write(b"ab");
+        a.write(b"c");
+        let mut b = FxHasher::default();
+        b.write(b"a");
+        b.write(b"bc");
+        // Not a hard guarantee for all inputs, but these must differ for the
+        // tail-length fold to be doing its job.
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        m.insert(7, 49);
+        assert_eq!(m.get(&7), Some(&49));
+        let mut s: FxHashSet<&str> = FxHashSet::default();
+        assert!(s.insert("x"));
+        assert!(!s.insert("x"));
+    }
+}
