@@ -14,7 +14,7 @@
 //! tests can assert that every experiment reports `ok`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use layered_core::report::Table;
 use layered_core::telemetry::json::Json;
@@ -71,6 +71,12 @@ impl Experiment {
     /// `wall_ns`, the headline engine counters (`states_visited`,
     /// `dedup_hits`, `valence_cache_hits`, `max_frontier_width`; `0` when an
     /// experiment never touches that engine), and the full `metrics` dump.
+    ///
+    /// Records are canonicalized (object keys sorted recursively) before
+    /// rendering, so two runs of the same experiment produce byte-identical
+    /// records modulo the documented timing fields (`wall_ns`, span
+    /// `total_ns`, and the `*.wall_ns` gauges) — see the byte-stability
+    /// test in `crates/bench/tests/byte_stability.rs`.
     #[must_use]
     pub fn json_record(&self) -> Json {
         Json::Object(vec![
@@ -96,6 +102,7 @@ impl Experiment {
             ),
             ("metrics".into(), self.metrics.to_json()),
         ])
+        .canonicalize()
     }
 }
 
@@ -107,6 +114,7 @@ pub(crate) fn measured(
     body: impl FnOnce(&dyn Observer) -> (Table, bool),
 ) -> Experiment {
     let registry = MetricsRegistry::new();
+    // lint:allow(L002, experiment wall clock: feeds wall_ns, a documented timing field stripped by byte-stability comparisons)
     let start = std::time::Instant::now();
     let (table, ok) = body(&registry);
     let wall_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);

@@ -1,0 +1,101 @@
+//! Byte-stability of the machine-readable experiment records.
+//!
+//! The determinism contract for `experiments --json`: two runs of the
+//! same experiment produce **byte-identical** records modulo the
+//! documented timing fields, regardless of `--threads`. The documented
+//! timing fields are exactly:
+//!
+//! * the top-level `wall_ns` of every record,
+//! * every span's `total_ns` under `metrics.spans`,
+//! * the `*.wall_ns` gauges (e.g. `scan.sym.quotient.wall_ns`).
+//!
+//! Everything else — counters, gauge levels, events, verdicts — must not
+//! move when the thread count changes, or parallel scans are leaking
+//! scheduling order into results.
+
+use layered_bench::{interned_scan, quotient_scan, ScanConfig};
+use layered_core::telemetry::json::Json;
+
+/// Zeroes the documented timing fields, leaving all other structure.
+fn strip_timing(json: &mut Json) {
+    match json {
+        Json::Object(members) => {
+            for (key, value) in members.iter_mut() {
+                if key == "wall_ns" || key == "total_ns" || key.ends_with(".wall_ns") {
+                    *value = Json::Null;
+                } else {
+                    strip_timing(value);
+                }
+            }
+        }
+        Json::Array(items) => {
+            for item in items {
+                strip_timing(item);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn record_modulo_timing(record: Json) -> String {
+    let mut record = record;
+    strip_timing(&mut record);
+    record.to_string()
+}
+
+fn scan_record(threads: usize, quotient: bool) -> Json {
+    let cfg = ScanConfig {
+        n: 3,
+        depth: 1,
+        threads,
+        quotient,
+    };
+    let exp = if quotient {
+        quotient_scan(&cfg)
+    } else {
+        interned_scan(&cfg)
+    };
+    assert!(
+        exp.ok,
+        "scan experiment must pass for the comparison to mean anything"
+    );
+    exp.json_record()
+}
+
+#[test]
+fn interned_scan_records_are_identical_across_thread_counts() {
+    let one = record_modulo_timing(scan_record(1, false));
+    let eight = record_modulo_timing(scan_record(8, false));
+    assert_eq!(
+        one, eight,
+        "E-scan records diverged between --threads 1 and --threads 8"
+    );
+    // And across repeated runs at the same thread count.
+    assert_eq!(one, record_modulo_timing(scan_record(1, false)));
+}
+
+#[test]
+fn quotient_scan_records_are_identical_across_thread_counts() {
+    let one = record_modulo_timing(scan_record(1, true));
+    let three = record_modulo_timing(scan_record(3, true));
+    assert_eq!(
+        one, three,
+        "E-sym records diverged between --threads 1 and --threads 3"
+    );
+}
+
+#[test]
+fn records_are_canonical_json() {
+    let record = scan_record(2, false);
+    let rendered = record.to_string();
+    let reparsed = Json::parse(&rendered).expect("record parses");
+    assert_eq!(
+        reparsed.to_string(),
+        rendered,
+        "parse→render round trip is byte-identical (keys sorted at the encoder boundary)"
+    );
+    // Spot-check that stripping really only nulled timing.
+    let stripped = record_modulo_timing(record);
+    assert!(stripped.contains("\"states_visited\""));
+    assert!(stripped.contains("\"wall_ns\":null"));
+}

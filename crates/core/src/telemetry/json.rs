@@ -131,6 +131,38 @@ impl Json {
         }
     }
 
+    /// Sorts every object's members by key, recursively, returning `self`.
+    ///
+    /// [`Json::Object`] preserves insertion order, so two semantically
+    /// equal documents can render to different bytes. Record emitters
+    /// (experiment records, sim run records, lint reports) canonicalize at
+    /// the encoder boundary so equal records are byte-equal — the
+    /// determinism contract golden files and the byte-stability tests rely
+    /// on. Duplicate keys keep their relative order (the sort is stable);
+    /// array element order is semantic and left untouched.
+    #[must_use]
+    pub fn canonicalize(mut self) -> Json {
+        self.canonicalize_in_place();
+        self
+    }
+
+    fn canonicalize_in_place(&mut self) {
+        match self {
+            Json::Object(members) => {
+                for (_, v) in members.iter_mut() {
+                    v.canonicalize_in_place();
+                }
+                members.sort_by(|(a, _), (b, _)| a.cmp(b));
+            }
+            Json::Array(items) => {
+                for v in items {
+                    v.canonicalize_in_place();
+                }
+            }
+            _ => {}
+        }
+    }
+
     /// Parses a complete JSON document (trailing whitespace allowed).
     ///
     /// # Errors
@@ -505,6 +537,35 @@ mod tests {
         let parsed = Json::parse(" { \"a\" : [ 1 , 2 ] , \"b\" : { } } ").unwrap();
         assert_eq!(parsed["a"][1].as_u64(), Some(2));
         assert_eq!(parsed["b"], Json::Object(vec![]));
+    }
+
+    #[test]
+    fn canonicalize_sorts_nested_object_keys() {
+        let doc = Json::Object(vec![
+            ("b".into(), Json::from(2u64)),
+            (
+                "a".into(),
+                Json::Object(vec![
+                    ("z".into(), Json::Null),
+                    (
+                        "y".into(),
+                        Json::Array(vec![Json::Object(vec![
+                            ("k2".into(), Json::from(1u64)),
+                            ("k1".into(), Json::from(0u64)),
+                        ])]),
+                    ),
+                ]),
+            ),
+        ]);
+        let canon = doc.canonicalize();
+        assert_eq!(
+            canon.to_string(),
+            "{\"a\":{\"y\":[{\"k1\":0,\"k2\":1}],\"z\":null},\"b\":2}"
+        );
+        // Idempotent, and array order is untouched.
+        assert_eq!(canon.clone().canonicalize(), canon);
+        let arr = Json::Array(vec![Json::from(2u64), Json::from(1u64)]);
+        assert_eq!(arr.clone().canonicalize(), arr);
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! The single registry of telemetry metric and span names.
+//!
+//! Every counter, gauge, span and event name used anywhere in the
+//! workspace must appear in [`NAMES`]. The `layered-lint` static-analysis
+//! pass (rule **L005**) cross-checks each name literal passed to an
+//! [`Observer`](super::Observer) method against this list, so a typo'd
+//! metric name (`"valence.memo_hit"` for `"valence.memo_hits"`) is a CI
+//! failure instead of a silently empty time series.
+//!
+//! Keep the list sorted and duplicate-free — `names_are_sorted_and_unique`
+//! below enforces both — and add the name here in the same change that
+//! introduces the instrumentation. Names follow the `engine.metric`
+//! convention described in the [module docs](super).
+
+/// Every registered telemetry name, sorted lexicographically.
+///
+/// Counters, gauges, spans and events share one namespace: a name's kind
+/// is fixed by its call sites, and no name is used as two kinds at once.
+pub const NAMES: &[&str] = &[
+    "census.decided_states",
+    "checker.sweep",
+    "checker.violations",
+    "connectivity.chain_length",
+    "connectivity.pairs_tested",
+    "connectivity.similarity_edges",
+    "connectivity.valence_edges",
+    "engine.dedup_hits",
+    "engine.frontier_width",
+    "engine.states_visited",
+    "explore.edges",
+    "explore.sweep",
+    "graph.bfs_frontier",
+    "graph.bfs_visits",
+    "layering.bivalent_run",
+    "layering.candidates_tested",
+    "layering.extensions",
+    "layering.layer_scan",
+    "layering.layers_scanned",
+    "layering.run_length",
+    "layering.scan_violation",
+    "layering.stuck",
+    "scan.sym.full.states_seen",
+    "scan.sym.full.wall_ns",
+    "scan.sym.n",
+    "scan.sym.quotient.states_seen",
+    "scan.sym.quotient.wall_ns",
+    "sim.faults_injected",
+    "sim.run",
+    "sim.runs",
+    "sim.steps",
+    "sim.violation",
+    "space.build",
+    "space.canon.hits",
+    "space.canon.orbit_states",
+    "space.canonicalize",
+    "space.intern.hits",
+    "space.intern.misses",
+    "space.quotient.ratio",
+    "space.states",
+    "stats.census",
+    "valence.decided_probes",
+    "valence.memo_hits",
+    "valence.queries",
+    "valence.states_classified",
+];
+
+/// Whether `name` is a registered telemetry name.
+///
+/// `O(log n)` — [`NAMES`] is sorted, so this is a binary search.
+#[must_use]
+pub fn is_registered(name: &str) -> bool {
+    NAMES.binary_search(&name).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sorted_and_unique() {
+        assert!(
+            NAMES.windows(2).all(|w| w[0] < w[1]),
+            "NAMES must be sorted and duplicate-free (binary search depends on it)"
+        );
+    }
+
+    #[test]
+    fn lookup_finds_registered_and_rejects_typos() {
+        assert!(is_registered("valence.memo_hits"));
+        assert!(is_registered("engine.states_visited"));
+        assert!(!is_registered("valence.memo_hit"));
+        assert!(!is_registered(""));
+    }
+
+    #[test]
+    fn names_follow_the_dotted_convention() {
+        for name in NAMES {
+            assert!(
+                name.contains('.') && !name.starts_with('.') && !name.ends_with('.'),
+                "{name} must be engine.metric shaped"
+            );
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'),
+                "{name} must be lowercase dotted snake_case"
+            );
+        }
+    }
+}

@@ -1,0 +1,450 @@
+//! A small, lossy Rust tokenizer — just enough syntax for the lint rules.
+//!
+//! The lexer understands the token classes the rules in [`crate::rules`]
+//! match on: identifiers, string/char/number literals, single-character
+//! punctuation, lifetimes, and comments (which it strips, except for
+//! `// lint:allow(...)` suppression comments, which it records). It is
+//! deliberately *not* a full Rust lexer: multi-character operators come
+//! out as runs of single [`TokKind::Punct`] tokens (`::` is two `:`),
+//! float literals may split at an exponent sign, and no macro expansion
+//! happens. Every rule is written against this lossy stream, so the
+//! simplifications are part of the (documented) heuristics.
+//!
+//! What it *does* get right, because the rules depend on it:
+//!
+//! * string literals — including raw (`r#"…"#`) and byte strings — are
+//!   single tokens with their escapes decoded, so `"unwrap"` in a string
+//!   never looks like a call to `.unwrap()`;
+//! * nested block comments and doc comments are skipped entirely, so
+//!   example code in `///` docs is never linted;
+//! * every token carries the 1-based source line it starts on, and line
+//!   counts stay correct across multi-line strings and comments.
+
+/// The token classes the rules distinguish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`let`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// A string literal (normal, raw, or byte), escapes decoded.
+    Str,
+    /// A character literal (`'a'`, `'\n'`).
+    Char,
+    /// A numeric literal; float literals contain a `.`.
+    Num,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+    /// A lifetime (`'a`), kept distinct from char literals.
+    Lifetime,
+}
+
+/// One token: its class, text (decoded for strings), and 1-based line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text. For [`TokKind::Str`] this is the decoded content
+    /// without the surrounding quotes; for everything else, the source
+    /// spelling.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// An inline `// lint:allow(L00x, reason)` suppression comment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suppression {
+    /// 1-based line the comment appears on.
+    pub line: u32,
+    /// The rule ids listed before the first comma (e.g. `["L002"]`).
+    pub rules: Vec<String>,
+    /// The free-form reason after the first comma; empty if omitted.
+    /// The repo-wide lint-clean test rejects empty reasons.
+    pub reason: String,
+}
+
+/// The lexer's output: the token stream plus any suppression comments.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Suppression comments in source order.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Tokenizes `src`. Never fails: unrecognized bytes become punctuation
+/// and unterminated literals run to end of input — a linter must degrade
+/// gracefully on code it cannot fully parse.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(false),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_string(),
+                _ => {
+                    let line = self.line;
+                    let c = self.bump().expect("peeked");
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(self.bump().expect("peeked"));
+        }
+        if let Some(sup) = parse_suppression(&text, line) {
+            self.out.suppressions.push(sup);
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn string(&mut self, byte_prefixed: bool) {
+        let line = self.line;
+        let _ = byte_prefixed;
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => match self.bump() {
+                    Some('n') => text.push('\n'),
+                    Some('r') => text.push('\r'),
+                    Some('t') => text.push('\t'),
+                    Some('0') => text.push('\0'),
+                    Some('\n') => {
+                        // Line-continuation escape: skip leading whitespace.
+                        while self.peek(0).is_some_and(|c| c == ' ' || c == '\t') {
+                            self.bump();
+                        }
+                    }
+                    Some(other) => text.push(other), // \" \\ \' \u{…} kept approximate
+                    None => break,
+                },
+                c => text.push(c),
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn raw_string(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A closing quote must be followed by `hashes` hash marks.
+                for ahead in 0..hashes {
+                    if self.peek(ahead) != Some('#') {
+                        text.push('"');
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump(); // the opening '
+        if self.peek(0) == Some('\\') {
+            // Escaped char literal.
+            self.bump();
+            let mut text = String::from("\\");
+            while let Some(c) = self.bump() {
+                if c == '\'' {
+                    break;
+                }
+                text.push(c);
+            }
+            self.push(TokKind::Char, text, line);
+            return;
+        }
+        let starts_ident = self
+            .peek(0)
+            .is_some_and(|c| c == '_' || c.is_alphanumeric());
+        if starts_ident && self.peek(1) != Some('\'') {
+            // A lifetime: 'ident not closed by a quote.
+            let mut text = String::new();
+            while self
+                .peek(0)
+                .is_some_and(|c| c == '_' || c.is_alphanumeric())
+            {
+                text.push(self.bump().expect("peeked"));
+            }
+            self.push(TokKind::Lifetime, text, line);
+            return;
+        }
+        // Plain char literal, e.g. 'a' or '('.
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            if c == '\'' {
+                break;
+            }
+            text.push(c);
+        }
+        self.push(TokKind::Char, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            text.push(self.bump().expect("peeked"));
+        }
+        // A `.` followed by a digit continues a float literal; `0..n`
+        // (range) and `1.method()` do not.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            text.push(self.bump().expect("peeked"));
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                text.push(self.bump().expect("peeked"));
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+
+    fn ident_or_prefixed_string(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while self
+            .peek(0)
+            .is_some_and(|c| c == '_' || c.is_alphanumeric())
+        {
+            text.push(self.bump().expect("peeked"));
+        }
+        // r"…" / r#"…"# / b"…" / br#"…"# are string literals, not idents.
+        let is_raw_prefix = matches!(text.as_str(), "r" | "br" | "rb");
+        let is_byte_prefix = text == "b";
+        match self.peek(0) {
+            Some('"') if is_raw_prefix => self.raw_string(),
+            Some('#') if is_raw_prefix && is_raw_start(&self.chars[self.pos..]) => {
+                self.raw_string();
+            }
+            Some('"') if is_byte_prefix => self.string(true),
+            _ => self.push(TokKind::Ident, text, line),
+        }
+    }
+}
+
+/// Whether `rest` (starting at a `#`) begins `#…#"`, i.e. a raw-string
+/// guard rather than an attribute.
+fn is_raw_start(rest: &[char]) -> bool {
+    let hashes = rest.iter().take_while(|&&c| c == '#').count();
+    rest.get(hashes) == Some(&'"')
+}
+
+/// Parses a `lint:allow(L00x[, reason])` directive out of a line comment.
+fn parse_suppression(comment: &str, line: u32) -> Option<Suppression> {
+    let start = comment.find("lint:allow(")?;
+    let body = &comment[start + "lint:allow(".len()..];
+    let body = &body[..body.find(')')?];
+    let (rules_part, reason) = match body.find(',') {
+        Some(comma) => (&body[..comma], body[comma + 1..].trim().to_string()),
+        None => (body, String::new()),
+    };
+    let rules: Vec<String> = rules_part
+        .split_whitespace()
+        .map(str::to_string)
+        .filter(|r| r.starts_with('L') && r[1..].chars().all(|c| c.is_ascii_digit()))
+        .collect();
+    if rules.is_empty() {
+        return None;
+    }
+    Some(Suppression {
+        line,
+        rules,
+        reason,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let lexed = lex("let x = 1;\nlet y = x;");
+        assert_eq!(lexed.toks[0].text, "let");
+        assert_eq!(lexed.toks[0].line, 1);
+        let y = lexed.toks.iter().find(|t| t.text == "y").unwrap();
+        assert_eq!(y.line, 2);
+    }
+
+    #[test]
+    fn strings_are_single_tokens_with_decoded_escapes() {
+        let toks = kinds(r#"call("a \"b\"\n", x)"#);
+        assert_eq!(toks[2], (TokKind::Str, "a \"b\"\n".to_string()));
+        // Nothing inside the string leaked out as idents.
+        assert!(!toks.iter().any(|(_, t)| t == "b"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds("r#\"no \"escape\" at all\"# b\"bytes\" br#\"raw bytes\"#");
+        assert_eq!(toks[0], (TokKind::Str, "no \"escape\" at all".to_string()));
+        assert_eq!(toks[1], (TokKind::Str, "bytes".to_string()));
+        assert_eq!(toks[2], (TokKind::Str, "raw bytes".to_string()));
+    }
+
+    #[test]
+    fn comments_are_stripped_including_nested_blocks() {
+        let toks = kinds("a /* x /* y */ z */ b // trailing unwrap()\nc");
+        let idents: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(toks.contains(&(TokKind::Lifetime, "a".to_string())));
+        assert!(toks.contains(&(TokKind::Char, "x".to_string())));
+        assert!(toks.contains(&(TokKind::Char, "\\n".to_string())));
+    }
+
+    #[test]
+    fn float_literals_keep_their_dot_but_ranges_split() {
+        let toks = kinds("let x = 1.5; for i in 0..10 {}");
+        assert!(toks.contains(&(TokKind::Num, "1.5".to_string())));
+        assert!(toks.contains(&(TokKind::Num, "0".to_string())));
+        assert!(toks.contains(&(TokKind::Num, "10".to_string())));
+    }
+
+    #[test]
+    fn suppressions_are_recorded_with_rules_and_reason() {
+        let lexed = lex("// lint:allow(L002, span timing is documented)\nlet t = now();");
+        assert_eq!(lexed.suppressions.len(), 1);
+        let sup = &lexed.suppressions[0];
+        assert_eq!(sup.line, 1);
+        assert_eq!(sup.rules, vec!["L002".to_string()]);
+        assert_eq!(sup.reason, "span timing is documented");
+    }
+
+    #[test]
+    fn multi_rule_suppression_and_missing_reason() {
+        let lexed = lex("// lint:allow(L001 L003)\nx();");
+        assert_eq!(
+            lexed.suppressions[0].rules,
+            vec!["L001".to_string(), "L003".to_string()]
+        );
+        assert_eq!(lexed.suppressions[0].reason, "");
+        assert!(lex("// lint:allow()").suppressions.is_empty());
+        assert!(lex("// plain comment").suppressions.is_empty());
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers_straight() {
+        let lexed = lex("let s = \"one\ntwo\";\nlet after = 1;");
+        let after = lexed.toks.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 3);
+    }
+}

@@ -1,0 +1,95 @@
+//! The `layered-lint` binary: lint the workspace, print findings, and
+//! optionally emit the machine-readable JSON report.
+//!
+//! ```text
+//! layered-lint [--root <dir>] [--json <path>] [--quiet]
+//! ```
+//!
+//! Exits 0 when the tree is lint-clean (no unsuppressed findings),
+//! 1 when findings remain, and 2 on usage or I/O errors.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use layered_lint::{default_root, lint_workspace};
+
+struct Options {
+    root: PathBuf,
+    json_path: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: default_root(),
+        json_path: None,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root requires a path")?);
+            }
+            "--json" => {
+                opts.json_path = Some(args.next().ok_or("--json requires a path")?);
+            }
+            "--quiet" => opts.quiet = true,
+            other => return Err(format!("unrecognized argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: layered-lint [--root <dir>] [--json <path>] [--quiet]");
+            std::process::exit(2);
+        }
+    };
+
+    let report = lint_workspace(&opts.root);
+
+    if let Some(path) = &opts.json_path {
+        let rendered = report.to_json().to_string();
+        let write = std::fs::File::create(path).and_then(|f| {
+            let mut out = std::io::BufWriter::new(f);
+            writeln!(out, "{rendered}")?;
+            out.flush()
+        });
+        if let Err(e) = write {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(2);
+        }
+        if !opts.quiet {
+            println!("Wrote JSON report to {path}.");
+        }
+    }
+
+    if !opts.quiet {
+        for f in &report.findings {
+            println!(
+                "{}:{}: [{}/{}] {}",
+                f.file,
+                f.line,
+                f.rule,
+                f.severity.as_str(),
+                f.message
+            );
+        }
+        println!(
+            "layered-lint: {} file(s) scanned, {} finding(s), {} suppressed.",
+            report.files_scanned,
+            report.findings.len(),
+            report.suppressed.len()
+        );
+    }
+
+    std::process::exit(i32::from(!report.is_clean()));
+}

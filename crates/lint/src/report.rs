@@ -1,0 +1,115 @@
+//! Aggregated lint results and their machine-readable JSON form.
+//!
+//! The report renders through the workspace's own hand-rolled
+//! [`Json`] encoder — the same one the experiment records use — and is
+//! canonicalized before rendering, so two lint runs over the same tree
+//! are byte-identical.
+
+use layered_core::telemetry::json::Json;
+
+use crate::rules::{Finding, SuppressedFinding, RULES};
+
+/// The outcome of linting a whole workspace.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Suppressed findings, sorted by (file, line, rule).
+    pub suppressed: Vec<SuppressedFinding>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the tree is lint-clean (no unsuppressed findings).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Sorts findings and suppressions into the canonical report order.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.suppressed.sort_by(|a, b| {
+            (&a.finding.file, a.finding.line, a.finding.rule).cmp(&(
+                &b.finding.file,
+                b.finding.line,
+                b.finding.rule,
+            ))
+        });
+    }
+
+    /// The report as one canonical JSON document:
+    ///
+    /// ```text
+    /// {"files_scanned":N,
+    ///  "findings":[{"file":…,"line":…,"message":…,"rule":…,"severity":…}],
+    ///  "rules":{"L001":{"findings":0,"suppressed":2,"summary":…}, …},
+    ///  "suppressed":[{"file":…,"line":…,"reason":…,"rule":…}],
+    ///  "tool":"layered-lint"}
+    /// ```
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let findings = Json::Array(
+            self.findings
+                .iter()
+                .map(|f| {
+                    Json::Object(vec![
+                        ("rule".into(), Json::from(f.rule)),
+                        ("severity".into(), Json::from(f.severity.as_str())),
+                        ("file".into(), Json::String(f.file.clone())),
+                        ("line".into(), Json::from(u64::from(f.line))),
+                        ("message".into(), Json::String(f.message.clone())),
+                    ])
+                })
+                .collect(),
+        );
+        let suppressed = Json::Array(
+            self.suppressed
+                .iter()
+                .map(|s| {
+                    Json::Object(vec![
+                        ("rule".into(), Json::from(s.finding.rule)),
+                        ("file".into(), Json::String(s.finding.file.clone())),
+                        ("line".into(), Json::from(u64::from(s.finding.line))),
+                        ("reason".into(), Json::String(s.reason.clone())),
+                    ])
+                })
+                .collect(),
+        );
+        let rules = Json::Object(
+            RULES
+                .iter()
+                .map(|r| {
+                    let n = self.findings.iter().filter(|f| f.rule == r.id).count();
+                    let s = self
+                        .suppressed
+                        .iter()
+                        .filter(|f| f.finding.rule == r.id)
+                        .count();
+                    (
+                        r.id.to_string(),
+                        Json::Object(vec![
+                            ("severity".into(), Json::from(r.severity.as_str())),
+                            ("summary".into(), Json::from(r.summary)),
+                            ("findings".into(), Json::from(n as u64)),
+                            ("suppressed".into(), Json::from(s as u64)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::Object(vec![
+            ("tool".into(), Json::from("layered-lint")),
+            (
+                "files_scanned".into(),
+                Json::from(self.files_scanned as u64),
+            ),
+            ("findings".into(), findings),
+            ("suppressed".into(), suppressed),
+            ("rules".into(), rules),
+        ])
+        .canonicalize()
+    }
+}

@@ -278,6 +278,10 @@ fn classify_prefix_violates<M: SimModel>(model: &M, x: &M::State) -> bool {
 
 /// The JSON record of one run, shaped like the experiment harness's
 /// records: one object per line in `--json` output.
+///
+/// Records are canonicalized (object keys sorted recursively) before
+/// rendering so identical runs are byte-identical — part of the replay
+/// determinism contract.
 pub fn run_record<M: SimModel>(
     model: &M,
     run: &SimRun<M::Move>,
@@ -320,5 +324,5 @@ pub fn run_record<M: SimModel>(
         fields.push(("value".to_string(), Json::from(u64::from(value.get()))));
     }
     fields.push(("schedule".to_string(), run.schedule.to_json(model)));
-    Json::Object(fields)
+    Json::Object(fields).canonicalize()
 }

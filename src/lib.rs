@@ -52,7 +52,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use layered_async_mp as async_mp;
 pub use layered_async_sm as async_sm;
