@@ -1,0 +1,194 @@
+//! Bench tooling. Currently one subcommand:
+//!
+//! ```text
+//! bench regress [--baseline <path>]... [--fresh <path>] [--out <path>]
+//!               [--wall-ratio-x100 <k>] [--wall-floor-ms <k>]
+//!               [--counter-ratio-x100 <k>]
+//! ```
+//!
+//! Compares a fresh run of the scan experiments (E-scan at n = 4, E-sym at
+//! n = 4 and n = 5 — the instances the committed records cover) against the
+//! best committed `BENCH_*.json` baseline per experiment, with the noise
+//! tolerances documented in [`layered_bench::regress`]. Exits 1 on a
+//! regression, 2 on usage or I/O errors.
+//!
+//! * `--baseline <path>` — a committed record file; repeatable. Defaults to
+//!   every `BENCH_*.json` in the current directory.
+//! * `--fresh <path>` — gate the records in `<path>` instead of running the
+//!   experiments (the hook the negative test uses).
+//! * `--out <path>` — write the fresh records to `<path>` (the next
+//!   committed `BENCH_PR<k>.json`).
+
+use layered_bench::regress::{
+    collect_baselines, compare, verdict_table, BenchRecord, Tolerance, Verdict,
+};
+use layered_bench::{interned_scan, quotient_scan, ScanConfig};
+
+struct Options {
+    baselines: Vec<String>,
+    fresh: Option<String>,
+    out: Option<String>,
+    tol: Tolerance,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("regress") => {}
+        Some(other) => return Err(format!("unknown subcommand `{other}` (expected `regress`)")),
+        None => return Err("missing subcommand (expected `regress`)".to_string()),
+    }
+    let mut opts = Options {
+        baselines: Vec::new(),
+        fresh: None,
+        out: None,
+        tol: Tolerance::default(),
+    };
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} requires a value"));
+        match arg.as_str() {
+            "--baseline" => opts.baselines.push(value("--baseline")?),
+            "--fresh" => opts.fresh = Some(value("--fresh")?),
+            "--out" => opts.out = Some(value("--out")?),
+            "--wall-ratio-x100" => {
+                opts.tol.wall_ratio_x100 =
+                    numeric("--wall-ratio-x100", &value("--wall-ratio-x100")?)?;
+            }
+            "--wall-floor-ms" => {
+                opts.tol.wall_floor_ns =
+                    numeric("--wall-floor-ms", &value("--wall-floor-ms")?)? * 1_000_000;
+            }
+            "--counter-ratio-x100" => {
+                opts.tol.counter_ratio_x100 =
+                    numeric("--counter-ratio-x100", &value("--counter-ratio-x100")?)?;
+            }
+            other => return Err(format!("unrecognized argument `{other}`")),
+        }
+    }
+    if opts.baselines.is_empty() {
+        opts.baselines = discover_baselines()?;
+    }
+    if opts.baselines.is_empty() {
+        return Err("no baselines: no --baseline given and no BENCH_*.json here".to_string());
+    }
+    Ok(opts)
+}
+
+fn numeric(flag: &str, text: &str) -> Result<u64, String> {
+    text.parse::<u64>().map_err(|e| format!("{flag}: {e}"))
+}
+
+/// Every `BENCH_*.json` in the current directory, sorted for determinism.
+fn discover_baselines() -> Result<Vec<String>, String> {
+    let mut found = Vec::new();
+    let entries = std::fs::read_dir(".").map_err(|e| format!("reading .: {e}"))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading .: {e}"))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            found.push(name);
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+fn load_records(path: &str) -> Result<Vec<BenchRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    BenchRecord::parse_lines(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Runs the scan experiments the committed baselines cover and returns
+/// their JSON record lines.
+fn fresh_run() -> Vec<String> {
+    let scan = ScanConfig::default();
+    let sym4 = ScanConfig {
+        quotient: true,
+        ..ScanConfig::default()
+    };
+    let sym5 = ScanConfig {
+        n: 5,
+        quotient: true,
+        ..ScanConfig::default()
+    };
+    [
+        interned_scan(&scan),
+        quotient_scan(&sym4),
+        quotient_scan(&sym5),
+    ]
+    .iter()
+    .map(|e| e.json_record().to_string())
+    .collect()
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: bench regress [--baseline <path>]... [--fresh <path>] [--out <path>] [--wall-ratio-x100 <k>] [--wall-floor-ms <k>] [--counter-ratio-x100 <k>]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let mut baseline_records = Vec::new();
+    for path in &opts.baselines {
+        match load_records(path) {
+            Ok(mut records) => {
+                println!("Loaded {} baseline record(s) from {path}.", records.len());
+                baseline_records.append(&mut records);
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let baselines = collect_baselines(&baseline_records);
+
+    let fresh_lines = match &opts.fresh {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text.lines().map(str::to_string).collect(),
+            Err(e) => {
+                eprintln!("error: reading {path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => {
+            println!("Running fresh scan experiments (E-scan n=4, E-sym n=4, E-sym n=5)...");
+            fresh_run()
+        }
+    };
+    let fresh = match BenchRecord::parse_lines(&fresh_lines.join("\n")) {
+        Ok(records) => records,
+        Err(msg) => {
+            eprintln!("error: fresh records: {msg}");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, fresh_lines.join("\n") + "\n") {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("Wrote {} fresh record(s) to {path}.", fresh_lines.len());
+    }
+
+    let verdicts = compare(&baselines, &fresh, opts.tol);
+    println!("{}", verdict_table(&verdicts));
+    let failed: Vec<&Verdict> = verdicts.iter().filter(|v| !v.passed()).collect();
+    if failed.is_empty() {
+        println!("No regressions against the committed baselines.");
+    } else {
+        println!("{} experiment(s) regressed:", failed.len());
+        for v in &failed {
+            for reason in &v.failures {
+                println!("  {}: {reason}", v.key);
+            }
+        }
+        std::process::exit(1);
+    }
+}

@@ -7,7 +7,8 @@
 //! experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>]
 //!             [--adversary <name>] [--json <path>] [--metrics]
 //! experiments --scan [--quotient] [--n <k>] [--depth <k>] [--threads <k>]
-//!             [--json <path>] [--metrics]
+//!             [--json <path>] [--metrics] [--trace <path>] [--profile]
+//!             [--heartbeat-ms <k>]
 //! ```
 //!
 //! * `quick` — small CI-friendly instances (default: the full sizes).
@@ -27,13 +28,22 @@
 //!   5.1 instance over canonical orbits, cross-checked against the full
 //!   space when n ≤ 4 and quotient-only beyond (the reduction is what
 //!   makes n = 5 reachable).
+//! * `--trace <path>` — (scan mode) record the hierarchical span tree and
+//!   write it as Chrome trace-event JSON, loadable in `chrome://tracing`
+//!   or [Perfetto](https://ui.perfetto.dev).
+//! * `--profile` — (scan mode) print the self-time profile derived from
+//!   the same span tree.
+//! * `--heartbeat-ms <k>` — progress-event cadence during layer expansion
+//!   (default 1000 ms).
 
 use std::io::Write;
 
 use layered_bench::{
-    all_experiments, interned_scan, known_adversary, quotient_scan, sim_batch, ScanConfig, Scope,
-    SimBatchConfig,
+    all_experiments, interned_scan_with, known_adversary, quotient_scan_with, sim_batch,
+    ScanConfig, Scope, SimBatchConfig,
 };
+use layered_core::telemetry::profile::{profile, profile_table};
+use layered_core::telemetry::{set_heartbeat_period_ns, Observer, TraceObserver, NOOP};
 
 struct Options {
     scope: Scope,
@@ -41,6 +51,8 @@ struct Options {
     metrics: bool,
     sim: Option<SimBatchConfig>,
     scan: Option<ScanConfig>,
+    trace_path: Option<String>,
+    profile: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -50,6 +62,8 @@ fn parse_args() -> Result<Options, String> {
         metrics: false,
         sim: None,
         scan: None,
+        trace_path: None,
+        profile: false,
     };
     let mut sim_cfg = SimBatchConfig::default();
     let mut sim_requested = false;
@@ -91,6 +105,11 @@ fn parse_args() -> Result<Options, String> {
             "--json" => {
                 opts.json_path = Some(args.next().ok_or("--json requires a path argument")?);
             }
+            "--trace" => {
+                opts.trace_path = Some(args.next().ok_or("--trace requires a path argument")?);
+            }
+            "--profile" => opts.profile = true,
+            "--heartbeat-ms" => set_heartbeat_period_ns(numeric("--heartbeat-ms")? * 1_000_000),
             "--metrics" => opts.metrics = true,
             other => return Err(format!("unrecognized argument `{other}`")),
         }
@@ -111,6 +130,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if scan_cfg.quotient && !scan_requested {
         return Err("--quotient only applies to --scan".to_string());
+    }
+    if (opts.trace_path.is_some() || opts.profile) && !scan_requested {
+        return Err("--trace and --profile only apply to --scan".to_string());
     }
     if scan_requested {
         if scan_cfg.n < 2 {
@@ -176,15 +198,18 @@ fn run_scan(cfg: &ScanConfig, opts: &Options) {
     } else {
         println!("Layered analysis of consensus — interned layer-scan scaling check\n");
     }
+    let tracing = opts.trace_path.is_some() || opts.profile;
+    let tracer = TraceObserver::new();
+    let extra: &dyn Observer = if tracing { &tracer } else { &NOOP };
     let exp = if cfg.quotient {
-        quotient_scan(cfg)
+        quotient_scan_with(cfg, extra)
     } else {
-        interned_scan(cfg)
+        interned_scan_with(cfg, extra)
     };
     println!("[{}] {}", exp.id, exp.claim);
     println!("{}", exp.table);
     if opts.metrics {
-        println!("  wall time: {:.3} ms", exp.wall_nanos as f64 / 1e6);
+        println!("  wall time: {:.3} ms", exp.wall_nanos() as f64 / 1e6);
         for (name, total) in &exp.metrics.counters {
             println!("  {name}: {total}");
         }
@@ -194,6 +219,27 @@ fn run_scan(cfg: &ScanConfig, opts: &Options) {
     }
     if let Some(path) = &opts.json_path {
         write_json_lines(path, &[exp.json_record().to_string()]);
+    }
+    if let Some(path) = &opts.trace_path {
+        match std::fs::write(path, tracer.to_chrome_trace().to_string()) {
+            Ok(()) => println!(
+                "Wrote {} span(s) of Chrome trace-event JSON to {path} (open in chrome://tracing or ui.perfetto.dev).",
+                tracer.spans().len()
+            ),
+            Err(e) => {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.profile {
+        println!("{}", profile_table(&profile(&tracer.spans())));
+    }
+    if tracing && tracer.dropped() > 0 {
+        println!(
+            "  (trace ring overflowed: {} span record(s) dropped)",
+            tracer.dropped()
+        );
     }
     if exp.ok {
         if cfg.quotient {
@@ -213,7 +259,7 @@ fn main() {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: experiments [quick|full] [--json <path>] [--metrics]\n       experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>] [--adversary <name>] [--json <path>]\n       experiments --scan [--quotient] [--n <k>] [--depth <k>] [--threads <k>] [--json <path>]"
+                "usage: experiments [quick|full] [--json <path>] [--metrics]\n       experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>] [--adversary <name>] [--json <path>]\n       experiments --scan [--quotient] [--n <k>] [--depth <k>] [--threads <k>] [--json <path>] [--trace <path>] [--profile] [--heartbeat-ms <k>]"
             );
             std::process::exit(2);
         }
@@ -237,7 +283,7 @@ fn main() {
         println!("[{}] {}", exp.id, exp.claim);
         println!("{}", exp.table);
         if opts.metrics {
-            println!("  wall time: {:.3} ms", exp.wall_nanos as f64 / 1e6);
+            println!("  wall time: {:.3} ms", exp.wall_nanos() as f64 / 1e6);
             for (name, total) in &exp.metrics.counters {
                 println!("  {name}: {total}");
             }

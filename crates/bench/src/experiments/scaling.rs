@@ -8,13 +8,12 @@
 //! n = 4 was out of enumeration reach for the state-keyed engines; the
 //! `--scan` mode of the `experiments` binary runs this instance in CI.
 
-use std::time::Instant;
-
 use layered_core::report::Table;
+use layered_core::telemetry::{clock, Observer, NOOP};
 use layered_core::{
     scan_layer_valence_connectivity, scan_layer_valence_connectivity_parallel,
     scan_layer_valence_connectivity_quotient, scan_layer_valence_connectivity_quotient_parallel,
-    ImpossibilityWitness, QuotientSolver, ValenceSolver,
+    ImpossibilityWitness, MemoryFootprint, QuotientSolver, ValenceSolver,
 };
 use layered_protocols::FloodMin;
 use layered_sync_mobile::{MobileLayering, MobileModel};
@@ -51,10 +50,19 @@ impl Default for ScanConfig {
 /// model and cross-checks the results (see the module docs).
 #[must_use]
 pub fn interned_scan(cfg: &ScanConfig) -> Experiment {
+    interned_scan_with(cfg, &NOOP)
+}
+
+/// [`interned_scan`] with an extra observer teed alongside the metrics
+/// registry — pass a `TraceObserver` here to capture the span tree for
+/// `--trace` / `--profile`.
+#[must_use]
+pub fn interned_scan_with(cfg: &ScanConfig, trace: &dyn Observer) -> Experiment {
     let cfg = cfg.clone();
-    crate::measured(
+    crate::measured_with(
         "E-scan",
         "Lemma 5.1 layer scan on interned state spaces (sequential ≡ parallel)",
+        trace,
         move |obs| {
             let mut table = Table::new(
                 "Interned layer scan — sequential vs. parallel expansion",
@@ -71,18 +79,17 @@ pub fn interned_scan(cfg: &ScanConfig) -> Experiment {
             let horizon = cfg.depth + 1;
             let m = MobileModel::new(cfg.n, FloodMin::new(horizon as u16));
 
-            // lint:allow(L002, scan wall clock: feeds the "wall ms" table column and the *.wall_ns gauges, documented timing fields stripped by byte-stability comparisons)
-            let start = Instant::now();
+            let start = clock::monotonic_ns();
             let mut solver = ValenceSolver::with_observer(&m, horizon, obs);
             let seq = scan_layer_valence_connectivity(&mut solver, cfg.depth, true);
-            let seq_ms = start.elapsed().as_secs_f64() * 1e3;
+            let seq_ms = clock::monotonic_ns().saturating_sub(start) as f64 / 1e6;
 
-            // lint:allow(L002, scan wall clock: feeds the "wall ms" table column and the *.wall_ns gauges, documented timing fields stripped by byte-stability comparisons)
-            let start = Instant::now();
+            let start = clock::monotonic_ns();
             let mut solver = ValenceSolver::with_observer(&m, horizon, obs);
             let par =
                 scan_layer_valence_connectivity_parallel(&mut solver, cfg.depth, true, cfg.threads);
-            let par_ms = start.elapsed().as_secs_f64() * 1e3;
+            let par_ms = clock::monotonic_ns().saturating_sub(start) as f64 / 1e6;
+            solver.report_memory(obs);
 
             let identical = seq == par;
             let witness = ImpossibilityWitness::build(&m, horizon, cfg.depth);
@@ -132,10 +139,19 @@ pub fn interned_scan(cfg: &ScanConfig) -> Experiment {
 /// the full model.
 #[must_use]
 pub fn quotient_scan(cfg: &ScanConfig) -> Experiment {
+    quotient_scan_with(cfg, &NOOP)
+}
+
+/// [`quotient_scan`] with an extra observer teed alongside the metrics
+/// registry — pass a `TraceObserver` here to capture the span tree for
+/// `--trace` / `--profile`.
+#[must_use]
+pub fn quotient_scan_with(cfg: &ScanConfig, trace: &dyn Observer) -> Experiment {
     let cfg = cfg.clone();
-    crate::measured(
+    crate::measured_with(
         "E-sym",
         "Lemma 5.1 layer scan over canonical orbits (quotient ≡ full verdicts)",
+        trace,
         move |obs| {
             let mut table = Table::new(
                 "Symmetry-reduced layer scan — canonical orbits vs. the full space",
@@ -155,16 +171,14 @@ pub fn quotient_scan(cfg: &ScanConfig) -> Experiment {
             let model_label = "M^mf (Full)";
 
             // Quotient scan, sequential and parallel expansion paths.
-            // lint:allow(L002, scan wall clock: feeds the "wall ms" table column and the *.wall_ns gauges, documented timing fields stripped by byte-stability comparisons)
-            let start = Instant::now();
+            let start = clock::monotonic_ns();
             let mut solver = QuotientSolver::with_observer(&m, horizon, obs);
             let quot = scan_layer_valence_connectivity_quotient(&mut solver, cfg.depth, true);
-            let quot_ms = start.elapsed().as_secs_f64() * 1e3;
+            let quot_ms = clock::monotonic_ns().saturating_sub(start) as f64 / 1e6;
             let orbits = solver.space().len();
             let covered = solver.space().covered_states();
 
-            // lint:allow(L002, scan wall clock: feeds the "wall ms" table column and the *.wall_ns gauges, documented timing fields stripped by byte-stability comparisons)
-            let start = Instant::now();
+            let start = clock::monotonic_ns();
             let mut par_solver = QuotientSolver::with_observer(&m, horizon, obs);
             let par = scan_layer_valence_connectivity_quotient_parallel(
                 &mut par_solver,
@@ -172,16 +186,19 @@ pub fn quotient_scan(cfg: &ScanConfig) -> Experiment {
                 true,
                 cfg.threads,
             );
-            let par_ms = start.elapsed().as_secs_f64() * 1e3;
+            let par_ms = clock::monotonic_ns().saturating_sub(start) as f64 / 1e6;
+            par_solver.report_memory(obs);
             let paths_agree = quot == par;
 
             // Full-space baseline, only at sizes the full engine can reach.
             let full = (cfg.n <= 4).then(|| {
-                // lint:allow(L002, scan wall clock: feeds the "wall ms" table column and the *.wall_ns gauges, documented timing fields stripped by byte-stability comparisons)
-                let start = Instant::now();
+                let start = clock::monotonic_ns();
                 let mut solver = ValenceSolver::with_observer(&m, horizon, obs);
                 let scan = scan_layer_valence_connectivity(&mut solver, cfg.depth, true);
-                (scan, start.elapsed().as_secs_f64() * 1e3)
+                (
+                    scan,
+                    clock::monotonic_ns().saturating_sub(start) as f64 / 1e6,
+                )
             });
 
             let witness = ImpossibilityWitness::build_quotient(&m, horizon, cfg.depth);

@@ -18,7 +18,7 @@
 
 use layered_core::report::Table;
 use layered_core::telemetry::json::Json;
-use layered_core::telemetry::{MetricsRegistry, MetricsSnapshot, Observer};
+use layered_core::telemetry::{Fanout, MetricsRegistry, MetricsSnapshot, Observer, Span, NOOP};
 
 mod experiments {
     pub mod decision_tasks;
@@ -27,6 +27,7 @@ mod experiments {
     pub mod scaling;
     pub mod synchronous;
 }
+pub mod regress;
 pub mod simruns;
 
 pub use experiments::decision_tasks::{
@@ -34,7 +35,9 @@ pub use experiments::decision_tasks::{
 };
 pub use experiments::foundations::{census, lemma_3_1, lemma_3_6, theorem_4_2};
 pub use experiments::impossibility::{iis, message_passing, mobile, shared_memory};
-pub use experiments::scaling::{interned_scan, quotient_scan, ScanConfig};
+pub use experiments::scaling::{
+    interned_scan, interned_scan_with, quotient_scan, quotient_scan_with, ScanConfig,
+};
 pub use experiments::synchronous::{early_stopping, lemma_6_4, lemmas_6_1_6_2, lower_bound};
 pub use simruns::{known_adversary, sim_batch, SimBatch, SimBatchConfig};
 
@@ -59,13 +62,21 @@ pub struct Experiment {
     pub table: Table,
     /// Whether every row matched the paper's claim.
     pub ok: bool,
-    /// Wall-clock time spent producing the table, in nanoseconds.
-    pub wall_nanos: u64,
     /// Engine counters, gauges, spans and events recorded during the run.
     pub metrics: MetricsSnapshot,
 }
 
 impl Experiment {
+    /// Wall-clock time spent producing the table, in nanoseconds.
+    ///
+    /// Derived from the `experiment.run` span that [`measured`] wraps around
+    /// every experiment body, so the JSON record's top-level `wall_ns` and
+    /// `metrics.spans["experiment.run"]` can never disagree.
+    #[must_use]
+    pub fn wall_nanos(&self) -> u64 {
+        self.metrics.span_total_ns("experiment.run")
+    }
+
     /// The experiment as one machine-readable JSON record — the twin of the
     /// printed table. The top-level fields are stable: `id`, `claim`, `ok`,
     /// `wall_ns`, the headline engine counters (`states_visited`,
@@ -83,7 +94,7 @@ impl Experiment {
             ("id".into(), Json::String(self.id.to_string())),
             ("claim".into(), Json::String(self.claim.to_string())),
             ("ok".into(), Json::from(self.ok)),
-            ("wall_ns".into(), Json::from(self.wall_nanos)),
+            ("wall_ns".into(), Json::from(self.wall_nanos())),
             (
                 "states_visited".into(),
                 Json::from(self.metrics.counter("engine.states_visited")),
@@ -107,23 +118,37 @@ impl Experiment {
 }
 
 /// Runs an experiment body against a fresh [`MetricsRegistry`], timing it
-/// and freezing the telemetry into the returned [`Experiment`].
+/// via the `experiment.run` span and freezing the telemetry into the
+/// returned [`Experiment`].
 pub(crate) fn measured(
     id: &'static str,
     claim: &'static str,
     body: impl FnOnce(&dyn Observer) -> (Table, bool),
 ) -> Experiment {
+    measured_with(id, claim, &NOOP, body)
+}
+
+/// [`measured`] with a second observer teed alongside the registry —
+/// the hook the `--trace` / `--profile` modes use to capture span records
+/// without disturbing the metrics snapshot.
+pub(crate) fn measured_with(
+    id: &'static str,
+    claim: &'static str,
+    extra: &dyn Observer,
+    body: impl FnOnce(&dyn Observer) -> (Table, bool),
+) -> Experiment {
     let registry = MetricsRegistry::new();
-    // lint:allow(L002, experiment wall clock: feeds wall_ns, a documented timing field stripped by byte-stability comparisons)
-    let start = std::time::Instant::now();
-    let (table, ok) = body(&registry);
-    let wall_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let (table, ok) = {
+        let targets: [&dyn Observer; 2] = [&registry, extra];
+        let fan = Fanout::new(&targets);
+        let _run_span = Span::enter(&fan, "experiment.run");
+        body(&fan)
+    };
     Experiment {
         id,
         claim,
         table,
         ok,
-        wall_nanos,
         metrics: registry.snapshot(),
     }
 }

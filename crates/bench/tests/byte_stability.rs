@@ -3,15 +3,18 @@
 //! The determinism contract for `experiments --json`: two runs of the
 //! same experiment produce **byte-identical** records modulo the
 //! documented timing fields, regardless of `--threads`. The documented
-//! timing fields are exactly:
+//! timing fields are exactly the `_ns`-suffixed keys (the telemetry
+//! naming convention reserves that suffix for wall-clock values — see
+//! `telemetry::names`):
 //!
 //! * the top-level `wall_ns` of every record,
 //! * every span's `total_ns` under `metrics.spans`,
-//! * the `*.wall_ns` gauges (e.g. `scan.sym.quotient.wall_ns`).
+//! * the `*.wall_ns` gauges (e.g. `scan.sym.quotient.wall_ns`),
+//! * the `*_ns` timing histograms (e.g. `space.layer_expand_ns`).
 //!
-//! Everything else — counters, gauge levels, events, verdicts — must not
-//! move when the thread count changes, or parallel scans are leaking
-//! scheduling order into results.
+//! Everything else — counters, gauge levels, work histograms, events,
+//! verdicts — must not move when the thread count changes, or parallel
+//! scans are leaking scheduling order into results.
 
 use layered_bench::{interned_scan, quotient_scan, ScanConfig};
 use layered_core::telemetry::json::Json;
@@ -21,7 +24,7 @@ fn strip_timing(json: &mut Json) {
     match json {
         Json::Object(members) => {
             for (key, value) in members.iter_mut() {
-                if key == "wall_ns" || key == "total_ns" || key.ends_with(".wall_ns") {
+                if key.ends_with("_ns") {
                     *value = Json::Null;
                 } else {
                     strip_timing(value);

@@ -4,7 +4,7 @@
 
 use std::collections::VecDeque;
 
-use crate::telemetry::{Observer, NOOP};
+use crate::telemetry::{MemoryBreakdown, MemoryFootprint, Observer, NOOP};
 
 /// Disjoint-set forest with union by rank and path halving.
 ///
@@ -313,6 +313,22 @@ impl Graph {
             }
         }
         Some(best)
+    }
+}
+
+impl MemoryFootprint for Graph {
+    /// Shallow accounting of the adjacency lists: the spine plus each
+    /// list's capacity (see [`telemetry::mem`](crate::telemetry::mem)).
+    fn memory_footprint(&self) -> MemoryBreakdown {
+        let spine = self.adj.capacity() as u64 * std::mem::size_of::<Vec<usize>>() as u64;
+        let lists: u64 = self
+            .adj
+            .iter()
+            .map(|l| l.capacity() as u64 * std::mem::size_of::<usize>() as u64)
+            .sum();
+        let mut b = MemoryBreakdown::new();
+        b.push("mem.graph.adj_bytes", spine + lists);
+        b
     }
 }
 

@@ -335,8 +335,16 @@ fn scan_ids<M: LayeredModel>(
         let mut seen: HashSet<StateId> = HashSet::new();
         for &id in &frontier {
             obs.counter("engine.states_visited", 1);
-            if only_bivalent && !solver.is_bivalent_id(id) {
-                continue;
+            let _check_span =
+                Span::enter_with(obs, "layering.check_layer", &[("state", id.index() as u64)]);
+            if only_bivalent {
+                let bivalent = {
+                    let _classify_span = Span::enter(obs, "valence.classify");
+                    solver.is_bivalent_id(id)
+                };
+                if !bivalent {
+                    continue;
+                }
             }
             let layer = solver.successor_ids(id);
             let report = valence_report_ids(solver, &layer);
@@ -448,8 +456,16 @@ fn scan_quotient_ids<M: Symmetric>(
         let mut seen: HashSet<StateId> = HashSet::new();
         for &id in &frontier {
             obs.counter("engine.states_visited", 1);
-            if only_bivalent && !solver.is_bivalent_id(id) {
-                continue;
+            let _check_span =
+                Span::enter_with(obs, "layering.check_layer", &[("state", id.index() as u64)]);
+            if only_bivalent {
+                let bivalent = {
+                    let _classify_span = Span::enter(obs, "valence.classify");
+                    solver.is_bivalent_id(id)
+                };
+                if !bivalent {
+                    continue;
+                }
             }
             let layer = solver.successor_ids(id);
             let report = quotient_valence_report_ids(solver, &layer);

@@ -84,6 +84,9 @@ pub use sim::{MoveRecord, SimModel};
 pub use space::{QuotientSpace, StateId, StateSpace};
 pub use stats::{census, census_with, LevelCensus};
 pub use sym::{canonicalize_by_min, orbit_size, PidPerm, Symmetric};
-pub use telemetry::{JsonlObserver, MetricsRegistry, MetricsSnapshot, NoopObserver, Observer};
+pub use telemetry::{
+    Fanout, Heartbeat, Histogram, JsonlObserver, MemoryBreakdown, MemoryFootprint, MetricsRegistry,
+    MetricsSnapshot, NoopObserver, Observer, Span, TraceObserver,
+};
 pub use valence::{undecided_non_failed, QuotientSolver, Valence, ValenceSolver, Valences};
 pub use witness::{ImpossibilityWitness, InternedWitness, WitnessError};

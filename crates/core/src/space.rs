@@ -37,7 +37,9 @@ use std::hash::{Hash, Hasher};
 use fxhash::{FxHashMap, FxHasher};
 
 use crate::sym::{PidPerm, Symmetric};
-use crate::telemetry::{Observer, Span, NOOP};
+use crate::telemetry::{
+    clock, trace, Heartbeat, MemoryBreakdown, MemoryFootprint, Observer, Span, NOOP,
+};
 use crate::LayeredModel;
 
 /// Dense identifier of an interned state within one [`StateSpace`].
@@ -144,16 +146,22 @@ impl<M: LayeredModel> StateSpace<M> {
     }
 
     /// [`StateSpace::intern`] with telemetry: reports `space.intern.hits` /
-    /// `space.intern.misses` counters and the `space.states` gauge to `obs`.
+    /// `space.intern.misses` counters, the `space.states` gauge and the
+    /// `space.intern.probe_len` histogram (equality comparisons per probe)
+    /// to `obs`.
     pub fn intern_with(&mut self, s: &M::State, obs: &dyn Observer) -> StateId {
         let h = Self::hash_of(s);
         if let Some(bucket) = self.index.get(&h) {
-            for &id in bucket {
+            for (probed, &id) in bucket.iter().enumerate() {
                 if &self.states[id.index()] == s {
                     obs.counter("space.intern.hits", 1);
+                    obs.histogram("space.intern.probe_len", probed as u64 + 1);
                     return id;
                 }
             }
+            obs.histogram("space.intern.probe_len", bucket.len() as u64);
+        } else {
+            obs.histogram("space.intern.probe_len", 0);
         }
         obs.counter("space.intern.misses", 1);
         let id = StateId(u32::try_from(self.states.len()).expect("more than u32::MAX states"));
@@ -223,6 +231,7 @@ impl<M: LayeredModel> StateSpace<M> {
         }
         let len = u32::try_from(succs.len()).expect("layer larger than u32::MAX");
         self.succ[id.index()] = Some(SuccRange { start, len });
+        obs.histogram("space.succ_fanout", len.into());
     }
 
     /// The successor ids of `id` under `model`'s layering, computing and
@@ -279,10 +288,19 @@ impl<M: LayeredModel> StateSpace<M> {
         // clones); the merge below runs after the scope ends, when the
         // shared borrow is released.
         let states = &self.states;
+        // Worker spans attach to the dispatching span explicitly: the
+        // parent lives on this thread's span stack, not the workers'.
+        let parent = trace::current_span_id();
         let computed: Vec<Vec<Vec<M::State>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = balanced_chunks(&pending, threads)
                 .map(|part| {
                     scope.spawn(move || {
+                        let _span = Span::enter_under(
+                            obs,
+                            "space.prefetch_chunk",
+                            parent,
+                            &[("chunk_len", part.len() as u64)],
+                        );
                         part.iter()
                             .map(|id| model.successors(&states[id.index()]))
                             .collect()
@@ -361,7 +379,21 @@ impl<M: LayeredModel> StateSpace<M> {
         }
         obs.gauge("engine.frontier_width", frontier.len() as u64);
         levels.push(frontier.clone());
-        for _ in 0..horizon {
+        let mut heartbeat = Heartbeat::new();
+        for depth in 0..horizon {
+            let _layer_span = Span::enter_with(
+                obs,
+                "space.layer",
+                &[
+                    ("depth", depth as u64 + 1),
+                    ("frontier", frontier.len() as u64),
+                ],
+            );
+            let layer_started = if obs.enabled() {
+                clock::monotonic_ns()
+            } else {
+                0
+            };
             prefetch(self, &frontier);
             let mut seen: HashSet<StateId> = HashSet::new();
             let mut next = Vec::new();
@@ -375,11 +407,99 @@ impl<M: LayeredModel> StateSpace<M> {
                     }
                 }
             }
+            if obs.enabled() {
+                obs.histogram(
+                    "space.layer_expand_ns",
+                    clock::monotonic_ns().saturating_sub(layer_started),
+                );
+            }
             obs.gauge("engine.frontier_width", next.len() as u64);
+            heartbeat.tick(obs, depth + 1, next.len(), self.len());
             levels.push(next.clone());
             frontier = next;
         }
         levels
+    }
+}
+
+/// Shared estimate of an intern index's bytes: the map's own capacity plus
+/// every bucket vector's. Shallow (allocator headers excluded), but
+/// deterministic — capacities depend only on the insertion sequence.
+fn index_bytes(index: &FxHashMap<u64, Vec<StateId>>) -> u64 {
+    let table = index.capacity() as u64 * std::mem::size_of::<(u64, Vec<StateId>)>() as u64;
+    let buckets: u64 = index
+        .values()
+        .map(|b| b.capacity() as u64 * std::mem::size_of::<StateId>() as u64)
+        .sum();
+    table + buckets
+}
+
+/// Intern-table load factor in fixed-point thousandths
+/// (`len / capacity × 1000`).
+fn index_load_x1000(index: &FxHashMap<u64, Vec<StateId>>) -> u64 {
+    index.len() as u64 * 1000 / index.capacity().max(1) as u64
+}
+
+impl<M: LayeredModel> MemoryFootprint for StateSpace<M> {
+    /// Shallow, capacity-based accounting (see
+    /// [`telemetry::mem`](crate::telemetry::mem)): state payloads that own
+    /// further heap (e.g. vectors inside `M::State`) are counted at their
+    /// inline size only, so every figure is a deterministic lower bound.
+    fn memory_footprint(&self) -> MemoryBreakdown {
+        let mut b = MemoryBreakdown::new();
+        b.push(
+            "mem.space.states_bytes",
+            self.states.capacity() as u64 * std::mem::size_of::<M::State>() as u64,
+        );
+        b.push("mem.space.index_bytes", index_bytes(&self.index));
+        b.push(
+            "mem.space.edges_bytes",
+            self.edges.capacity() as u64 * std::mem::size_of::<StateId>() as u64
+                + self.succ.capacity() as u64 * std::mem::size_of::<Option<SuccRange>>() as u64,
+        );
+        b
+    }
+
+    /// Adds the `space.intern.load_x1000` gauge next to the byte gauges.
+    fn report_memory(&self, obs: &dyn Observer) {
+        self.memory_footprint().report(obs);
+        obs.gauge("space.intern.load_x1000", index_load_x1000(&self.index));
+    }
+}
+
+impl<M: Symmetric> MemoryFootprint for QuotientSpace<M> {
+    /// Shallow, capacity-based accounting like
+    /// [`StateSpace`]'s, plus the quotient-only arrays: orbit sizes and
+    /// the per-edge witnessing permutations (counted at their inline size
+    /// plus their permutation maps).
+    fn memory_footprint(&self) -> MemoryBreakdown {
+        let mut b = MemoryBreakdown::new();
+        b.push(
+            "mem.space.states_bytes",
+            self.states.capacity() as u64 * std::mem::size_of::<M::State>() as u64,
+        );
+        b.push("mem.space.index_bytes", index_bytes(&self.index));
+        b.push(
+            "mem.space.edges_bytes",
+            self.edges.capacity() as u64 * std::mem::size_of::<StateId>() as u64
+                + self.succ.capacity() as u64 * std::mem::size_of::<Option<SuccRange>>() as u64,
+        );
+        b.push(
+            "mem.space.orbits_bytes",
+            self.orbit_sizes.capacity() as u64 * std::mem::size_of::<u64>() as u64,
+        );
+        let perm_maps: u64 = self.edge_perms.iter().map(|p| p.degree() as u64).sum();
+        b.push(
+            "mem.space.perms_bytes",
+            self.edge_perms.capacity() as u64 * std::mem::size_of::<PidPerm>() as u64 + perm_maps,
+        );
+        b
+    }
+
+    /// Adds the `space.intern.load_x1000` gauge next to the byte gauges.
+    fn report_memory(&self, obs: &dyn Observer) {
+        self.memory_footprint().report(obs);
+        obs.gauge("space.intern.load_x1000", index_load_x1000(&self.index));
     }
 }
 
@@ -524,11 +644,12 @@ impl<M: Symmetric> QuotientSpace<M> {
         self.index.entry(h).or_default().push(id);
         obs.counter("space.canon.orbit_states", orbit);
         obs.gauge("space.states", self.states.len() as u64);
-        // Average orbit size ×100 (fixed-point): how many full-space states
-        // each interned representative stands for.
+        // Mean orbit size in fixed-point thousandths (a reading of 5920
+        // means each interned representative stands for 5.92 full-space
+        // states on average) — see the units table in `telemetry::names`.
         obs.gauge(
-            "space.quotient.ratio",
-            self.covered_states() * 100 / self.states.len() as u64,
+            "space.quotient.mean_orbit_x1000",
+            self.covered_states() * 1000 / self.states.len() as u64,
         );
         id
     }
@@ -542,7 +663,7 @@ impl<M: Symmetric> QuotientSpace<M> {
     /// [`QuotientSpace::intern`] with telemetry: canonicalization runs
     /// under a `space.canonicalize` span and reports `space.canon.hits` /
     /// `space.canon.orbit_states` counters plus the `space.states` and
-    /// `space.quotient.ratio` gauges.
+    /// `space.quotient.mean_orbit_x1000` gauges.
     pub fn intern_with(
         &mut self,
         model: &M,
@@ -646,6 +767,7 @@ impl<M: Symmetric> QuotientSpace<M> {
         }
         let len = u32::try_from(seen.len()).expect("layer larger than u32::MAX");
         self.succ[id.index()] = Some(SuccRange { start, len });
+        obs.histogram("space.succ_fanout", len.into());
     }
 
     /// The successor orbit ids of `id` under `model`'s layering, computing,
@@ -695,10 +817,17 @@ impl<M: Symmetric> QuotientSpace<M> {
             return;
         }
         let this = &*self;
+        let parent = trace::current_span_id();
         let computed: Vec<Vec<Vec<CanonSucc<M>>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = balanced_chunks(&pending, threads)
                 .map(|part| {
                     scope.spawn(move || {
+                        let _span = Span::enter_under(
+                            obs,
+                            "space.prefetch_chunk",
+                            parent,
+                            &[("chunk_len", part.len() as u64)],
+                        );
                         part.iter()
                             .map(|&id| this.canon_successors_of(model, id))
                             .collect()
@@ -774,7 +903,21 @@ impl<M: Symmetric> QuotientSpace<M> {
         }
         obs.gauge("engine.frontier_width", frontier.len() as u64);
         levels.push(frontier.clone());
-        for _ in 0..horizon {
+        let mut heartbeat = Heartbeat::new();
+        for depth in 0..horizon {
+            let _layer_span = Span::enter_with(
+                obs,
+                "space.layer",
+                &[
+                    ("depth", depth as u64 + 1),
+                    ("frontier", frontier.len() as u64),
+                ],
+            );
+            let layer_started = if obs.enabled() {
+                clock::monotonic_ns()
+            } else {
+                0
+            };
             prefetch(self, &frontier);
             let mut seen: HashSet<StateId> = HashSet::new();
             let mut next = Vec::new();
@@ -788,7 +931,14 @@ impl<M: Symmetric> QuotientSpace<M> {
                     }
                 }
             }
+            if obs.enabled() {
+                obs.histogram(
+                    "space.layer_expand_ns",
+                    clock::monotonic_ns().saturating_sub(layer_started),
+                );
+            }
             obs.gauge("engine.frontier_width", next.len() as u64);
+            heartbeat.tick(obs, depth + 1, next.len(), self.len());
             levels.push(next.clone());
             frontier = next;
         }
@@ -993,7 +1143,9 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counter("space.canon.hits"), 1, "same orbit twice");
         assert_eq!(snap.counter("space.canon.orbit_states"), 3);
-        assert_eq!(snap.gauge_max("space.quotient.ratio"), 300);
+        // One interned orbit covering 3 full states → a mean of 3.000 full
+        // states per orbit, reported in fixed-point thousandths.
+        assert_eq!(snap.gauge_max("space.quotient.mean_orbit_x1000"), 3000);
     }
 
     #[test]

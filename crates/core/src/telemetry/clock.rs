@@ -1,0 +1,54 @@
+//! The single monotonic clock behind every duration in the workspace.
+//!
+//! Lint rule **L002** forbids `Instant`/`SystemTime` in analysis code so
+//! that nondeterministic timing can never leak into canonical output by
+//! accident. All timing therefore funnels through this one shim: spans
+//! ([`Span`](super::Span)), the bench harness's `measured`, and the scaling
+//! experiments all read [`monotonic_ns`], and this module carries the one
+//! documented L002 suppression. Durations derived from it land only in
+//! fields the byte-stability contract strips (`wall_ns`, `total_ns`, any
+//! name ending in `_ns` — see `DESIGN.md` §10).
+//!
+//! The clock is monotonic and process-relative: nanoseconds since the
+//! first call in this process (the *trace epoch*). Being an offset rather
+//! than a wall-clock time keeps trace timestamps small, comparable across
+//! threads, and meaningless outside the process — exactly what Chrome
+//! trace-event timestamps want.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds elapsed since the process-wide trace epoch (lazily fixed at
+/// the first call).
+///
+/// Monotonic: later calls never return smaller values. Saturates at
+/// `u64::MAX` after ~584 years of uptime.
+#[must_use]
+pub fn monotonic_ns() -> u64 {
+    // lint:allow(L002, the single monotonic clock shim: every duration in the workspace derives from this call and lands only in documented timing fields stripped by byte-stability comparisons)
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_never_decreases() {
+        let a = monotonic_ns();
+        let b = monotonic_ns();
+        let c = monotonic_ns();
+        assert!(a <= b && b <= c);
+    }
+
+    #[test]
+    fn epoch_is_process_relative() {
+        // The first reading is taken against a freshly fixed epoch, so
+        // values stay small (well under a year of nanoseconds) for the
+        // lifetime of any test process.
+        assert!(monotonic_ns() < 365 * 24 * 3600 * 1_000_000_000);
+    }
+}

@@ -1,0 +1,235 @@
+//! Log-bucketed histograms for telemetry distributions.
+//!
+//! Counters and span totals answer *how much*; histograms answer *how it
+//! was distributed* — the unit of observability for campaign-scale work
+//! where one slow layer hides inside an aggregate. [`Histogram`] buckets
+//! values by their binary order of magnitude (bucket `k` holds values in
+//! `[2^(k-1), 2^k)`, bucket 0 holds zero), so recording is O(1), memory is
+//! a fixed 65-slot table, and quantiles are read back as bucket upper
+//! bounds — a ≤2× overestimate, which is exactly the precision log-scale
+//! latency and fan-out data deserve.
+//!
+//! Determinism: a histogram of a deterministic value stream (probe
+//! lengths, fan-outs, run lengths) is itself deterministic and belongs to
+//! the canonical record surface. Histograms of *durations* are not; by
+//! convention their names end in `_ns` and the byte-stability contract
+//! strips them (see `DESIGN.md` §10).
+
+use super::json::Json;
+
+/// Number of buckets: one for zero plus one per bit of a `u64`.
+const BUCKETS: usize = 65;
+
+/// A fixed-size, log-bucketed histogram of `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use layered_core::telemetry::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1, 2, 3, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.max(), 100);
+/// assert!(h.quantile(0.5) >= 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Bucket index for `value`: 0 for zero, else `floor(log2(value)) + 1`.
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+/// Upper bound (inclusive representative) of bucket `b`: the largest value
+/// the bucket can hold.
+fn bucket_high(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The exact maximum sample (not bucketed), `0` if empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket upper bound: the
+    /// smallest bucket bound `b` such that at least `q · count` samples
+    /// are ≤ `b`. Returns `0` for an empty histogram; clamped by the exact
+    /// maximum so `quantile(1.0) == max()`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_high(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The summary rendered into snapshots:
+    /// `{"count","sum","p50","p90","p99","max"}`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("count".into(), Json::from(self.count)),
+            ("sum".into(), Json::from(self.sum)),
+            ("p50".into(), Json::from(self.quantile(0.50))),
+            ("p90".into(), Json::from(self.quantile(0.90))),
+            ("p99".into(), Json::from(self.quantile(0.99))),
+            ("max".into(), Json::from(self.max)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!((h.count(), h.sum(), h.max()), (0, 0, 0));
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn buckets_are_binary_orders_of_magnitude() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_high(1), 1);
+        assert_eq!(bucket_high(2), 3);
+        assert_eq!(bucket_high(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_bound_the_data_within_a_bucket() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        // p50 of 1..=1000 is 500; the bucket bound overestimates by <2x.
+        let p50 = h.quantile(0.5);
+        assert!((500..1000).contains(&p50), "p50 was {p50}");
+        // p100 is clamped to the exact max.
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn identical_streams_produce_identical_histograms() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [3u64, 17, 0, 255, 1 << 40] {
+            a.record(v);
+            b.record(v);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let mut a = Histogram::new();
+        a.record(1);
+        a.record(100);
+        let mut b = Histogram::new();
+        b.record(7);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.sum(), 108);
+        assert_eq!(merged.max(), 100);
+    }
+
+    #[test]
+    fn json_summary_has_the_documented_shape() {
+        let mut h = Histogram::new();
+        h.record(5);
+        let rendered = h.to_json().to_string();
+        let parsed = Json::parse(&rendered).expect("valid json");
+        for key in ["count", "sum", "p50", "p90", "p99", "max"] {
+            assert!(
+                parsed[key].as_u64().is_some(),
+                "missing {key} in {rendered}"
+            );
+        }
+    }
+}

@@ -1,21 +1,59 @@
 //! The single registry of telemetry metric and span names.
 //!
-//! Every counter, gauge, span and event name used anywhere in the
-//! workspace must appear in [`NAMES`]. The `layered-lint` static-analysis
-//! pass (rule **L005**) cross-checks each name literal passed to an
-//! [`Observer`](super::Observer) method against this list, so a typo'd
-//! metric name (`"valence.memo_hit"` for `"valence.memo_hits"`) is a CI
-//! failure instead of a silently empty time series.
+//! Every counter, gauge, histogram, span, event and progress name used
+//! anywhere in the workspace must appear in [`NAMES`]. The `layered-lint`
+//! static-analysis pass (rule **L005**) cross-checks each name literal
+//! passed to an [`Observer`](super::Observer) method against this list, so
+//! a typo'd metric name (`"valence.memo_hit"` for `"valence.memo_hits"`)
+//! is a CI failure instead of a silently empty time series.
 //!
 //! Keep the list sorted and duplicate-free — `names_are_sorted_and_unique`
 //! below enforces both — and add the name here in the same change that
 //! introduces the instrumentation. Names follow the `engine.metric`
 //! convention described in the [module docs](super).
+//!
+//! # Units
+//!
+//! Units are part of the name's contract:
+//!
+//! * `*_ns` — nanoseconds from the monotonic clock shim
+//!   ([`clock`](super::clock)); nondeterministic, stripped by the
+//!   byte-stability comparisons.
+//! * `*_bytes` — shallow, capacity-based byte counts (see
+//!   [`mem`](super::mem)); deterministic lower bounds.
+//! * `*_x1000` — dimensionless ratios in fixed-point thousandths: a
+//!   reading of `5920` means `5.920`. Used so ratios stay integers on the
+//!   canonical surface (floats are banned from records by lint L006).
+//! * `*_layers` — counts of protocol layers (rounds).
+//! * everything else — plain counts of the named thing (states, hits,
+//!   probes, edges, …).
+//!
+//! Gauges with units beyond a plain count:
+//!
+//! | gauge | units |
+//! |---|---|
+//! | `engine.frontier_width` | states in the current BFS frontier |
+//! | `graph.bfs_frontier` | vertices in the current BFS frontier |
+//! | `mem.*_bytes` | bytes (shallow capacity accounting) |
+//! | `scan.sym.*.wall_ns` | nanoseconds (timing; stripped) |
+//! | `space.intern.load_x1000` | intern-table load factor, ×1000 |
+//! | `space.quotient.mean_orbit_x1000` | mean full states per orbit, ×1000 |
+//!
+//! Histograms:
+//!
+//! | histogram | units |
+//! |---|---|
+//! | `sim.fault_to_violation_layers` | layers from first injected fault to violation |
+//! | `sim.run_layers` | layers executed per simulated run |
+//! | `space.intern.probe_len` | hash-bucket candidates compared per intern |
+//! | `space.layer_expand_ns` | nanoseconds per expanded layer (timing; stripped) |
+//! | `space.succ_fanout` | successor edges per expanded state |
 
 /// Every registered telemetry name, sorted lexicographically.
 ///
-/// Counters, gauges, spans and events share one namespace: a name's kind
-/// is fixed by its call sites, and no name is used as two kinds at once.
+/// Counters, gauges, histograms, spans, events and progress names share
+/// one namespace: a name's kind is fixed by its call sites, and no name is
+/// used as two kinds at once.
 pub const NAMES: &[&str] = &[
     "census.decided_states",
     "checker.sweep",
@@ -27,25 +65,37 @@ pub const NAMES: &[&str] = &[
     "engine.dedup_hits",
     "engine.frontier_width",
     "engine.states_visited",
+    "experiment.run",
     "explore.edges",
     "explore.sweep",
     "graph.bfs_frontier",
     "graph.bfs_visits",
     "layering.bivalent_run",
     "layering.candidates_tested",
+    "layering.check_layer",
     "layering.extensions",
     "layering.layer_scan",
     "layering.layers_scanned",
     "layering.run_length",
     "layering.scan_violation",
     "layering.stuck",
+    "mem.graph.adj_bytes",
+    "mem.space.edges_bytes",
+    "mem.space.index_bytes",
+    "mem.space.orbits_bytes",
+    "mem.space.perms_bytes",
+    "mem.space.states_bytes",
+    "mem.valence.memo_bytes",
+    "scan.progress",
     "scan.sym.full.states_seen",
     "scan.sym.full.wall_ns",
     "scan.sym.n",
     "scan.sym.quotient.states_seen",
     "scan.sym.quotient.wall_ns",
+    "sim.fault_to_violation_layers",
     "sim.faults_injected",
     "sim.run",
+    "sim.run_layers",
     "sim.runs",
     "sim.steps",
     "sim.violation",
@@ -54,10 +104,17 @@ pub const NAMES: &[&str] = &[
     "space.canon.orbit_states",
     "space.canonicalize",
     "space.intern.hits",
+    "space.intern.load_x1000",
     "space.intern.misses",
-    "space.quotient.ratio",
+    "space.intern.probe_len",
+    "space.layer",
+    "space.layer_expand_ns",
+    "space.prefetch_chunk",
+    "space.quotient.mean_orbit_x1000",
     "space.states",
+    "space.succ_fanout",
     "stats.census",
+    "valence.classify",
     "valence.decided_probes",
     "valence.memo_hits",
     "valence.queries",
@@ -88,7 +145,10 @@ mod tests {
     fn lookup_finds_registered_and_rejects_typos() {
         assert!(is_registered("valence.memo_hits"));
         assert!(is_registered("engine.states_visited"));
+        assert!(is_registered("space.intern.probe_len"));
+        assert!(is_registered("space.quotient.mean_orbit_x1000"));
         assert!(!is_registered("valence.memo_hit"));
+        assert!(!is_registered("space.quotient.ratio"));
         assert!(!is_registered(""));
     }
 
@@ -101,9 +161,33 @@ mod tests {
             );
             assert!(
                 name.chars()
-                    .all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'),
-                "{name} must be lowercase dotted snake_case"
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+                "{name} must be lowercase dotted snake_case (digits only in unit suffixes)"
             );
+            assert!(
+                name.chars().next().is_some_and(|c| c.is_ascii_lowercase()),
+                "{name} must start with a letter"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_suffixes_are_consistent() {
+        // Fixed-point names carry the x1000 suffix; byte gauges live under
+        // the mem. prefix.
+        for name in NAMES {
+            if name.ends_with("_bytes") {
+                assert!(
+                    name.starts_with("mem."),
+                    "{name}: byte gauges use the mem. prefix"
+                );
+            }
+            if name.starts_with("mem.") {
+                assert!(
+                    name.ends_with("_bytes"),
+                    "{name}: mem. names report bytes and say so"
+                );
+            }
         }
     }
 }

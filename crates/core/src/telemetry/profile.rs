@@ -1,0 +1,167 @@
+//! Self-profile summaries computed from recorded span trees.
+//!
+//! A [`TraceObserver`](super::trace::TraceObserver) ring answers "what
+//! happened when"; [`profile`] folds it into "where did the time go": one
+//! [`ProfileEntry`] per span name with call count, total (inclusive) time,
+//! and *self* time — total minus the time spent in recorded child spans —
+//! sorted by self time descending. Self time is what a flamegraph's widest
+//! leaf shows, and the right metric for deciding which engine phase to
+//! attack next.
+//!
+//! The summary's *shape* is canonical (fixed columns, deterministic
+//! tie-breaking by name); its *values* are wall-clock and therefore
+//! explicitly outside the byte-stability surface, like everything else
+//! timing-derived (`DESIGN.md` §10).
+
+use super::json::Json;
+use super::trace::SpanRecord;
+use crate::report::Table;
+use std::collections::BTreeMap;
+
+/// Aggregated timing for one span name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// The span name.
+    pub name: &'static str,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total inclusive nanoseconds across all spans of this name.
+    pub total_ns: u64,
+    /// Total minus time covered by recorded child spans (saturating).
+    pub self_ns: u64,
+}
+
+/// Folds span records into per-name entries, sorted by self time
+/// descending (ties broken by name, so equal inputs give equal output).
+///
+/// A span whose parent fell off the bounded ring is treated as a root; its
+/// time still counts as the *parent's* child time only if the parent
+/// record exists.
+#[must_use]
+pub fn profile(spans: &[SpanRecord]) -> Vec<ProfileEntry> {
+    // Child time by parent span id.
+    let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
+    for s in spans {
+        if s.parent != 0 {
+            *child_ns.entry(s.parent).or_insert(0) += s.duration_ns();
+        }
+    }
+    let mut by_name: BTreeMap<&'static str, ProfileEntry> = BTreeMap::new();
+    for s in spans {
+        let e = by_name.entry(s.name).or_insert(ProfileEntry {
+            name: s.name,
+            ..ProfileEntry::default()
+        });
+        let dur = s.duration_ns();
+        e.count += 1;
+        e.total_ns += dur;
+        e.self_ns += dur.saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
+    }
+    let mut entries: Vec<ProfileEntry> = by_name.into_values().collect();
+    entries.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(b.name)));
+    entries
+}
+
+/// Renders profile entries as a report table (`span / count / total_ms /
+/// self_ms / self_pct`), top-by-self-time first.
+#[must_use]
+pub fn profile_table(entries: &[ProfileEntry]) -> Table {
+    let grand_self: u64 = entries.iter().map(|e| e.self_ns).sum();
+    let mut t = Table::new(
+        "Self-profile (top by self time)",
+        &["span", "count", "total_ms", "self_ms", "self_pct"],
+    );
+    for e in entries {
+        let pct = if grand_self == 0 {
+            0.0
+        } else {
+            e.self_ns as f64 * 100.0 / grand_self as f64
+        };
+        t.row_owned(vec![
+            e.name.to_string(),
+            e.count.to_string(),
+            format!("{:.3}", e.total_ns as f64 / 1e6),
+            format!("{:.3}", e.self_ns as f64 / 1e6),
+            format!("{pct:.1}"),
+        ]);
+    }
+    t
+}
+
+/// The profile as a JSON array (one object per entry, same order as
+/// [`profile`]).
+#[must_use]
+pub fn profile_json(entries: &[ProfileEntry]) -> Json {
+    Json::Array(
+        entries
+            .iter()
+            .map(|e| {
+                Json::Object(vec![
+                    ("span".into(), Json::from(e.name)),
+                    ("count".into(), Json::from(e.count)),
+                    ("total_ns".into(), Json::from(e.total_ns)),
+                    ("self_ns".into(), Json::from(e.self_ns)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, parent: u64, name: &'static str, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            thread: 0,
+            start_ns: start,
+            end_ns: end,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_excludes_recorded_children() {
+        // parent [0,100] with child [10,40]: parent self = 70.
+        let spans = vec![
+            rec(2, 1, "space.layer", 10, 40),
+            rec(1, 0, "space.build", 0, 100),
+        ];
+        let p = profile(&spans);
+        let build = p.iter().find(|e| e.name == "space.build").expect("build");
+        assert_eq!(build.total_ns, 100);
+        assert_eq!(build.self_ns, 70);
+        let layer = p.iter().find(|e| e.name == "space.layer").expect("layer");
+        assert_eq!(layer.self_ns, 30);
+        // Sorted by self time descending: parent (70) before child (30).
+        assert_eq!(p[0].name, "space.build");
+    }
+
+    #[test]
+    fn self_time_saturates_on_overlapping_children() {
+        // Children report more time than the parent holds (clock skew /
+        // overlapping guards): self time clamps at zero, never wraps.
+        let spans = vec![
+            rec(2, 1, "space.layer", 0, 90),
+            rec(3, 1, "space.layer", 0, 90),
+            rec(1, 0, "space.build", 0, 100),
+        ];
+        let p = profile(&spans);
+        let build = p.iter().find(|e| e.name == "space.build").expect("build");
+        assert_eq!(build.self_ns, 0);
+    }
+
+    #[test]
+    fn table_and_json_cover_every_entry() {
+        let spans = vec![rec(1, 0, "sim.run", 0, 50)];
+        let entries = profile(&spans);
+        assert_eq!(profile_table(&entries).len(), 1);
+        let rendered = profile_json(&entries).to_string();
+        let parsed = Json::parse(&rendered).expect("valid json");
+        assert_eq!(parsed[0]["span"].as_str(), Some("sim.run"));
+        assert_eq!(parsed[0]["total_ns"].as_u64(), Some(50));
+    }
+}

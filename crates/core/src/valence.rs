@@ -22,7 +22,7 @@
 
 use crate::space::{QuotientSpace, StateId, StateSpace};
 use crate::sym::{PidPerm, Symmetric};
-use crate::telemetry::{Observer, NOOP};
+use crate::telemetry::{MemoryBreakdown, MemoryFootprint, Observer, NOOP};
 use crate::{LayeredModel, Pid, Value};
 
 /// Which of the two binary decision values are reachable-by-a-nonfaulty
@@ -462,6 +462,45 @@ impl<'a, M: Symmetric> QuotientSolver<'a, M> {
             }
         }
         ids.into_iter().find(|&id| self.is_bivalent_id(id))
+    }
+}
+
+/// Bytes held by a valence memo vector (shallow: the flat `Vec` only).
+fn memo_bytes(memo: &[Option<Valences>]) -> u64 {
+    // `capacity` is what a `&[_]` cannot see, but the memo is resized to
+    // exactly `space.len()`, so `len` is the honest shallow figure.
+    memo.len() as u64 * std::mem::size_of::<Option<Valences>>() as u64
+}
+
+impl<M: LayeredModel> MemoryFootprint for ValenceSolver<'_, M> {
+    /// The underlying arena's components plus the `mem.valence.memo_bytes`
+    /// of the flat valence memo.
+    fn memory_footprint(&self) -> MemoryBreakdown {
+        let mut b = self.space.memory_footprint();
+        b.push("mem.valence.memo_bytes", memo_bytes(&self.memo));
+        b
+    }
+
+    fn report_memory(&self, obs: &dyn Observer) {
+        // Delegate to the arena so the intern-table load-factor gauge rides
+        // along, then add the memo.
+        self.space.report_memory(obs);
+        obs.gauge("mem.valence.memo_bytes", memo_bytes(&self.memo));
+    }
+}
+
+impl<M: Symmetric> MemoryFootprint for QuotientSolver<'_, M> {
+    /// The quotient arena's components plus the `mem.valence.memo_bytes`
+    /// of the flat valence memo.
+    fn memory_footprint(&self) -> MemoryBreakdown {
+        let mut b = self.space.memory_footprint();
+        b.push("mem.valence.memo_bytes", memo_bytes(&self.memo));
+        b
+    }
+
+    fn report_memory(&self, obs: &dyn Observer) {
+        self.space.report_memory(obs);
+        obs.gauge("mem.valence.memo_bytes", memo_bytes(&self.memo));
     }
 }
 

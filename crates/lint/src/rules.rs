@@ -602,7 +602,17 @@ fn has_inner_attr(toks: &[Tok], attr: &str, arg: &str) -> bool {
     })
 }
 
-const OBSERVER_METHODS: &[&str] = &["counter", "gauge", "span_start", "span_end", "event"];
+const OBSERVER_METHODS: &[&str] = &[
+    "counter",
+    "gauge",
+    "histogram",
+    "span_start",
+    "span_end",
+    "event",
+    "progress",
+];
+
+const SPAN_CONSTRUCTORS: &[&str] = &["enter", "enter_with", "enter_under"];
 
 /// L005: every telemetry name literal must appear in the registry.
 fn rule_l005(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
@@ -617,13 +627,13 @@ fn rule_l005(ctx: &Ctx<'_>, out: &mut Vec<Finding>) {
         {
             check_name(ctx, out, &toks[i + 3]);
         }
-        // `Span::enter(obs, "name")` — the name is the first string
-        // literal inside the call.
+        // `Span::enter(obs, "name")` and its `enter_with` / `enter_under`
+        // variants — the name is the first string literal inside the call.
         if i + 4 < toks.len()
             && toks[i].is_ident("Span")
             && toks[i + 1].is_punct(':')
             && toks[i + 2].is_punct(':')
-            && toks[i + 3].is_ident("enter")
+            && SPAN_CONSTRUCTORS.iter().any(|m| toks[i + 3].is_ident(m))
             && toks[i + 4].is_punct('(')
         {
             if let Some(name_tok) = toks[i + 5..]

@@ -3,7 +3,12 @@
 
 use layered_lint::rules::{check_file, FileInput, FileKind, Severity, RULES};
 
-const FIXTURE_NAMES: &[&str] = &["engine.states_visited", "valence.memo_hits"];
+const FIXTURE_NAMES: &[&str] = &[
+    "engine.states_visited",
+    "scan.progress",
+    "space.intern.probe_len",
+    "valence.memo_hits",
+];
 
 fn lint(src: &str) -> layered_lint::rules::FileReport {
     lint_as(src, FileKind::Library, false)
@@ -194,6 +199,42 @@ fn l005_checks_span_enter_names() {
     let good = r#"
         fn timed(obs: &dyn Observer) {
             let _span = Span::enter(obs, "engine.states_visited");
+        }
+    "#;
+    assert_eq!(rules_hit(&lint(good)), Vec::<&str>::new());
+}
+
+#[test]
+fn l005_checks_span_enter_with_and_enter_under_names() {
+    let bad = r#"
+        fn timed(obs: &dyn Observer) {
+            let _a = Span::enter_with(obs, "typo.with", &[("depth", 1)]);
+            let _b = Span::enter_under(obs, "typo.under", 7, &[]);
+        }
+    "#;
+    assert_eq!(rules_hit(&lint(bad)), vec!["L005", "L005"]);
+    let good = r#"
+        fn timed(obs: &dyn Observer) {
+            let _a = Span::enter_with(obs, "engine.states_visited", &[("depth", 1)]);
+            let _b = Span::enter_under(obs, "valence.memo_hits", 7, &[]);
+        }
+    "#;
+    assert_eq!(rules_hit(&lint(good)), Vec::<&str>::new());
+}
+
+#[test]
+fn l005_checks_histogram_and_progress_names() {
+    let bad = r#"
+        fn instrument(obs: &dyn Observer) {
+            obs.histogram("typo.probe_len", 3);
+            obs.progress("typo.progress", "depth=1");
+        }
+    "#;
+    assert_eq!(rules_hit(&lint(bad)), vec!["L005", "L005"]);
+    let good = r#"
+        fn instrument(obs: &dyn Observer) {
+            obs.histogram("space.intern.probe_len", 3);
+            obs.progress("scan.progress", "depth=1");
         }
     "#;
     assert_eq!(rules_hit(&lint(good)), Vec::<&str>::new());

@@ -219,11 +219,13 @@ impl<'a, M: SimModel> Simulator<'a, M> {
         let mut states = vec![self.model.initial_state(&inputs)];
         let mut moves = Vec::with_capacity(config.horizon);
         let mut faults = 0usize;
+        let mut first_fault_round: Option<usize> = None;
         for round in 0..config.horizon {
             let x = states.last().expect("non-empty");
             let mv = adversary.next_move(self.model, x, round, &mut rng);
             if self.model.is_fault(&mv) {
                 faults += 1;
+                first_fault_round.get_or_insert(round);
                 self.observer.counter("sim.faults_injected", 1);
             }
             let next = self.model.apply_move(x, &mv);
@@ -236,8 +238,22 @@ impl<'a, M: SimModel> Simulator<'a, M> {
         }
 
         let outcome = classify(self.model, &states);
+        self.observer
+            .histogram("sim.run_layers", moves.len() as u64);
         if outcome.is_violation() {
             self.observer.event("sim.violation", outcome.class());
+            if let (
+                Some(first),
+                RunOutcome::AgreementViolation { round } | RunOutcome::ValidityViolation { round },
+            ) = (first_fault_round, &outcome)
+            {
+                // Layers between the first injected fault and the violation
+                // surfacing — the "blast latency" of the fault.
+                self.observer.histogram(
+                    "sim.fault_to_violation_layers",
+                    round.saturating_sub(first) as u64,
+                );
+            }
         }
         SimRun {
             index,
