@@ -94,6 +94,34 @@ impl<P: MpProtocol> SimModel for MpModel<P> {
             }
         }
     }
+
+    fn decode_move(&self, kind: &str, args: &[u64]) -> Option<MpAction> {
+        let n = self.num_processes();
+        let order_of = |ids: &[u64]| -> Option<Vec<Pid>> {
+            let mut seen = vec![false; n];
+            let mut order = Vec::with_capacity(ids.len());
+            for &id in ids {
+                let i = usize::try_from(id).ok().filter(|&i| i < n)?;
+                if std::mem::replace(&mut seen[i], true) {
+                    return None; // duplicate process in the arrangement
+                }
+                order.push(Pid::new(i));
+            }
+            Some(order)
+        };
+        match kind {
+            "seq" if args.len() == n => Some(MpAction::Sequential(order_of(args)?)),
+            "drop" if args.len() == n - 1 => Some(MpAction::Sequential(order_of(args)?)),
+            "conc" if args.len() == n + 1 => {
+                let at = usize::try_from(args[0]).ok().filter(|&at| at + 1 < n)?;
+                Some(MpAction::Concurrent {
+                    order: order_of(&args[1..])?,
+                    at,
+                })
+            }
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,33 @@ impl<P: SmProtocol> SimModel for SmModel<P> {
             },
         }
     }
+
+    fn decode_move(&self, kind: &str, args: &[u64]) -> Option<SmAction> {
+        let n = self.num_processes();
+        match (kind, args) {
+            ("absent", [j]) => {
+                let j = usize::try_from(*j).ok().filter(|&j| j < n)?;
+                Some(SmAction::Absent(Pid::new(j)))
+            }
+            ("staggered", [j, k]) => {
+                let j = usize::try_from(*j).ok().filter(|&j| j < n)?;
+                let k = usize::try_from(*k).ok().filter(|&k| k <= n)?;
+                Some(SmAction::Staggered { j: Pid::new(j), k })
+            }
+            ("split", [j, early]) => {
+                let j = usize::try_from(*j).ok().filter(|&j| j < n)?;
+                if *early < (1u64 << n) && (*early >> j) & 1 == 0 {
+                    Some(SmAction::Split {
+                        j: Pid::new(j),
+                        early: *early,
+                    })
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

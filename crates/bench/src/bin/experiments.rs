@@ -3,12 +3,12 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [quick] [--json <path>] [--metrics]
+//! experiments [quick] [--json <path>] [--metrics] [--store <dir>]
 //! experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>]
-//!             [--adversary <name>] [--json <path>] [--metrics]
+//!             [--adversary <name>] [--json <path>] [--metrics] [--store <dir>]
 //! experiments --scan [--quotient] [--n <k>] [--depth <k>] [--threads <k>]
 //!             [--json <path>] [--metrics] [--trace <path>] [--profile]
-//!             [--heartbeat-ms <k>]
+//!             [--heartbeat-ms <k>] [--store <dir>]
 //! ```
 //!
 //! * `quick` — small CI-friendly instances (default: the full sizes).
@@ -35,13 +35,20 @@
 //!   the same span tree.
 //! * `--heartbeat-ms <k>` — progress-event cadence during layer expansion
 //!   (default 1000 ms).
+//! * `--store <dir>` — persist every certificate the run produces into the
+//!   content-addressed store at `<dir>` (created if absent; puts are
+//!   deduplicated by hash). In `--scan` mode that is the scan-verdict
+//!   certificate; in `--sim` mode the shrunk-schedule certificates of every
+//!   violating run; in the default mode one certificate per registry claim
+//!   at small n. Serve the directory with `cert-serve --store <dir>`.
 
 use std::io::Write;
 
 use layered_bench::{
-    all_experiments, interned_scan_with, known_adversary, quotient_scan_with, sim_batch,
+    all_experiments, interned_scan_certified, known_adversary, quotient_scan_certified, sim_batch,
     ScanConfig, Scope, SimBatchConfig,
 };
+use layered_cert::{registry, CertStore, Certificate};
 use layered_core::telemetry::profile::{profile, profile_table};
 use layered_core::telemetry::{set_heartbeat_period_ns, Observer, TraceObserver, NOOP};
 
@@ -53,6 +60,7 @@ struct Options {
     scan: Option<ScanConfig>,
     trace_path: Option<String>,
     profile: bool,
+    store_path: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -64,6 +72,7 @@ fn parse_args() -> Result<Options, String> {
         scan: None,
         trace_path: None,
         profile: false,
+        store_path: None,
     };
     let mut sim_cfg = SimBatchConfig::default();
     let mut sim_requested = false;
@@ -104,6 +113,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--json" => {
                 opts.json_path = Some(args.next().ok_or("--json requires a path argument")?);
+            }
+            "--store" => {
+                opts.store_path = Some(args.next().ok_or("--store requires a directory")?);
             }
             "--trace" => {
                 opts.trace_path = Some(args.next().ok_or("--trace requires a path argument")?);
@@ -169,6 +181,35 @@ fn write_json_lines(path: &str, lines: &[String]) {
     }
 }
 
+/// Persists `certs` into the content-addressed store at `path`, reporting
+/// how many were fresh vs. already present. Store I/O errors are fatal
+/// (exit 2), like any other output-path failure.
+fn store_certificates(path: &str, certs: &[Certificate]) {
+    let mut store = match CertStore::open(std::path::Path::new(path)) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("error: opening store {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut fresh = 0usize;
+    for cert in certs {
+        match store.put(cert, &NOOP) {
+            Ok((_, true)) => fresh += 1,
+            Ok((_, false)) => {}
+            Err(e) => {
+                eprintln!("error: storing certificate in {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!(
+        "Stored {} certificate(s) in {path} ({fresh} new, {} already present).",
+        certs.len(),
+        certs.len() - fresh
+    );
+}
+
 fn run_simulations(cfg: &SimBatchConfig, opts: &Options) {
     println!("Layered analysis of consensus — adversary-scheduler simulation\n");
     let batch = sim_batch(cfg);
@@ -189,7 +230,14 @@ fn run_simulations(cfg: &SimBatchConfig, opts: &Options) {
         let lines: Vec<String> = batch.records.iter().map(ToString::to_string).collect();
         write_json_lines(path, &lines);
     }
+    if let Some(path) = &opts.store_path {
+        store_certificates(path, &batch.certificates);
+    }
     println!("Replay any run with its recorded seed: outcomes above are a pure function of (seed, run index).");
+    if !batch.verified {
+        println!("Shrunk-schedule verification FAILED: a minimized schedule no longer replays to its recorded outcome.");
+        std::process::exit(1);
+    }
 }
 
 fn run_scan(cfg: &ScanConfig, opts: &Options) {
@@ -201,10 +249,10 @@ fn run_scan(cfg: &ScanConfig, opts: &Options) {
     let tracing = opts.trace_path.is_some() || opts.profile;
     let tracer = TraceObserver::new();
     let extra: &dyn Observer = if tracing { &tracer } else { &NOOP };
-    let exp = if cfg.quotient {
-        quotient_scan_with(cfg, extra)
+    let (exp, certificate) = if cfg.quotient {
+        quotient_scan_certified(cfg, extra)
     } else {
-        interned_scan_with(cfg, extra)
+        interned_scan_certified(cfg, extra)
     };
     println!("[{}] {}", exp.id, exp.claim);
     println!("{}", exp.table);
@@ -241,6 +289,15 @@ fn run_scan(cfg: &ScanConfig, opts: &Options) {
             tracer.dropped()
         );
     }
+    if let Some(path) = &opts.store_path {
+        match &certificate {
+            Some(cert) => store_certificates(path, std::slice::from_ref(cert)),
+            None => {
+                eprintln!("error: no scan certificate produced (witness construction failed)");
+                std::process::exit(1);
+            }
+        }
+    }
     if exp.ok {
         if cfg.quotient {
             println!("Quotient and full verdicts agree; the de-quotiented witness re-verifies.");
@@ -259,7 +316,7 @@ fn main() {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: experiments [quick|full] [--json <path>] [--metrics]\n       experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>] [--adversary <name>] [--json <path>]\n       experiments --scan [--quotient] [--n <k>] [--depth <k>] [--threads <k>] [--json <path>] [--trace <path>] [--profile] [--heartbeat-ms <k>]"
+                "usage: experiments [quick|full] [--json <path>] [--metrics] [--store <dir>]\n       experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>] [--adversary <name>] [--json <path>] [--store <dir>]\n       experiments --scan [--quotient] [--n <k>] [--depth <k>] [--threads <k>] [--json <path>] [--trace <path>] [--profile] [--heartbeat-ms <k>] [--store <dir>]"
             );
             std::process::exit(2);
         }
@@ -304,6 +361,30 @@ fn main() {
             .map(|e| e.json_record().to_string())
             .collect();
         write_json_lines(path, &lines);
+    }
+    if let Some(path) = &opts.store_path {
+        // One certificate per registry claim, at every computable size:
+        // the default mode leaves behind a store that answers the whole
+        // query surface cold.
+        let mut certs = Vec::new();
+        for &model in registry::MODEL_KEYS {
+            let max_n = match opts.scope {
+                Scope::Quick => 3,
+                Scope::Full => registry::max_compute_n(model),
+            };
+            for claim in registry::claims_for(model) {
+                for n in 3..=max_n {
+                    match registry::compute(model, n, claim, &NOOP) {
+                        Ok(cert) => certs.push(cert),
+                        Err(e) => {
+                            eprintln!("error: computing {model} n={n} {claim}: {e}");
+                            failures += 1;
+                        }
+                    }
+                }
+            }
+        }
+        store_certificates(path, &certs);
     }
     if failures == 0 {
         println!("All experiments match the paper's claims.");

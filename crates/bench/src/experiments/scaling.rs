@@ -8,17 +8,53 @@
 //! n = 4 was out of enumeration reach for the state-keyed engines; the
 //! `--scan` mode of the `experiments` binary runs this instance in CI.
 
+use std::cell::RefCell;
+
+use layered_cert::{CertKind, CertMeta, Certificate};
 use layered_core::report::Table;
+use layered_core::telemetry::json::Json;
 use layered_core::telemetry::{clock, Observer, NOOP};
 use layered_core::{
     scan_layer_valence_connectivity, scan_layer_valence_connectivity_parallel,
     scan_layer_valence_connectivity_quotient, scan_layer_valence_connectivity_quotient_parallel,
-    ImpossibilityWitness, MemoryFootprint, QuotientSolver, ValenceSolver,
+    witness_to_json, ImpossibilityWitness, LayeredModel, MemoryFootprint, QuotientSolver,
+    ValenceSolver,
 };
 use layered_protocols::FloodMin;
 use layered_sync_mobile::{MobileLayering, MobileModel};
 
 use crate::Experiment;
+
+/// Packages a finished layer scan and its supporting witness as a
+/// `lemma_5_1` scan-verdict certificate, ready for a `--store` directory.
+fn scan_certificate<M: LayeredModel>(
+    model: &M,
+    layering: &str,
+    depth: usize,
+    horizon: usize,
+    scan: (usize, usize, bool),
+    witness: &ImpossibilityWitness<M::State>,
+) -> Option<Certificate> {
+    let (layers_checked, states_seen, connected) = scan;
+    let witness_json = witness_to_json(model, witness).ok()?;
+    Some(Certificate::new(
+        CertMeta {
+            model: layered_sync_mobile::MODEL_KEY.to_string(),
+            n: model.num_processes(),
+            layering: layering.to_string(),
+            claim: "lemma_5_1".to_string(),
+        },
+        CertKind::ScanVerdict,
+        Json::Object(vec![
+            ("depth".into(), Json::from(depth as u64)),
+            ("horizon".into(), Json::from(horizon as u64)),
+            ("layers_checked".into(), Json::from(layers_checked as u64)),
+            ("states_seen".into(), Json::from(states_seen as u64)),
+            ("connected".into(), Json::from(connected)),
+            ("witness".into(), witness_json),
+        ]),
+    ))
+}
 
 /// Parameters of the `--scan` mode.
 #[derive(Clone, Debug)]
@@ -58,8 +94,21 @@ pub fn interned_scan(cfg: &ScanConfig) -> Experiment {
 /// `--trace` / `--profile`.
 #[must_use]
 pub fn interned_scan_with(cfg: &ScanConfig, trace: &dyn Observer) -> Experiment {
+    interned_scan_certified(cfg, trace).0
+}
+
+/// [`interned_scan_with`], additionally packaging the scan verdict and its
+/// witness as a storable certificate (`None` when the witness could not be
+/// built — in which case the experiment is not `ok` either).
+#[must_use]
+pub fn interned_scan_certified(
+    cfg: &ScanConfig,
+    trace: &dyn Observer,
+) -> (Experiment, Option<Certificate>) {
     let cfg = cfg.clone();
-    crate::measured_with(
+    let slot: RefCell<Option<Certificate>> = RefCell::new(None);
+    let slot_ref = &slot;
+    let exp = crate::measured_with(
         "E-scan",
         "Lemma 5.1 layer scan on interned state spaces (sequential ≡ parallel)",
         trace,
@@ -93,7 +142,17 @@ pub fn interned_scan_with(cfg: &ScanConfig, trace: &dyn Observer) -> Experiment 
 
             let identical = seq == par;
             let witness = ImpossibilityWitness::build(&m, horizon, cfg.depth);
-            let verified = witness.is_some_and(|w| w.verify(&m).is_ok());
+            let verified = witness.as_ref().is_some_and(|w| w.verify(&m).is_ok());
+            if let Some(w) = &witness {
+                *slot_ref.borrow_mut() = scan_certificate(
+                    &m,
+                    "s1",
+                    cfg.depth,
+                    horizon,
+                    (seq.layers_checked, seq.states_seen, seq.all_connected()),
+                    w,
+                );
+            }
 
             for (path, scan, ms) in [("sequential", &seq, seq_ms), ("parallel", &par, par_ms)] {
                 table.row_owned(vec![
@@ -123,7 +182,8 @@ pub fn interned_scan_with(cfg: &ScanConfig, trace: &dyn Observer) -> Experiment 
 
             (table, identical && seq.all_connected() && verified)
         },
-    )
+    );
+    (exp, slot.into_inner())
 }
 
 /// Runs the symmetry-reduced Lemma 5.1 layer scan over canonical orbits
@@ -147,8 +207,22 @@ pub fn quotient_scan(cfg: &ScanConfig) -> Experiment {
 /// `--trace` / `--profile`.
 #[must_use]
 pub fn quotient_scan_with(cfg: &ScanConfig, trace: &dyn Observer) -> Experiment {
+    quotient_scan_certified(cfg, trace).0
+}
+
+/// [`quotient_scan_with`], additionally packaging the quotient scan
+/// verdict and its de-quotiented witness as a storable certificate (the
+/// layering key is `full` — the equivariant layering the quotient runs
+/// under).
+#[must_use]
+pub fn quotient_scan_certified(
+    cfg: &ScanConfig,
+    trace: &dyn Observer,
+) -> (Experiment, Option<Certificate>) {
     let cfg = cfg.clone();
-    crate::measured_with(
+    let slot: RefCell<Option<Certificate>> = RefCell::new(None);
+    let slot_ref = &slot;
+    let exp = crate::measured_with(
         "E-sym",
         "Lemma 5.1 layer scan over canonical orbits (quotient ≡ full verdicts)",
         trace,
@@ -202,7 +276,17 @@ pub fn quotient_scan_with(cfg: &ScanConfig, trace: &dyn Observer) -> Experiment 
             });
 
             let witness = ImpossibilityWitness::build_quotient(&m, horizon, cfg.depth);
-            let verified = witness.is_some_and(|w| w.verify(&m).is_ok());
+            let verified = witness.as_ref().is_some_and(|w| w.verify(&m).is_ok());
+            if let Some(w) = &witness {
+                *slot_ref.borrow_mut() = scan_certificate(
+                    &m,
+                    "full",
+                    cfg.depth,
+                    horizon,
+                    (quot.layers_checked, quot.states_seen, quot.all_connected()),
+                    w,
+                );
+            }
 
             // Headline numbers as gauges so the JSON record carries the
             // full-vs-quotient comparison as stable machine-readable fields.
@@ -264,5 +348,6 @@ pub fn quotient_scan_with(cfg: &ScanConfig, trace: &dyn Observer) -> Experiment 
                 paths_agree && parity && reduced && verified && quot.all_connected(),
             )
         },
-    )
+    );
+    (exp, slot.into_inner())
 }

@@ -21,6 +21,7 @@ use layered_core::telemetry::json::Json;
 use layered_core::telemetry::{Fanout, MetricsRegistry, MetricsSnapshot, Observer, Span, NOOP};
 
 mod experiments {
+    pub mod certstore;
     pub mod decision_tasks;
     pub mod foundations;
     pub mod impossibility;
@@ -30,13 +31,15 @@ mod experiments {
 pub mod regress;
 pub mod simruns;
 
+pub use experiments::certstore::cert_store;
 pub use experiments::decision_tasks::{
     bivalence_profile, covering_sanity, diameter, lemma_7_1, lemma_7_4, task_solvability,
 };
 pub use experiments::foundations::{census, lemma_3_1, lemma_3_6, theorem_4_2};
 pub use experiments::impossibility::{iis, message_passing, mobile, shared_memory};
 pub use experiments::scaling::{
-    interned_scan, interned_scan_with, quotient_scan, quotient_scan_with, ScanConfig,
+    interned_scan, interned_scan_certified, interned_scan_with, quotient_scan,
+    quotient_scan_certified, quotient_scan_with, ScanConfig,
 };
 pub use experiments::synchronous::{early_stopping, lemma_6_4, lemmas_6_1_6_2, lower_bound};
 pub use simruns::{known_adversary, sim_batch, SimBatch, SimBatchConfig};
@@ -175,5 +178,6 @@ pub fn all_experiments(scope: Scope) -> Vec<Experiment> {
         bivalence_profile(scope),
         covering_sanity(scope),
         diameter(scope),
+        cert_store(scope),
     ]
 }

@@ -9,14 +9,15 @@
 
 use layered_async_mp::MpModel;
 use layered_async_sm::SmModel;
+use layered_cert::{registry, Certificate};
 use layered_core::report::Table;
 use layered_core::telemetry::json::Json;
-use layered_core::telemetry::{MetricsRegistry, Observer};
+use layered_core::telemetry::{MetricsRegistry, Observer, NOOP};
 use layered_core::SimModel;
 use layered_protocols::{FloodMin, MpFloodMin, MpProtocol, SmFloodMin, SmProtocol, SyncProtocol};
 use layered_sim::{
-    run_record, Adversary, MessageDropper, MobileRoamer, RandomAdversary, RoundRobinAdversary,
-    SimConfig, Simulator,
+    classify, run_record, shrink, Adversary, MessageDropper, MobileRoamer, RandomAdversary,
+    RoundRobinAdversary, SimConfig, Simulator,
 };
 use layered_sync_crash::CrashModel;
 use layered_sync_mobile::MobileModel;
@@ -55,12 +56,34 @@ impl Default for SimBatchConfig {
 pub struct SimBatch {
     /// Per-model-family outcome summary.
     pub table: Table,
-    /// One record per simulated run (the `--json` stream).
+    /// One record per simulated run, plus one `"experiment": "sim-shrink"`
+    /// record per violating run with its ddmin-minimized schedule (the
+    /// `--json` stream, canonicalized).
     pub records: Vec<Json>,
+    /// One schedule certificate per violating run (the ddmin-shrunk
+    /// reproduction), ready for a `--store` directory.
+    pub certificates: Vec<Certificate>,
+    /// Whether every shrunk schedule re-verified: replay reproduces the
+    /// original violation class and, at enumerable sizes, the replayed
+    /// trace validates as a genuine `S`-execution. `false` is a harness
+    /// bug, not a model finding — the `--sim` mode exits nonzero on it.
+    pub verified: bool,
     /// Total faults injected across the batch.
     pub faults: u64,
     /// Telemetry counters recorded by the runtime.
     pub metrics: layered_core::telemetry::MetricsSnapshot,
+}
+
+/// Naming and reconstruction parameters of one model family in the batch:
+/// the short name used in sim records, the certificate-store model key,
+/// and what it takes to rebuild the model when re-verifying (protocol
+/// deadline, crash resilience).
+struct FamilyIdentity<'a> {
+    sim_name: &'static str,
+    cert_model: &'static str,
+    protocol: &'a str,
+    deadline: u16,
+    resilience: Option<usize>,
 }
 
 /// Tallies of one family's batch.
@@ -72,14 +95,22 @@ struct FamilyTally {
     faults: usize,
 }
 
+/// Everything a family batch feeds back into the harness besides its
+/// tally: the `--json` records, the shrunk-schedule certificates, and the
+/// re-verification verdict.
+struct FamilyOutput<'a> {
+    records: &'a mut Vec<Json>,
+    certificates: &'a mut Vec<Certificate>,
+    verified: &'a mut bool,
+}
+
 fn run_family<M, A>(
     model: &M,
-    model_name: &str,
-    protocol: &str,
+    family: &FamilyIdentity<'_>,
     observer: &dyn Observer,
     cfg: &SimBatchConfig,
     make_adversary: impl FnMut() -> A,
-    records: &mut Vec<Json>,
+    out: &mut FamilyOutput<'_>,
 ) -> FamilyTally
 where
     M: SimModel,
@@ -104,13 +135,59 @@ where
             _ => tally.validity += 1,
         }
         tally.faults += run.faults;
-        records.push(run_record(
+        out.records.push(run_record(
             model,
             &run,
-            model_name,
-            protocol,
+            family.sim_name,
+            family.protocol,
             &adversary_name,
         ));
+        if !run.outcome.is_violation() {
+            continue;
+        }
+        // Satellite: every violation ships with its ddmin-shrunk
+        // reproduction — as a canonicalized `--json` record (the same
+        // stream as the runs) and as a storable schedule certificate.
+        let class = run.outcome.class();
+        let small = shrink(model, &run.schedule, class);
+        let replayed = small.replay(model);
+        let replays_ok = classify(model, replayed.states()).class() == class;
+        out.records.push(
+            Json::Object(vec![
+                ("experiment".to_string(), Json::from("sim-shrink")),
+                ("model".to_string(), Json::from(family.sim_name)),
+                ("n".to_string(), Json::from(model.num_processes() as u64)),
+                ("run".to_string(), Json::from(run.index as u64)),
+                ("outcome".to_string(), Json::from(class)),
+                (
+                    "original_len".to_string(),
+                    Json::from(run.schedule.len() as u64),
+                ),
+                ("shrunk_len".to_string(), Json::from(small.len() as u64)),
+                ("schedule".to_string(), small.to_json_full(model)),
+            ])
+            .canonicalize(),
+        );
+        match registry::schedule_certificate(
+            family.cert_model,
+            model,
+            family.deadline,
+            family.resilience,
+            class,
+            &small,
+        ) {
+            Ok(cert) => {
+                // Re-verify through the same path the query server uses:
+                // replay class match, plus trace validation at enumerable
+                // sizes. A failure here is a harness bug and fails the
+                // batch.
+                if !replays_ok || registry::verify(&cert, &NOOP).is_err() {
+                    *out.verified = false;
+                }
+                out.certificates.push(cert);
+            }
+            Err(_) => *out.verified = false,
+        }
     }
     tally
 }
@@ -141,6 +218,8 @@ pub fn sim_batch(cfg: &SimBatchConfig) -> SimBatch {
     );
     let n = cfg.n;
     let deadline = u16::try_from(cfg.horizon).unwrap_or(u16::MAX).max(1);
+    let mut certificates = Vec::new();
+    let mut verified = true;
 
     let mut families: Vec<(&str, String, FamilyTally)> = Vec::new();
 
@@ -148,7 +227,19 @@ pub fn sim_batch(cfg: &SimBatchConfig) -> SimBatch {
         let protocol = FloodMin::new(deadline);
         let name = SyncProtocol::name(&protocol);
         let model = MobileModel::new(n, protocol);
-        let tally = dispatch(&model, "mobile", &name, &registry, cfg, &mut records);
+        let identity = FamilyIdentity {
+            sim_name: "mobile",
+            cert_model: layered_sync_mobile::MODEL_KEY,
+            protocol: &name,
+            deadline,
+            resilience: None,
+        };
+        let mut out = FamilyOutput {
+            records: &mut records,
+            certificates: &mut certificates,
+            verified: &mut verified,
+        };
+        let tally = dispatch(&model, &identity, &registry, cfg, &mut out);
         families.push(("mobile (S1)", name, tally));
     }
     {
@@ -157,21 +248,57 @@ pub fn sim_batch(cfg: &SimBatchConfig) -> SimBatch {
         // CrashModel requires 1 <= t <= n - 2 (so n >= 3).
         let t = (n / 2).clamp(1, n - 2);
         let model = CrashModel::new(n, t, protocol);
-        let tally = dispatch(&model, "crash", &name, &registry, cfg, &mut records);
+        let identity = FamilyIdentity {
+            sim_name: "crash",
+            cert_model: layered_sync_crash::MODEL_KEY,
+            protocol: &name,
+            deadline,
+            resilience: Some(t),
+        };
+        let mut out = FamilyOutput {
+            records: &mut records,
+            certificates: &mut certificates,
+            verified: &mut verified,
+        };
+        let tally = dispatch(&model, &identity, &registry, cfg, &mut out);
         families.push(("crash (S^t)", name, tally));
     }
     {
         let protocol = SmFloodMin::new(deadline);
         let name = SmProtocol::name(&protocol);
         let model = SmModel::new(n, protocol);
-        let tally = dispatch(&model, "sm", &name, &registry, cfg, &mut records);
+        let identity = FamilyIdentity {
+            sim_name: "sm",
+            cert_model: layered_async_sm::MODEL_KEY,
+            protocol: &name,
+            deadline,
+            resilience: None,
+        };
+        let mut out = FamilyOutput {
+            records: &mut records,
+            certificates: &mut certificates,
+            verified: &mut verified,
+        };
+        let tally = dispatch(&model, &identity, &registry, cfg, &mut out);
         families.push(("shared memory (S^rw)", name, tally));
     }
     {
         let protocol = MpFloodMin::new(deadline);
         let name = MpProtocol::name(&protocol);
         let model = MpModel::new(n, protocol);
-        let tally = dispatch(&model, "mp", &name, &registry, cfg, &mut records);
+        let identity = FamilyIdentity {
+            sim_name: "mp",
+            cert_model: layered_async_mp::MODEL_KEY,
+            protocol: &name,
+            deadline,
+            resilience: None,
+        };
+        let mut out = FamilyOutput {
+            records: &mut records,
+            certificates: &mut certificates,
+            verified: &mut verified,
+        };
+        let tally = dispatch(&model, &identity, &registry, cfg, &mut out);
         families.push(("message passing (S^per)", name, tally));
     }
 
@@ -192,6 +319,8 @@ pub fn sim_batch(cfg: &SimBatchConfig) -> SimBatch {
     SimBatch {
         table,
         records,
+        certificates,
+        verified,
         faults,
         metrics: registry.snapshot(),
     }
@@ -200,49 +329,30 @@ pub fn sim_batch(cfg: &SimBatchConfig) -> SimBatch {
 /// Runs one family under the adversary named in `cfg`.
 fn dispatch<M: SimModel>(
     model: &M,
-    model_name: &str,
-    protocol: &str,
+    family: &FamilyIdentity<'_>,
     observer: &dyn Observer,
     cfg: &SimBatchConfig,
-    records: &mut Vec<Json>,
+    out: &mut FamilyOutput<'_>,
 ) -> FamilyTally {
     match cfg.adversary.as_str() {
         "round-robin" => run_family(
             model,
-            model_name,
-            protocol,
+            family,
             observer,
             cfg,
             || RoundRobinAdversary::new(2),
-            records,
+            out,
         ),
-        "roamer" => run_family(
-            model,
-            model_name,
-            protocol,
-            observer,
-            cfg,
-            MobileRoamer::default,
-            records,
-        ),
+        "roamer" => run_family(model, family, observer, cfg, MobileRoamer::default, out),
         "dropper" => run_family(
             model,
-            model_name,
-            protocol,
+            family,
             observer,
             cfg,
             || MessageDropper::new(300),
-            records,
+            out,
         ),
-        _ => run_family(
-            model,
-            model_name,
-            protocol,
-            observer,
-            cfg,
-            || RandomAdversary,
-            records,
-        ),
+        _ => run_family(model, family, observer, cfg, || RandomAdversary, out),
     }
 }
 
@@ -266,7 +376,12 @@ mod tests {
         };
         let a = sim_batch(&cfg);
         let b = sim_batch(&cfg);
-        assert_eq!(a.records.len(), 4 * 3);
+        let sim_records = a
+            .records
+            .iter()
+            .filter(|r| r.get("experiment").and_then(Json::as_str) == Some("sim"))
+            .count();
+        assert_eq!(sim_records, 4 * 3);
         let render = |batch: &SimBatch| {
             batch
                 .records

@@ -1,0 +1,95 @@
+//! `cert-serve` — serve a certificate store over HTTP.
+//!
+//! ```text
+//! cert-serve --store <dir> [--addr <host:port>] [--max-compute-n <k>]
+//! ```
+//!
+//! Binds (default `127.0.0.1:7841`; use port `0` for an ephemeral port),
+//! prints the bound address on the first line of stdout, and serves until
+//! killed. Routes: `/healthz`, `/metrics`, `/cert/<hash>`,
+//! `/query?model=&n=&claim=` — see `layered_cert::server` for semantics.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use layered_cert::{CertServer, CertStore, ServerConfig};
+
+struct Args {
+    store: PathBuf,
+    addr: String,
+    max_compute_n: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut store = None;
+    let mut addr = "127.0.0.1:7841".to_string();
+    let mut max_compute_n = 4usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--store" => store = Some(PathBuf::from(value("--store")?)),
+            "--addr" => addr = value("--addr")?,
+            "--max-compute-n" => {
+                max_compute_n = value("--max-compute-n")?
+                    .parse()
+                    .map_err(|_| "--max-compute-n needs an integer".to_string())?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: cert-serve --store <dir> [--addr <host:port>] \
+                            [--max-compute-n <k>]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(Args {
+        store: store.ok_or("--store <dir> is required")?,
+        addr,
+        max_compute_n,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let store = match CertStore::open(&args.store) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("cannot open store at {}: {e}", args.store.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "cert-serve: {} certificates indexed under {}",
+        store.len(),
+        args.store.display()
+    );
+    let config = ServerConfig {
+        max_compute_n: args.max_compute_n,
+    };
+    let server = match CertServer::bind(&args.addr, store, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("{addr}"),
+        Err(e) => {
+            eprintln!("cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("accept loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

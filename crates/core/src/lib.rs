@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod artifact;
 pub mod checker;
 pub mod connectivity;
 pub mod graph;
@@ -56,6 +57,10 @@ mod witness;
 
 pub mod layering;
 
+pub use artifact::{
+    fnv1a64, state_fingerprint, trace_from_json, trace_to_json, witness_from_json, witness_to_json,
+    ArtifactError,
+};
 pub use checker::{
     check_consensus, check_consensus_with, check_crash_display, check_fault_independence,
     check_graded, trace_to, ConsensusReport, Violation,

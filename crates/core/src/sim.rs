@@ -136,6 +136,16 @@ pub trait SimModel: LayeredModel {
     /// Encodes a move for serialization and fault accounting.
     fn encode_move(&self, mv: &Self::Move) -> MoveRecord;
 
+    /// Decodes the `(kind, args)` of a [`MoveRecord`] back into a move —
+    /// the inverse of [`encode_move`](Self::encode_move), used to replay
+    /// schedules deserialized from JSON (certificate stores, `--json`
+    /// records).
+    ///
+    /// Returns `None` for an unknown kind or a malformed argument list.
+    /// Decoded moves must satisfy `decode_move(encode_move(m)) == Some(m)`
+    /// for every move the three constructors produce.
+    fn decode_move(&self, kind: &str, args: &[u64]) -> Option<Self::Move>;
+
     /// Whether the move injects a fault. Defaults to the encoded record's
     /// `fault` flag.
     fn is_fault(&self, mv: &Self::Move) -> bool {

@@ -45,5 +45,5 @@ pub use adversary::{
 };
 pub use rng::SimRng;
 pub use runtime::{classify, run_record, RunOutcome, SimConfig, SimRun, Simulator};
-pub use schedule::Schedule;
+pub use schedule::{Schedule, ScheduleJsonError};
 pub use shrink::shrink;

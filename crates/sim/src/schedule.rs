@@ -90,7 +90,127 @@ impl<Mv: Clone + Eq + std::hash::Hash + std::fmt::Debug> Schedule<Mv> {
                 .collect(),
         )
     }
+
+    /// The self-contained JSON form of the schedule —
+    /// `{"seed": "…", "inputs": […], "moves": […]}` — the wire format
+    /// [`Schedule::from_json`] decodes and certificate stores persist.
+    ///
+    /// The seed travels as a fixed-width hex *string*: JSON numbers are
+    /// `f64`-backed, exact only up to `2^53`, and per-run derived seeds
+    /// use all 64 bits.
+    pub fn to_json_full<M>(&self, model: &M) -> Json
+    where
+        M: SimModel<Move = Mv>,
+    {
+        Json::Object(vec![
+            ("seed".into(), Json::String(format!("{:016x}", self.seed))),
+            (
+                "inputs".into(),
+                Json::Array(
+                    self.inputs
+                        .iter()
+                        .map(|v| Json::from(u64::from(v.get())))
+                        .collect(),
+                ),
+            ),
+            ("moves".into(), self.to_json(model)),
+        ])
+    }
+
+    /// Decodes a schedule from the object form produced by
+    /// [`Schedule::to_json_full`], resolving each move record through
+    /// [`SimModel::decode_move`].
+    ///
+    /// Round-trip identity (`from_json(to_json_full(s)) == s`) holds for
+    /// every schedule the runtime records, because `decode_move` is the
+    /// inverse of `encode_move` on constructor-produced moves.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleJsonError::Malformed`] for a shape/type error,
+    /// [`ScheduleJsonError::BadMove`] when `decode_move` rejects a record.
+    pub fn from_json<M>(model: &M, json: &Json) -> Result<Self, ScheduleJsonError>
+    where
+        M: SimModel<Move = Mv>,
+    {
+        let seed = json
+            .get("seed")
+            .and_then(Json::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or(ScheduleJsonError::Malformed("seed must be a hex string"))?;
+        let Some(Json::Array(raw_inputs)) = json.get("inputs") else {
+            return Err(ScheduleJsonError::Malformed("missing inputs"));
+        };
+        let inputs = raw_inputs
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|v| u32::try_from(v).ok())
+                    .map(Value::new)
+                    .ok_or(ScheduleJsonError::Malformed(
+                        "inputs must be small integers",
+                    ))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if inputs.len() != model.num_processes() {
+            return Err(ScheduleJsonError::Malformed("inputs length != n"));
+        }
+        let Some(Json::Array(raw_moves)) = json.get("moves") else {
+            return Err(ScheduleJsonError::Malformed("missing moves"));
+        };
+        let mut moves = Vec::with_capacity(raw_moves.len());
+        for (index, rec) in raw_moves.iter().enumerate() {
+            let kind = rec
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or(ScheduleJsonError::Malformed("move without kind"))?;
+            let Some(Json::Array(raw_args)) = rec.get("args") else {
+                return Err(ScheduleJsonError::Malformed("move without args"));
+            };
+            let args = raw_args
+                .iter()
+                .map(|a| {
+                    a.as_u64()
+                        .ok_or(ScheduleJsonError::Malformed("move args must be integers"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let mv = model
+                .decode_move(kind, &args)
+                .ok_or(ScheduleJsonError::BadMove { index })?;
+            moves.push(mv);
+        }
+        Ok(Schedule {
+            seed,
+            inputs,
+            moves,
+        })
+    }
 }
+
+/// Why decoding a [`Schedule`] from JSON failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScheduleJsonError {
+    /// A required field is missing or has the wrong JSON type.
+    Malformed(&'static str),
+    /// A move record was rejected by [`SimModel::decode_move`].
+    BadMove {
+        /// Index of the offending move.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleJsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleJsonError::Malformed(what) => write!(f, "malformed schedule JSON: {what}"),
+            ScheduleJsonError::BadMove { index } => {
+                write!(f, "move {index} does not decode for this model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleJsonError {}
 
 #[cfg(test)]
 mod tests {

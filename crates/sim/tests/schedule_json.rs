@@ -1,0 +1,77 @@
+//! Round-trip: every recorded schedule must survive the JSON wire format —
+//! `Schedule::from_json(to_json_full(s)) == s` in all four model families,
+//! with `decode_move` rejecting records that are not legal for the model.
+
+use layered_async_mp::MpModel;
+use layered_async_sm::SmModel;
+use layered_core::telemetry::json::Json;
+use layered_core::SimModel;
+use layered_protocols::{FloodMin, MpFloodMin, SmFloodMin};
+use layered_sim::{RandomAdversary, Schedule, ScheduleJsonError, SimConfig, Simulator};
+use layered_sync_crash::CrashModel;
+use layered_sync_mobile::MobileModel;
+
+/// Every run in the batch round-trips through the canonical JSON text.
+fn assert_round_trips<M: SimModel>(model: &M, seed: u64) {
+    let sim = Simulator::new(model);
+    let config = SimConfig::new(seed, 12, 4);
+    for run in sim.run_many(&config, || RandomAdversary) {
+        let text = run.schedule.to_json_full(model).canonicalize().to_string();
+        let parsed = Json::parse(&text).expect("valid json");
+        let back = Schedule::from_json(model, &parsed).expect("decodable");
+        assert_eq!(back, run.schedule, "schedule JSON round-trip changed it");
+        assert_eq!(
+            back.replay(model).states(),
+            run.schedule.replay(model).states(),
+            "replays diverge after round-trip"
+        );
+    }
+}
+
+#[test]
+fn mobile_schedules_round_trip() {
+    assert_round_trips(&MobileModel::new(3, FloodMin::new(2)), 101);
+}
+
+#[test]
+fn crash_schedules_round_trip() {
+    assert_round_trips(&CrashModel::new(3, 1, FloodMin::new(3)), 202);
+}
+
+#[test]
+fn sm_schedules_round_trip() {
+    assert_round_trips(&SmModel::new(3, SmFloodMin::new(2)), 303);
+}
+
+#[test]
+fn mp_schedules_round_trip() {
+    assert_round_trips(&MpModel::new(3, MpFloodMin::new(2)), 404);
+}
+
+#[test]
+fn illegal_moves_are_rejected() {
+    let model = MobileModel::new(3, FloodMin::new(2));
+    // j out of range for n = 3.
+    let text =
+        r#"{"inputs":[0,1,1],"moves":[{"args":[7,1],"fault":true,"kind":"omit"}],"seed":"05"}"#;
+    let parsed = Json::parse(text).expect("valid json");
+    assert_eq!(
+        Schedule::<layered_sync_mobile::MobileMove>::from_json(&model, &parsed),
+        Err(ScheduleJsonError::BadMove { index: 0 })
+    );
+    // Unknown kind.
+    let text =
+        r#"{"inputs":[0,1,1],"moves":[{"args":[],"fault":false,"kind":"warp"}],"seed":"05"}"#;
+    let parsed = Json::parse(text).expect("valid json");
+    assert_eq!(
+        Schedule::<layered_sync_mobile::MobileMove>::from_json(&model, &parsed),
+        Err(ScheduleJsonError::BadMove { index: 0 })
+    );
+    // Wrong input arity.
+    let text = r#"{"inputs":[0,1],"moves":[],"seed":"05"}"#;
+    let parsed = Json::parse(text).expect("valid json");
+    assert!(matches!(
+        Schedule::<layered_sync_mobile::MobileMove>::from_json(&model, &parsed),
+        Err(ScheduleJsonError::Malformed(_))
+    ));
+}

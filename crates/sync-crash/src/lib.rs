@@ -44,3 +44,12 @@ pub use lemmas::{check_display_below_budget, check_lemma_6_4, lemma_6_1_chain, l
 pub use model::{CrashLayering, CrashModel};
 pub use sim::CrashMove;
 pub use state::CrashState;
+
+/// Stable key identifying this model in certificate stores and query URLs.
+pub const MODEL_KEY: &str = "sync-crash";
+
+/// Claims the certificate registry can compute and serve for this model:
+/// the Lemma 6.1 bivalent `S^t`-execution (consensus is solvable here, so
+/// no impossibility witness exists — the lower-bound chain is the
+/// artifact).
+pub const CLAIM_KEYS: &[&str] = &["lemma_6_1"];

@@ -81,6 +81,22 @@ impl<P: SyncProtocol> SimModel for CrashModel<P> {
             },
         }
     }
+
+    fn decode_move(&self, kind: &str, args: &[u64]) -> Option<CrashMove> {
+        let n = self.num_processes();
+        match (kind, args) {
+            ("clean", []) => Some(CrashMove::Clean),
+            ("crash", [j, k]) => {
+                let (j, k) = (usize::try_from(*j).ok()?, usize::try_from(*k).ok()?);
+                if j < n && (1..=n).contains(&k) {
+                    Some(CrashMove::Crash { j: Pid::new(j), k })
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

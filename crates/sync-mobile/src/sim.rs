@@ -76,6 +76,25 @@ impl<P: SyncProtocol> SimModel for MobileModel<P> {
             }
         }
     }
+
+    fn decode_move(&self, kind: &str, args: &[u64]) -> Option<MobileMove> {
+        let n = self.num_processes();
+        match (kind, args) {
+            ("clean", []) => Some(MobileMove {
+                j: Pid::new(0),
+                k: 0,
+            }),
+            ("omit", [j, k]) => {
+                let (j, k) = (usize::try_from(*j).ok()?, usize::try_from(*k).ok()?);
+                if j < n && (1..=n).contains(&k) {
+                    Some(MobileMove { j: Pid::new(j), k })
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
