@@ -1,6 +1,6 @@
 //! Global states of the asynchronous message-passing model.
 
-use layered_core::{Pid, Value};
+use layered_core::{Pid, SnapshotError, SnapshotReader, SnapshotState, Value};
 
 /// A global state of the asynchronous message-passing model under the
 /// permutation layering.
@@ -67,5 +67,27 @@ impl<L, M> MpState<L, M> {
             .enumerate()
             .filter(move |(_, &c)| c == round)
             .map(|(i, _)| Pid::new(i))
+    }
+}
+
+impl<L: SnapshotState, M: SnapshotState> SnapshotState for MpState<L, M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.round.encode(out);
+        self.inputs.encode(out);
+        self.locals.encode(out);
+        self.decided.encode(out);
+        self.phases_done.encode(out);
+        self.mailboxes.encode(out);
+    }
+
+    fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(MpState {
+            round: u16::decode(r)?,
+            inputs: Vec::decode(r)?,
+            locals: Vec::decode(r)?,
+            decided: Vec::decode(r)?,
+            phases_done: Vec::decode(r)?,
+            mailboxes: Vec::decode(r)?,
+        })
     }
 }

@@ -1,6 +1,6 @@
 //! Global states of the asynchronous read/write shared-memory model.
 
-use layered_core::{Pid, Value};
+use layered_core::{Pid, SnapshotError, SnapshotReader, SnapshotState, Value};
 
 /// A global state of `M^rw` under the synchronic layering.
 ///
@@ -55,5 +55,27 @@ impl<L, R> SmState<L, R> {
             .enumerate()
             .filter(move |(_, &c)| c == phase)
             .map(|(i, _)| Pid::new(i))
+    }
+}
+
+impl<L: SnapshotState, R: SnapshotState> SnapshotState for SmState<L, R> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.phase.encode(out);
+        self.inputs.encode(out);
+        self.regs.encode(out);
+        self.locals.encode(out);
+        self.decided.encode(out);
+        self.phases_done.encode(out);
+    }
+
+    fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(SmState {
+            phase: u16::decode(r)?,
+            inputs: Vec::decode(r)?,
+            regs: Vec::decode(r)?,
+            locals: Vec::decode(r)?,
+            decided: Vec::decode(r)?,
+            phases_done: Vec::decode(r)?,
+        })
     }
 }

@@ -22,7 +22,7 @@
 use layered_bench::regress::{
     collect_baselines, compare, verdict_table, BenchRecord, Tolerance, Verdict,
 };
-use layered_bench::{interned_scan, quotient_scan, ScanConfig};
+use layered_bench::{interned_scan, quotient_scan, resume_roundtrip, ScanConfig};
 
 struct Options {
     baselines: Vec<String>,
@@ -115,6 +115,7 @@ fn fresh_run() -> Vec<String> {
         interned_scan(&scan),
         quotient_scan(&sym4),
         quotient_scan(&sym5),
+        resume_roundtrip(&ScanConfig::default()),
     ]
     .iter()
     .map(|e| e.json_record().to_string())
@@ -157,7 +158,9 @@ fn main() {
             }
         },
         None => {
-            println!("Running fresh scan experiments (E-scan n=4, E-sym n=4, E-sym n=5)...");
+            println!(
+                "Running fresh scan experiments (E-scan n=4, E-sym n=4, E-sym n=5, E-resume n=4)..."
+            );
             fresh_run()
         }
     };

@@ -7,6 +7,7 @@
 //! experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>]
 //!             [--adversary <name>] [--json <path>] [--metrics] [--store <dir>]
 //! experiments --scan [--quotient] [--n <k>] [--depth <k>] [--threads <k>]
+//!             [--horizon <k>] [--snapshot <dir>] [--resume <dir>]
 //!             [--json <path>] [--metrics] [--trace <path>] [--profile]
 //!             [--heartbeat-ms <k>] [--store <dir>]
 //! ```
@@ -28,6 +29,19 @@
 //!   5.1 instance over canonical orbits, cross-checked against the full
 //!   space when n ≤ 4 and quotient-only beyond (the reduction is what
 //!   makes n = 5 reachable).
+//! * `--snapshot <dir>` — (scan mode) after the scan, write the explored
+//!   arena into `<dir>` as a versioned, SHA-256-sealed snapshot
+//!   (`arena-state.bin`, or `arena-quotient.bin` under `--quotient`).
+//! * `--resume <dir>` — (scan mode) load the arena snapshot from `<dir>`
+//!   instead of re-expanding from scratch, then run the scan over it —
+//!   possibly extended to a larger `--depth`. Resumed scans are
+//!   bit-identical to cold ones; if the snapshot was taken under a
+//!   different `--horizon` (a FloodMin deadline change), only the arena
+//!   rows whose raw successor sets actually moved are re-expanded.
+//! * `--horizon <k>` — (scan mode) fix the valence horizon / FloodMin
+//!   deadline independently of `--depth` (default `depth + 1`); this is
+//!   what keeps the *model* unchanged when a resumed scan deepens the
+//!   scan depth. (In `--sim` mode: layers per simulated run.)
 //! * `--trace <path>` — (scan mode) record the hierarchical span tree and
 //!   write it as Chrome trace-event JSON, loadable in `chrome://tracing`
 //!   or [Perfetto](https://ui.perfetto.dev).
@@ -101,7 +115,17 @@ fn parse_args() -> Result<Options, String> {
             }
             "--depth" => scan_cfg.depth = numeric("--depth")? as usize,
             "--threads" => scan_cfg.threads = numeric("--threads")? as usize,
-            "--horizon" => sim_cfg.horizon = numeric("--horizon")? as usize,
+            "--horizon" => {
+                let h = numeric("--horizon")? as usize;
+                sim_cfg.horizon = h;
+                scan_cfg.horizon = Some(h);
+            }
+            "--snapshot" => {
+                scan_cfg.snapshot_dir = Some(args.next().ok_or("--snapshot requires a directory")?);
+            }
+            "--resume" => {
+                scan_cfg.resume_dir = Some(args.next().ok_or("--resume requires a directory")?);
+            }
             "--adversary" => {
                 let name = args.next().ok_or("--adversary requires a name")?;
                 if !known_adversary(&name) {
@@ -142,6 +166,12 @@ fn parse_args() -> Result<Options, String> {
     }
     if scan_cfg.quotient && !scan_requested {
         return Err("--quotient only applies to --scan".to_string());
+    }
+    if (scan_cfg.snapshot_dir.is_some() || scan_cfg.resume_dir.is_some()) && !scan_requested {
+        return Err("--snapshot and --resume only apply to --scan".to_string());
+    }
+    if scan_requested && scan_cfg.horizon == Some(0) {
+        return Err("--horizon must be positive".to_string());
     }
     if (opts.trace_path.is_some() || opts.profile) && !scan_requested {
         return Err("--trace and --profile only apply to --scan".to_string());
@@ -316,7 +346,7 @@ fn main() {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: experiments [quick|full] [--json <path>] [--metrics] [--store <dir>]\n       experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>] [--adversary <name>] [--json <path>] [--store <dir>]\n       experiments --scan [--quotient] [--n <k>] [--depth <k>] [--threads <k>] [--json <path>] [--trace <path>] [--profile] [--heartbeat-ms <k>] [--store <dir>]"
+                "usage: experiments [quick|full] [--json <path>] [--metrics] [--store <dir>]\n       experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>] [--adversary <name>] [--json <path>] [--store <dir>]\n       experiments --scan [--quotient] [--n <k>] [--depth <k>] [--threads <k>] [--horizon <k>] [--snapshot <dir>] [--resume <dir>] [--json <path>] [--trace <path>] [--profile] [--heartbeat-ms <k>] [--store <dir>]"
             );
             std::process::exit(2);
         }

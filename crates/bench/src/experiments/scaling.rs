@@ -9,21 +9,91 @@
 //! `--scan` mode of the `experiments` binary runs this instance in CI.
 
 use std::cell::RefCell;
+use std::path::Path;
 
 use layered_cert::{CertKind, CertMeta, Certificate};
 use layered_core::report::Table;
 use layered_core::telemetry::json::Json;
 use layered_core::telemetry::{clock, Observer, NOOP};
 use layered_core::{
-    scan_layer_valence_connectivity, scan_layer_valence_connectivity_parallel,
-    scan_layer_valence_connectivity_quotient, scan_layer_valence_connectivity_quotient_parallel,
-    witness_to_json, ImpossibilityWitness, LayeredModel, MemoryFootprint, QuotientSolver,
-    ValenceSolver,
+    load_quotient, load_space, save_quotient, save_space, scan_layer_valence_connectivity,
+    scan_layer_valence_connectivity_parallel, scan_layer_valence_connectivity_quotient,
+    scan_layer_valence_connectivity_quotient_parallel, witness_to_json, ArenaMeta,
+    ImpossibilityWitness, LayeredModel, MemoryFootprint, QuotientSolver, ValenceSolver,
 };
 use layered_protocols::FloodMin;
-use layered_sync_mobile::{MobileLayering, MobileModel};
+use layered_sync_mobile::{MobileLayering, MobileModel, MODEL_KEY};
 
 use crate::Experiment;
+
+/// File name of an interned-arena snapshot inside a `--snapshot`/`--resume`
+/// directory.
+pub const STATE_SNAPSHOT_FILE: &str = "arena-state.bin";
+
+/// File name of a quotient-arena snapshot inside a `--snapshot`/`--resume`
+/// directory.
+pub const QUOTIENT_SNAPSHOT_FILE: &str = "arena-quotient.bin";
+
+/// Protocol key recorded in scan snapshot headers.
+const PROTOCOL_KEY: &str = "floodmin";
+
+/// Reads a snapshot blob from `dir/file`.
+fn read_snapshot(dir: &str, file: &str) -> Result<Vec<u8>, String> {
+    let path = Path::new(dir).join(file);
+    std::fs::read(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+/// Writes a snapshot blob to `dir/file`, creating `dir` as needed.
+fn write_snapshot(dir: &str, file: &str, bytes: &[u8]) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let path = Path::new(dir).join(file);
+    std::fs::write(&path, bytes).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Checks that a loaded snapshot was built for the scan being resumed.
+///
+/// Model, protocol, `n` and layering must all match — a snapshot of a
+/// different instance shares no states with this one and resuming over it
+/// would be meaningless. The *horizon* is deliberately not checked here: a
+/// horizon change is a protocol change (the FloodMin deadline moves), and
+/// the caller answers it with a differential refresh instead of a
+/// rejection.
+fn check_resume_compat(meta: &ArenaMeta, n: usize, layering: &str) -> Result<(), String> {
+    if meta.model != MODEL_KEY {
+        return Err(format!(
+            "snapshot is for model `{}`, not `{MODEL_KEY}`",
+            meta.model
+        ));
+    }
+    if meta.protocol != PROTOCOL_KEY {
+        return Err(format!(
+            "snapshot is for protocol `{}`, not `{PROTOCOL_KEY}`",
+            meta.protocol
+        ));
+    }
+    if meta.n != n as u64 {
+        return Err(format!("snapshot has n={}, scan has n={n}", meta.n));
+    }
+    if meta.layering != layering {
+        return Err(format!(
+            "snapshot is for layering `{}`, not `{layering}`",
+            meta.layering
+        ));
+    }
+    Ok(())
+}
+
+/// The [`ArenaMeta`] a scan stamps into the snapshots it writes.
+fn scan_meta(cfg: &ScanConfig, horizon: usize, layering: &str) -> ArenaMeta {
+    ArenaMeta {
+        model: MODEL_KEY.to_string(),
+        protocol: PROTOCOL_KEY.to_string(),
+        n: cfg.n as u64,
+        horizon: horizon as u64,
+        depth: cfg.depth as u64,
+        layering: layering.to_string(),
+    }
+}
 
 /// Packages a finished layer scan and its supporting witness as a
 /// `lemma_5_1` scan-verdict certificate, ready for a `--store` directory.
@@ -34,25 +104,34 @@ fn scan_certificate<M: LayeredModel>(
     horizon: usize,
     scan: (usize, usize, bool),
     witness: &ImpossibilityWitness<M::State>,
+    snapshot_sha256: Option<&str>,
 ) -> Option<Certificate> {
     let (layers_checked, states_seen, connected) = scan;
     let witness_json = witness_to_json(model, witness).ok()?;
+    let mut body = vec![
+        ("depth".into(), Json::from(depth as u64)),
+        ("horizon".into(), Json::from(horizon as u64)),
+        ("layers_checked".into(), Json::from(layers_checked as u64)),
+        ("states_seen".into(), Json::from(states_seen as u64)),
+        ("connected".into(), Json::from(connected)),
+        ("witness".into(), witness_json),
+    ];
+    // Tie the verdict to the exact arena it was computed over (or resumed
+    // from): a cold `--snapshot` run and a warm `--resume` run of the same
+    // scan produce byte-identical certificates, which is how CI asserts
+    // the warm path recomputed nothing it shouldn't have.
+    if let Some(h) = snapshot_sha256 {
+        body.push(("snapshot_sha256".into(), Json::from(h)));
+    }
     Some(Certificate::new(
         CertMeta {
-            model: layered_sync_mobile::MODEL_KEY.to_string(),
+            model: MODEL_KEY.to_string(),
             n: model.num_processes(),
             layering: layering.to_string(),
             claim: "lemma_5_1".to_string(),
         },
         CertKind::ScanVerdict,
-        Json::Object(vec![
-            ("depth".into(), Json::from(depth as u64)),
-            ("horizon".into(), Json::from(horizon as u64)),
-            ("layers_checked".into(), Json::from(layers_checked as u64)),
-            ("states_seen".into(), Json::from(states_seen as u64)),
-            ("connected".into(), Json::from(connected)),
-            ("witness".into(), witness_json),
-        ]),
+        Json::Object(body),
     ))
 }
 
@@ -69,6 +148,26 @@ pub struct ScanConfig {
     /// Run the symmetry-reduced quotient scan instead of the plain
     /// interned scan (the `--quotient` flag).
     pub quotient: bool,
+    /// Valence horizon override (the `--horizon` flag). `None` keeps the
+    /// historical coupling `horizon = depth + 1`; setting it explicitly is
+    /// what lets a resumed scan deepen `depth` without silently moving the
+    /// FloodMin deadline (a deadline move is a protocol change and triggers
+    /// the differential refresh instead).
+    pub horizon: Option<usize>,
+    /// Directory to write an arena snapshot into after the scan (the
+    /// `--snapshot` flag).
+    pub snapshot_dir: Option<String>,
+    /// Directory to load an arena snapshot from before the scan (the
+    /// `--resume` flag).
+    pub resume_dir: Option<String>,
+}
+
+impl ScanConfig {
+    /// The effective valence horizon of the scan.
+    #[must_use]
+    pub fn effective_horizon(&self) -> usize {
+        self.horizon.unwrap_or(self.depth + 1)
+    }
 }
 
 impl Default for ScanConfig {
@@ -78,6 +177,9 @@ impl Default for ScanConfig {
             depth: 1,
             threads: 4,
             quotient: false,
+            horizon: None,
+            snapshot_dir: None,
+            resume_dir: None,
         }
     }
 }
@@ -125,16 +227,79 @@ pub fn interned_scan_certified(
                     "wall ms",
                 ],
             );
-            let horizon = cfg.depth + 1;
+            let horizon = cfg.effective_horizon();
             let m = MobileModel::new(cfg.n, FloodMin::new(horizon as u16));
 
+            // Resume: restore the arena twice (the sequential and parallel
+            // paths must stay independent to mean anything as a
+            // cross-check), refreshing differentially if the deadline
+            // moved since the snapshot was taken.
+            let mut resume_err: Option<String> = None;
+            let mut resume_note: Option<String> = None;
+            let mut snapshot_hash: Option<String> = None;
+            let mut spaces = None;
+            if let Some(dir) = &cfg.resume_dir {
+                let loaded = read_snapshot(dir, STATE_SNAPSHOT_FILE).and_then(|bytes| {
+                    let (a, meta, hash) = load_space::<MobileModel<FloodMin>>(&bytes, obs)
+                        .map_err(|e| e.to_string())?;
+                    let (b, _, _) = load_space::<MobileModel<FloodMin>>(&bytes, obs)
+                        .map_err(|e| e.to_string())?;
+                    check_resume_compat(&meta, cfg.n, "s1")?;
+                    Ok((a, b, meta, hash))
+                });
+                match loaded {
+                    Ok((mut a, mut b, meta, hash)) => {
+                        if meta.horizon == horizon as u64 {
+                            resume_note = Some(format!(
+                                "resumed: {} states, {} edges reused",
+                                a.len(),
+                                a.edge_count()
+                            ));
+                        } else {
+                            let diff = a.refresh_differential(&m, obs);
+                            b.refresh_differential(&m, obs);
+                            resume_note = Some(format!(
+                                "deadline {} -> {horizon}: {} rows reused, {} recomputed",
+                                meta.horizon, diff.reused, diff.recomputed
+                            ));
+                        }
+                        snapshot_hash = Some(hash);
+                        spaces = Some((a, b));
+                    }
+                    Err(e) => resume_err = Some(e),
+                }
+            }
+            let (seq_space, par_space) = match spaces {
+                Some((a, b)) => (Some(a), Some(b)),
+                None => (None, None),
+            };
+
             let start = clock::monotonic_ns();
-            let mut solver = ValenceSolver::with_observer(&m, horizon, obs);
+            let mut solver = match seq_space {
+                Some(space) => ValenceSolver::with_space(&m, horizon, space, obs),
+                None => ValenceSolver::with_observer(&m, horizon, obs),
+            };
             let seq = scan_layer_valence_connectivity(&mut solver, cfg.depth, true);
             let seq_ms = clock::monotonic_ns().saturating_sub(start) as f64 / 1e6;
 
+            // Snapshot the (possibly extended) sequential arena before the
+            // certificate is built, so the verdict can carry its hash.
+            if resume_err.is_none() {
+                if let Some(dir) = &cfg.snapshot_dir {
+                    let meta = scan_meta(&cfg, horizon, "s1");
+                    let (bytes, hash) = save_space(solver.space(), &meta, obs);
+                    match write_snapshot(dir, STATE_SNAPSHOT_FILE, &bytes) {
+                        Ok(()) => snapshot_hash = Some(hash),
+                        Err(e) => resume_err = Some(e),
+                    }
+                }
+            }
+
             let start = clock::monotonic_ns();
-            let mut solver = ValenceSolver::with_observer(&m, horizon, obs);
+            let mut solver = match par_space {
+                Some(space) => ValenceSolver::with_space(&m, horizon, space, obs),
+                None => ValenceSolver::with_observer(&m, horizon, obs),
+            };
             let par =
                 scan_layer_valence_connectivity_parallel(&mut solver, cfg.depth, true, cfg.threads);
             let par_ms = clock::monotonic_ns().saturating_sub(start) as f64 / 1e6;
@@ -151,6 +316,7 @@ pub fn interned_scan_certified(
                     horizon,
                     (seq.layers_checked, seq.states_seen, seq.all_connected()),
                     w,
+                    snapshot_hash.as_deref(),
                 );
             }
 
@@ -179,8 +345,24 @@ pub fn interned_scan_certified(
                 }
                 .to_string(),
             ]);
+            for (label, msg) in [("resume", &resume_note), ("snapshot ERROR", &resume_err)] {
+                if let Some(msg) = msg {
+                    table.row_owned(vec![
+                        "M^mf (S₁)".to_string(),
+                        cfg.n.to_string(),
+                        label.to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        msg.clone(),
+                        "-".to_string(),
+                    ]);
+                }
+            }
 
-            (table, identical && seq.all_connected() && verified)
+            (
+                table,
+                identical && seq.all_connected() && verified && resume_err.is_none(),
+            )
         },
     );
     (exp, slot.into_inner())
@@ -239,21 +421,81 @@ pub fn quotient_scan_certified(
                     "wall ms",
                 ],
             );
-            let horizon = cfg.depth + 1;
+            let horizon = cfg.effective_horizon();
             let m = MobileModel::new(cfg.n, FloodMin::new(horizon as u16))
                 .with_layering(MobileLayering::Full);
             let model_label = "M^mf (Full)";
 
+            // Resume: restore the quotient arena for the sequential and
+            // parallel paths independently (see the interned twin).
+            let mut resume_err: Option<String> = None;
+            let mut resume_note: Option<String> = None;
+            let mut snapshot_hash: Option<String> = None;
+            let mut spaces = None;
+            if let Some(dir) = &cfg.resume_dir {
+                let loaded = read_snapshot(dir, QUOTIENT_SNAPSHOT_FILE).and_then(|bytes| {
+                    let (a, meta, hash) =
+                        load_quotient(&m, &bytes, obs).map_err(|e| e.to_string())?;
+                    let (b, _, _) = load_quotient(&m, &bytes, obs).map_err(|e| e.to_string())?;
+                    check_resume_compat(&meta, cfg.n, "full")?;
+                    Ok((a, b, meta, hash))
+                });
+                match loaded {
+                    Ok((mut a, mut b, meta, hash)) => {
+                        if meta.horizon == horizon as u64 {
+                            resume_note = Some(format!(
+                                "resumed: {} orbits, {} edges reused",
+                                a.len(),
+                                a.edge_count()
+                            ));
+                        } else {
+                            let diff = a.refresh_differential(&m, obs);
+                            b.refresh_differential(&m, obs);
+                            resume_note = Some(format!(
+                                "deadline {} -> {horizon}: {} orbits reused, {} recomputed",
+                                meta.horizon, diff.reused, diff.recomputed
+                            ));
+                        }
+                        snapshot_hash = Some(hash);
+                        spaces = Some((a, b));
+                    }
+                    Err(e) => resume_err = Some(e),
+                }
+            }
+            let (seq_space, par_space) = match spaces {
+                Some((a, b)) => (Some(a), Some(b)),
+                None => (None, None),
+            };
+
             // Quotient scan, sequential and parallel expansion paths.
             let start = clock::monotonic_ns();
-            let mut solver = QuotientSolver::with_observer(&m, horizon, obs);
+            let mut solver = match seq_space {
+                Some(space) => QuotientSolver::with_space(&m, horizon, space, obs),
+                None => QuotientSolver::with_observer(&m, horizon, obs),
+            };
             let quot = scan_layer_valence_connectivity_quotient(&mut solver, cfg.depth, true);
             let quot_ms = clock::monotonic_ns().saturating_sub(start) as f64 / 1e6;
             let orbits = solver.space().len();
             let covered = solver.space().covered_states();
 
+            // Snapshot the (possibly extended) sequential quotient arena
+            // before the certificate is built.
+            if resume_err.is_none() {
+                if let Some(dir) = &cfg.snapshot_dir {
+                    let meta = scan_meta(&cfg, horizon, "full");
+                    let (bytes, hash) = save_quotient(solver.space(), &meta, obs);
+                    match write_snapshot(dir, QUOTIENT_SNAPSHOT_FILE, &bytes) {
+                        Ok(()) => snapshot_hash = Some(hash),
+                        Err(e) => resume_err = Some(e),
+                    }
+                }
+            }
+
             let start = clock::monotonic_ns();
-            let mut par_solver = QuotientSolver::with_observer(&m, horizon, obs);
+            let mut par_solver = match par_space {
+                Some(space) => QuotientSolver::with_space(&m, horizon, space, obs),
+                None => QuotientSolver::with_observer(&m, horizon, obs),
+            };
             let par = scan_layer_valence_connectivity_quotient_parallel(
                 &mut par_solver,
                 cfg.depth,
@@ -285,6 +527,7 @@ pub fn quotient_scan_certified(
                     horizon,
                     (quot.layers_checked, quot.states_seen, quot.all_connected()),
                     w,
+                    snapshot_hash.as_deref(),
                 );
             }
 
@@ -342,10 +585,28 @@ pub fn quotient_scan_certified(
                 }
                 .to_string(),
             ]);
+            for (label, msg) in [("resume", &resume_note), ("snapshot ERROR", &resume_err)] {
+                if let Some(msg) = msg {
+                    table.row_owned(vec![
+                        model_label.to_string(),
+                        cfg.n.to_string(),
+                        label.to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        msg.clone(),
+                        "-".to_string(),
+                    ]);
+                }
+            }
 
             (
                 table,
-                paths_agree && parity && reduced && verified && quot.all_connected(),
+                paths_agree
+                    && parity
+                    && reduced
+                    && verified
+                    && quot.all_connected()
+                    && resume_err.is_none(),
             )
         },
     );

@@ -52,6 +52,7 @@ fn scan_record(threads: usize, quotient: bool) -> Json {
         depth: 1,
         threads,
         quotient,
+        ..ScanConfig::default()
     };
     let exp = if quotient {
         quotient_scan(&cfg)

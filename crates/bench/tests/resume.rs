@@ -1,0 +1,38 @@
+//! The E-resume experiment must pass end to end: warm reloads are
+//! bit-identical and fast, resume-and-extend matches cold scans on both
+//! pipelines, and the differential refresh both reuses and recomputes.
+
+use layered_bench::{resume_roundtrip, ScanConfig};
+use layered_core::telemetry::json::Json;
+
+#[test]
+fn resume_roundtrip_passes_and_records_canonically() {
+    let exp = resume_roundtrip(&ScanConfig::default());
+    assert!(exp.ok, "E-resume failed:\n{}", exp.table);
+    assert_eq!(exp.id, "E-resume");
+
+    // The machine-readable record is canonical JSON and carries the
+    // snapshot telemetry the bench gate trends.
+    let record = exp.json_record();
+    let rendered = record.to_string();
+    let reparsed = Json::parse(&rendered).expect("record parses");
+    assert_eq!(reparsed.to_string(), rendered, "record is not canonical");
+    let speedup = exp.metrics.gauge_max("scan.resume.speedup_x1000");
+    assert!(
+        speedup >= 5_000,
+        "warm reload speedup x1000 = {speedup}, want >= 5000"
+    );
+    assert!(exp.metrics.counter("space.resume.loads") > 0);
+    assert!(exp.metrics.gauge_max("space.snapshot.bytes_written") > 0);
+}
+
+#[test]
+fn resume_roundtrip_passes_at_n3() {
+    let cfg = ScanConfig {
+        n: 3,
+        depth: 1,
+        ..ScanConfig::default()
+    };
+    let exp = resume_roundtrip(&cfg);
+    assert!(exp.ok, "E-resume at n=3 failed:\n{}", exp.table);
+}

@@ -43,6 +43,7 @@ pub mod artifact;
 pub mod checker;
 pub mod connectivity;
 pub mod graph;
+pub mod hash;
 mod model;
 mod pid;
 pub mod report;
@@ -86,7 +87,11 @@ pub use model::{
 };
 pub use pid::{binary_input_vectors, Pid, Value};
 pub use sim::{MoveRecord, SimModel};
-pub use space::{QuotientSpace, StateId, StateSpace};
+pub use space::snapshot::{
+    load_quotient, load_space, save_quotient, save_space, ArenaMeta, SnapshotError, SnapshotReader,
+    SnapshotState,
+};
+pub use space::{DiffReport, QuotientSpace, StateId, StateSpace};
 pub use stats::{census, census_with, LevelCensus};
 pub use sym::{canonicalize_by_min, orbit_size, PidPerm, Symmetric};
 pub use telemetry::{

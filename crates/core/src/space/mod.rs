@@ -30,6 +30,17 @@
 //! fast successor lists are produced, never which states exist, their ids,
 //! or the contents of any layer, so sequential and parallel expansion are
 //! bit-identical.
+//!
+//! # Persistence
+//!
+//! Both arenas serialize to versioned, integrity-hashed snapshots (see
+//! [`snapshot`]): the state arena, intern index, CSR successor cache and
+//! per-state successor fingerprints round-trip byte-identically, so a scan
+//! can be resumed — deepened, re-budgeted, or differentially re-verified
+//! after a protocol change via [`StateSpace::refresh_differential`] /
+//! [`QuotientSpace::refresh_differential`] — instead of recomputed.
+
+pub mod snapshot;
 
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
@@ -64,6 +75,68 @@ struct SuccRange {
     len: u32,
 }
 
+/// Outcome of probing one hash bucket for a state: found (with the number
+/// of equality comparisons it took) or absent (with the number of
+/// candidates that were ruled out). One helper serves both arenas' `intern`
+/// and `get` paths — including indices reconstructed from snapshots — so
+/// there is exactly one probe code path to keep correct.
+enum Probe {
+    /// The state is interned as `.0`; `.1` candidates were compared.
+    Hit(StateId, u64),
+    /// The state is absent; `.0` candidates were compared and ruled out.
+    Miss(u64),
+}
+
+/// Probes `index[h]` for a state equal to `s` among `states`.
+fn probe_bucket<S: PartialEq>(
+    states: &[S],
+    index: &FxHashMap<u64, Vec<StateId>>,
+    h: u64,
+    s: &S,
+) -> Probe {
+    match index.get(&h) {
+        Some(bucket) => {
+            for (probed, &id) in bucket.iter().enumerate() {
+                if &states[id.index()] == s {
+                    return Probe::Hit(id, probed as u64 + 1);
+                }
+            }
+            Probe::Miss(bucket.len() as u64)
+        }
+        None => Probe::Miss(0),
+    }
+}
+
+/// FxHash fingerprint of a raw successor list (length plus every element,
+/// in order). Stored per state so a re-scan after a protocol change can
+/// tell which successor lists moved ([`StateSpace::refresh_differential`])
+/// without diffing the lists themselves. Fingerprint equality is treated
+/// as list equality — a deliberate 64-bit-collision trade-off, identical
+/// to the one the intern index already makes per bucket.
+fn successor_fingerprint<S: Hash>(succs: &[S]) -> u64 {
+    let mut h = FxHasher::default();
+    succs.len().hash(&mut h);
+    for s in succs {
+        s.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// What a differential refresh did: how many cached successor lists were
+/// reused verbatim (fingerprint unchanged), how many were re-expanded, and
+/// how many previously unseen states the re-expansion interned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DiffReport {
+    /// Cached rows whose successor fingerprint was unchanged — their CSR
+    /// slice (and, in the quotient, permutation slice) was copied verbatim.
+    pub reused: usize,
+    /// Cached rows whose fingerprint moved — re-expanded under the new
+    /// model.
+    pub recomputed: usize,
+    /// States interned during re-expansion that the old arena had not seen.
+    pub new_states: usize,
+}
+
 /// A hash-consing arena over a model's states.
 ///
 /// Interning deduplicates states structurally: `intern` returns the same
@@ -96,6 +169,9 @@ pub struct StateSpace<M: LayeredModel> {
     index: FxHashMap<u64, Vec<StateId>>,
     succ: Vec<Option<SuccRange>>,
     edges: Vec<StateId>,
+    /// FxHash fingerprint of each state's *raw* successor list (0 until the
+    /// list is cached) — the differential-refresh change detector.
+    succ_fp: Vec<u64>,
 }
 
 impl<M: LayeredModel> Default for StateSpace<M> {
@@ -113,6 +189,7 @@ impl<M: LayeredModel> StateSpace<M> {
             index: FxHashMap::default(),
             succ: Vec::new(),
             edges: Vec::new(),
+            succ_fp: Vec::new(),
         }
     }
 
@@ -151,22 +228,19 @@ impl<M: LayeredModel> StateSpace<M> {
     /// to `obs`.
     pub fn intern_with(&mut self, s: &M::State, obs: &dyn Observer) -> StateId {
         let h = Self::hash_of(s);
-        if let Some(bucket) = self.index.get(&h) {
-            for (probed, &id) in bucket.iter().enumerate() {
-                if &self.states[id.index()] == s {
-                    obs.counter("space.intern.hits", 1);
-                    obs.histogram("space.intern.probe_len", probed as u64 + 1);
-                    return id;
-                }
+        match probe_bucket(&self.states, &self.index, h, s) {
+            Probe::Hit(id, compared) => {
+                obs.counter("space.intern.hits", 1);
+                obs.histogram("space.intern.probe_len", compared);
+                return id;
             }
-            obs.histogram("space.intern.probe_len", bucket.len() as u64);
-        } else {
-            obs.histogram("space.intern.probe_len", 0);
+            Probe::Miss(compared) => obs.histogram("space.intern.probe_len", compared),
         }
         obs.counter("space.intern.misses", 1);
         let id = StateId(u32::try_from(self.states.len()).expect("more than u32::MAX states"));
         self.states.push(s.clone());
         self.succ.push(None);
+        self.succ_fp.push(0);
         self.index.entry(h).or_default().push(id);
         obs.gauge("space.states", self.states.len() as u64);
         id
@@ -175,12 +249,10 @@ impl<M: LayeredModel> StateSpace<M> {
     /// The id of `s` if it has been interned, without interning it.
     #[must_use]
     pub fn get(&self, s: &M::State) -> Option<StateId> {
-        let h = Self::hash_of(s);
-        self.index
-            .get(&h)?
-            .iter()
-            .copied()
-            .find(|id| &self.states[id.index()] == s)
+        match probe_bucket(&self.states, &self.index, Self::hash_of(s), s) {
+            Probe::Hit(id, _) => Some(id),
+            Probe::Miss(_) => None,
+        }
     }
 
     /// The state behind `id`.
@@ -224,6 +296,7 @@ impl<M: LayeredModel> StateSpace<M> {
         if self.succ[id.index()].is_some() {
             return;
         }
+        let fp = successor_fingerprint(succs);
         let start = u32::try_from(self.edges.len()).expect("more than u32::MAX edges");
         for y in succs {
             let yid = self.intern_with(y, obs);
@@ -231,7 +304,67 @@ impl<M: LayeredModel> StateSpace<M> {
         }
         let len = u32::try_from(succs.len()).expect("layer larger than u32::MAX");
         self.succ[id.index()] = Some(SuccRange { start, len });
+        self.succ_fp[id.index()] = fp;
         obs.histogram("space.succ_fanout", len.into());
+    }
+
+    /// The fingerprint of `id`'s cached raw successor list, or `None` if
+    /// the list has not been computed yet.
+    #[must_use]
+    pub fn successor_fingerprint_of(&self, id: StateId) -> Option<u64> {
+        self.succ[id.index()].map(|_| self.succ_fp[id.index()])
+    }
+
+    /// Differential re-verification after a model change: recomputes the
+    /// raw successor list of every state whose successors were cached,
+    /// but re-interns (and re-packs) only the lists whose fingerprint moved
+    /// under `model` — unchanged rows have their CSR slice copied verbatim.
+    ///
+    /// The arena afterwards is *exactly* what caching every old row's new
+    /// successor list would produce, modulo edge-array packing order (ids,
+    /// states and per-row successor lists are identical; only `SuccRange`
+    /// offsets may differ — invisible through [`cached_successors`]).
+    /// States interned during re-expansion that the old arena had not seen
+    /// start uncached, like any freshly interned state.
+    ///
+    /// Telemetry: runs under a `space.resume.refresh` span and reports the
+    /// `space.resume.rows_reused` / `space.resume.rows_recomputed`
+    /// counters.
+    ///
+    /// [`cached_successors`]: StateSpace::cached_successors
+    pub fn refresh_differential(&mut self, model: &M, obs: &dyn Observer) -> DiffReport {
+        let _span = Span::enter(obs, "space.resume.refresh");
+        let old_len = self.states.len();
+        let old_succ = std::mem::take(&mut self.succ);
+        let old_edges = std::mem::take(&mut self.edges);
+        let old_fp = std::mem::take(&mut self.succ_fp);
+        self.succ = vec![None; old_len];
+        self.succ_fp = vec![0; old_len];
+        let mut report = DiffReport::default();
+        for k in 0..old_len {
+            let Some(range) = old_succ[k] else { continue };
+            let succs = model.successors(&self.states[k]);
+            let fp = successor_fingerprint(&succs);
+            if fp == old_fp[k] {
+                let start = u32::try_from(self.edges.len()).expect("more than u32::MAX edges");
+                let s = range.start as usize;
+                self.edges
+                    .extend_from_slice(&old_edges[s..s + range.len as usize]);
+                self.succ[k] = Some(SuccRange {
+                    start,
+                    len: range.len,
+                });
+                self.succ_fp[k] = fp;
+                report.reused += 1;
+            } else {
+                self.record_successors(StateId(k as u32), &succs, obs);
+                report.recomputed += 1;
+            }
+        }
+        report.new_states = self.states.len() - old_len;
+        obs.counter("space.resume.rows_reused", report.reused as u64);
+        obs.counter("space.resume.rows_recomputed", report.recomputed as u64);
+        report
     }
 
     /// The successor ids of `id` under `model`'s layering, computing and
@@ -561,6 +694,10 @@ pub struct QuotientSpace<M: Symmetric> {
     /// at position `e` from `c` to `c'`, `edge_perms[e] · y = c'` where
     /// `y ∈ S(c)` is the raw successor the edge was computed from.
     edge_perms: Vec<PidPerm>,
+    /// FxHash fingerprint of each orbit's *raw* (pre-canonicalization)
+    /// successor list (0 until cached) — the differential-refresh change
+    /// detector.
+    succ_fp: Vec<u64>,
 }
 
 /// A raw successor, canonicalized: the orbit representative, the witnessing
@@ -590,6 +727,7 @@ impl<M: Symmetric> QuotientSpace<M> {
             succ: Vec::new(),
             edges: Vec::new(),
             edge_perms: Vec::new(),
+            succ_fp: Vec::new(),
         }
     }
 
@@ -629,18 +767,15 @@ impl<M: Symmetric> QuotientSpace<M> {
     /// known orbit size. Internal: callers go through `intern_with`.
     fn intern_canonical(&mut self, rep: &M::State, orbit: u64, obs: &dyn Observer) -> StateId {
         let h = Self::hash_of(rep);
-        if let Some(bucket) = self.index.get(&h) {
-            for &id in bucket {
-                if &self.states[id.index()] == rep {
-                    obs.counter("space.canon.hits", 1);
-                    return id;
-                }
-            }
+        if let Probe::Hit(id, _) = probe_bucket(&self.states, &self.index, h, rep) {
+            obs.counter("space.canon.hits", 1);
+            return id;
         }
         let id = StateId(u32::try_from(self.states.len()).expect("more than u32::MAX orbits"));
         self.states.push(rep.clone());
         self.orbit_sizes.push(orbit);
         self.succ.push(None);
+        self.succ_fp.push(0);
         self.index.entry(h).or_default().push(id);
         obs.counter("space.canon.orbit_states", orbit);
         obs.gauge("space.states", self.states.len() as u64);
@@ -685,12 +820,10 @@ impl<M: Symmetric> QuotientSpace<M> {
     #[must_use]
     pub fn get(&self, model: &M, x: &M::State) -> Option<StateId> {
         let (rep, _) = model.canonicalize(x);
-        let h = Self::hash_of(&rep);
-        self.index
-            .get(&h)?
-            .iter()
-            .copied()
-            .find(|id| self.states[id.index()] == rep)
+        match probe_bucket(&self.states, &self.index, Self::hash_of(&rep), &rep) {
+            Probe::Hit(id, _) => Some(id),
+            Probe::Miss(_) => None,
+        }
     }
 
     /// The canonical representative behind `id`.
@@ -736,23 +869,35 @@ impl<M: Symmetric> QuotientSpace<M> {
     }
 
     /// Canonicalizes the raw successors of the representative behind `id`
-    /// (pure; used directly by parallel workers).
-    fn canon_successors_of(&self, model: &M, id: StateId) -> Vec<CanonSucc<M>> {
-        model
-            .successors(&self.states[id.index()])
+    /// (pure; used directly by parallel workers). Also returns the
+    /// fingerprint of the *raw* successor list — computed before
+    /// canonicalization so a protocol change is detected even when the
+    /// canonical images happen to coincide.
+    fn canon_successors_of(&self, model: &M, id: StateId) -> (Vec<CanonSucc<M>>, u64) {
+        let raw = model.successors(&self.states[id.index()]);
+        let fp = successor_fingerprint(&raw);
+        let canon = raw
             .into_iter()
             .map(|y| {
                 let (rep, perm) = model.canonicalize(&y);
                 let orbit = crate::sym::orbit_size(model, &y) as u64;
                 (rep, perm, orbit)
             })
-            .collect()
+            .collect();
+        (canon, fp)
     }
 
     /// Interns pre-canonicalized successors of `id` into the edge arrays,
     /// deduplicating by representative id (first witness wins). No-op if
-    /// `id`'s successors are already cached.
-    fn record_successors(&mut self, id: StateId, succs: &[CanonSucc<M>], obs: &dyn Observer) {
+    /// `id`'s successors are already cached. `fp` is the raw-successor-list
+    /// fingerprint from [`QuotientSpace::canon_successors_of`].
+    fn record_successors(
+        &mut self,
+        id: StateId,
+        succs: &[CanonSucc<M>],
+        fp: u64,
+        obs: &dyn Observer,
+    ) {
         if self.succ[id.index()].is_some() {
             return;
         }
@@ -767,6 +912,7 @@ impl<M: Symmetric> QuotientSpace<M> {
         }
         let len = u32::try_from(seen.len()).expect("layer larger than u32::MAX");
         self.succ[id.index()] = Some(SuccRange { start, len });
+        self.succ_fp[id.index()] = fp;
         obs.histogram("space.succ_fanout", len.into());
     }
 
@@ -775,12 +921,73 @@ impl<M: Symmetric> QuotientSpace<M> {
     /// successors in the same orbit collapse to one edge.
     pub fn successor_ids(&mut self, model: &M, id: StateId, obs: &dyn Observer) -> Vec<StateId> {
         if self.succ[id.index()].is_none() {
-            let succs = self.canon_successors_of(model, id);
-            self.record_successors(id, &succs, obs);
+            let (succs, fp) = self.canon_successors_of(model, id);
+            self.record_successors(id, &succs, fp, obs);
         }
         self.cached_successors(id)
             .expect("successors just recorded")
             .to_vec()
+    }
+
+    /// The fingerprint of `id`'s cached raw successor list, or `None` if
+    /// the list has not been computed yet.
+    #[must_use]
+    pub fn successor_fingerprint_of(&self, id: StateId) -> Option<u64> {
+        self.succ[id.index()].map(|_| self.succ_fp[id.index()])
+    }
+
+    /// Differential re-verification after a protocol change — the quotient
+    /// twin of [`StateSpace::refresh_differential`]: every cached orbit's
+    /// raw successor list is recomputed under `model`, but only orbits
+    /// whose fingerprint moved pay for canonicalization (the `n!` work that
+    /// dominates quotient expansion); unchanged orbits have their CSR and
+    /// permutation slices copied verbatim.
+    ///
+    /// Telemetry: a `space.resume.refresh` span plus the
+    /// `space.resume.orbits_reused` / `space.resume.orbits_recomputed`
+    /// counters.
+    pub fn refresh_differential(&mut self, model: &M, obs: &dyn Observer) -> DiffReport {
+        let _span = Span::enter(obs, "space.resume.refresh");
+        let old_len = self.states.len();
+        let old_succ = std::mem::take(&mut self.succ);
+        let old_edges = std::mem::take(&mut self.edges);
+        let old_perms = std::mem::take(&mut self.edge_perms);
+        let old_fp = std::mem::take(&mut self.succ_fp);
+        self.succ = vec![None; old_len];
+        self.succ_fp = vec![0; old_len];
+        let mut report = DiffReport::default();
+        for k in 0..old_len {
+            let Some(range) = old_succ[k] else { continue };
+            let raw = model.successors(&self.states[k]);
+            let fp = successor_fingerprint(&raw);
+            if fp == old_fp[k] {
+                let start = u32::try_from(self.edges.len()).expect("more than u32::MAX edges");
+                let (s, e) = (range.start as usize, (range.start + range.len) as usize);
+                self.edges.extend_from_slice(&old_edges[s..e]);
+                self.edge_perms.extend_from_slice(&old_perms[s..e]);
+                self.succ[k] = Some(SuccRange {
+                    start,
+                    len: range.len,
+                });
+                self.succ_fp[k] = fp;
+                report.reused += 1;
+            } else {
+                let canon: Vec<CanonSucc<M>> = raw
+                    .into_iter()
+                    .map(|y| {
+                        let (rep, perm) = model.canonicalize(&y);
+                        let orbit = crate::sym::orbit_size(model, &y) as u64;
+                        (rep, perm, orbit)
+                    })
+                    .collect();
+                self.record_successors(StateId(k as u32), &canon, fp, obs);
+                report.recomputed += 1;
+            }
+        }
+        report.new_states = self.states.len() - old_len;
+        obs.counter("space.resume.orbits_reused", report.reused as u64);
+        obs.counter("space.resume.orbits_recomputed", report.recomputed as u64);
+        report
     }
 
     /// Eagerly computes, canonicalizes and caches the successor lists of
@@ -811,14 +1018,14 @@ impl<M: Symmetric> QuotientSpace<M> {
         let threads = threads.max(1).min(pending.len());
         if threads == 1 {
             for &id in &pending {
-                let succs = self.canon_successors_of(model, id);
-                self.record_successors(id, &succs, obs);
+                let (succs, fp) = self.canon_successors_of(model, id);
+                self.record_successors(id, &succs, fp, obs);
             }
             return;
         }
         let this = &*self;
         let parent = trace::current_span_id();
-        let computed: Vec<Vec<Vec<CanonSucc<M>>>> = std::thread::scope(|scope| {
+        let computed: Vec<Vec<(Vec<CanonSucc<M>>, u64)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = balanced_chunks(&pending, threads)
                 .map(|part| {
                     scope.spawn(move || {
@@ -839,8 +1046,8 @@ impl<M: Symmetric> QuotientSpace<M> {
                 .map(|h| h.join().expect("canonicalization worker panicked"))
                 .collect()
         });
-        for (&id, succs) in pending.iter().zip(computed.iter().flatten()) {
-            self.record_successors(id, succs, obs);
+        for (&id, (succs, fp)) in pending.iter().zip(computed.iter().flatten()) {
+            self.record_successors(id, succs, *fp, obs);
         }
     }
 

@@ -35,9 +35,14 @@
 //! | `engine.frontier_width` | states in the current BFS frontier |
 //! | `graph.bfs_frontier` | vertices in the current BFS frontier |
 //! | `mem.*_bytes` | bytes (shallow capacity accounting) |
+//! | `scan.resume.*_wall_ns` | nanoseconds (timing; stripped) |
+//! | `scan.resume.speedup_x1000` | cold wall / warm wall, ×1000 |
 //! | `scan.sym.*.wall_ns` | nanoseconds (timing; stripped) |
 //! | `space.intern.load_x1000` | intern-table load factor, ×1000 |
 //! | `space.quotient.mean_orbit_x1000` | mean full states per orbit, ×1000 |
+//! | `space.snapshot.bytes_written` | exact snapshot blob size in bytes (not a `mem.` capacity gauge) |
+//! | `space.snapshot.load_ns` | nanoseconds (timing; stripped) |
+//! | `space.snapshot.save_ns` | nanoseconds (timing; stripped) |
 //!
 //! Histograms:
 //!
@@ -97,6 +102,9 @@ pub const NAMES: &[&str] = &[
     "mem.space.states_bytes",
     "mem.valence.memo_bytes",
     "scan.progress",
+    "scan.resume.cold_wall_ns",
+    "scan.resume.speedup_x1000",
+    "scan.resume.warm_wall_ns",
     "scan.sym.full.states_seen",
     "scan.sym.full.wall_ns",
     "scan.sym.n",
@@ -121,6 +129,17 @@ pub const NAMES: &[&str] = &[
     "space.layer_expand_ns",
     "space.prefetch_chunk",
     "space.quotient.mean_orbit_x1000",
+    "space.resume.loads",
+    "space.resume.orbits_recomputed",
+    "space.resume.orbits_reused",
+    "space.resume.refresh",
+    "space.resume.rows_recomputed",
+    "space.resume.rows_reused",
+    "space.snapshot.bytes_written",
+    "space.snapshot.load",
+    "space.snapshot.load_ns",
+    "space.snapshot.save",
+    "space.snapshot.save_ns",
     "space.states",
     "space.succ_fanout",
     "stats.census",

@@ -14,6 +14,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use crate::space::snapshot::{SnapshotError, SnapshotReader, SnapshotState};
 use crate::space::{StateId, StateSpace};
 use crate::sym::{canonicalize_by_min, PidPerm, Symmetric};
 use crate::telemetry::NOOP;
@@ -60,6 +61,22 @@ impl CounterModel {
     pub fn new(n: usize, branch: u8) -> Self {
         assert!(n >= 2 && branch >= 1);
         CounterModel { n, branch }
+    }
+}
+
+impl SnapshotState for CounterState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.inputs.encode(out);
+        self.depth.encode(out);
+        self.label.encode(out);
+    }
+
+    fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(CounterState {
+            inputs: Vec::decode(r)?,
+            depth: u8::decode(r)?,
+            label: u8::decode(r)?,
+        })
     }
 }
 

@@ -148,6 +148,31 @@ impl<'a, M: LayeredModel> ValenceSolver<'a, M> {
         }
     }
 
+    /// Creates a solver over an arena restored from a
+    /// [snapshot](crate::space::snapshot) (or otherwise pre-built), so a
+    /// resumed scan re-uses every interned state and cached successor row
+    /// instead of recomputing them.
+    ///
+    /// The valence memo starts empty: it is cheap derived data, and its
+    /// entries depend on the horizon, which a resumed scan may have changed.
+    /// Interning-order ids are a property of the arena, so id-dependent
+    /// artifacts (runs, witnesses) remain valid across save/load.
+    #[must_use]
+    pub fn with_space(
+        model: &'a M,
+        horizon: usize,
+        space: StateSpace<M>,
+        obs: &'a dyn Observer,
+    ) -> Self {
+        ValenceSolver {
+            model,
+            horizon,
+            space,
+            memo: Vec::new(),
+            obs,
+        }
+    }
+
     /// The solver's hash-consing arena. Ids returned by
     /// [`ValenceSolver::intern`] and the id-typed engine entry points are
     /// relative to this space.
@@ -349,6 +374,37 @@ impl<'a, M: Symmetric> QuotientSolver<'a, M> {
             model,
             horizon,
             space: QuotientSpace::new(model),
+            memo: Vec::new(),
+            obs,
+        }
+    }
+
+    /// Creates a quotient solver over an arena restored from a
+    /// [snapshot](crate::space::snapshot) (or otherwise pre-built) — the
+    /// quotient twin of [`ValenceSolver::with_space`]. The valence memo
+    /// starts empty for the same reason.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's current layering is not equivariant, exactly
+    /// as [`QuotientSolver::new`] would: a restored arena is only
+    /// meaningful under the layering it was built with.
+    #[must_use]
+    pub fn with_space(
+        model: &'a M,
+        horizon: usize,
+        space: QuotientSpace<M>,
+        obs: &'a dyn Observer,
+    ) -> Self {
+        assert!(
+            model.symmetric_layering(),
+            "QuotientSolver requires an equivariant layering \
+             (use the model's full/symmetric layering variant)"
+        );
+        QuotientSolver {
+            model,
+            horizon,
+            space,
             memo: Vec::new(),
             obs,
         }

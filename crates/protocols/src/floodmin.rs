@@ -16,7 +16,7 @@
 
 use std::collections::BTreeSet;
 
-use layered_core::{Pid, Value};
+use layered_core::{Pid, SnapshotError, SnapshotReader, SnapshotState, Value};
 
 use crate::traits::{Anonymous, MpProtocol, SmProtocol, SyncProtocol};
 
@@ -48,6 +48,20 @@ impl FloodState {
             .iter()
             .next()
             .expect("known always contains own input")
+    }
+}
+
+impl SnapshotState for FloodState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.known.encode(out);
+        self.completed.encode(out);
+    }
+
+    fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(FloodState {
+            known: BTreeSet::decode(r)?,
+            completed: u16::decode(r)?,
+        })
     }
 }
 

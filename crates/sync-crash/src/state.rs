@@ -2,7 +2,7 @@
 
 use std::collections::BTreeSet;
 
-use layered_core::{Pid, Value};
+use layered_core::{Pid, SnapshotError, SnapshotReader, SnapshotState, Value};
 
 /// A global state of the t-resilient synchronous message-passing model of
 /// Section 6.
@@ -55,5 +55,25 @@ impl<L> CrashState<L> {
     #[must_use]
     pub fn is_failed(&self, i: Pid) -> bool {
         self.failed.contains(&i)
+    }
+}
+
+impl<L: SnapshotState> SnapshotState for CrashState<L> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.round.encode(out);
+        self.inputs.encode(out);
+        self.locals.encode(out);
+        self.decided.encode(out);
+        self.failed.encode(out);
+    }
+
+    fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(CrashState {
+            round: u16::decode(r)?,
+            inputs: Vec::decode(r)?,
+            locals: Vec::decode(r)?,
+            decided: Vec::decode(r)?,
+            failed: BTreeSet::decode(r)?,
+        })
     }
 }

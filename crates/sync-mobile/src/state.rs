@@ -1,6 +1,6 @@
 //! Global states of the mobile-failure synchronous model.
 
-use layered_core::{Pid, Value};
+use layered_core::{Pid, SnapshotError, SnapshotReader, SnapshotState, Value};
 
 /// A global state of `M^mf` (and of any synchronous round model built on a
 /// [`SyncProtocol`](layered_protocols::SyncProtocol)).
@@ -48,5 +48,23 @@ impl<L> MobileState<L> {
             .enumerate()
             .filter(|(_, d)| d.is_some())
             .map(|(i, _)| Pid::new(i))
+    }
+}
+
+impl<L: SnapshotState> SnapshotState for MobileState<L> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.round.encode(out);
+        self.inputs.encode(out);
+        self.locals.encode(out);
+        self.decided.encode(out);
+    }
+
+    fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(MobileState {
+            round: u16::decode(r)?,
+            inputs: Vec::decode(r)?,
+            locals: Vec::decode(r)?,
+            decided: Vec::decode(r)?,
+        })
     }
 }
