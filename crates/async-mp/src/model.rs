@@ -28,7 +28,10 @@
 
 use std::collections::HashSet;
 
-use layered_core::{canonicalize_by_min, LayeredModel, Pid, PidPerm, Symmetric, Value};
+use layered_core::{
+    canonicalize_by_min, pack_decision, unpack_decision, LayeredModel, Pid, PidPerm, StatePacker,
+    Symmetric, Value, WordReader, WordWriter, DECISION_BITS,
+};
 use layered_protocols::{Anonymous, MpProtocol};
 
 use crate::perm::{drop_last_arrangements, permutations};
@@ -72,6 +75,7 @@ pub struct MpModel<P: MpProtocol> {
     n: usize,
     protocol: P,
     obligation: Option<u16>,
+    packer: Option<StatePacker<MpState<P::LocalState, P::Msg>>>,
 }
 
 impl<P: MpProtocol> MpModel<P> {
@@ -83,10 +87,12 @@ impl<P: MpProtocol> MpModel<P> {
     #[must_use]
     pub fn new(n: usize, protocol: P) -> Self {
         assert!(n >= 2, "the paper assumes n >= 2");
+        let packer = build_packer(n, &protocol);
         MpModel {
             n,
             protocol,
             obligation: None,
+            packer,
         }
     }
 
@@ -290,6 +296,82 @@ fn assert_distinct(order: &[Pid]) {
     }
 }
 
+/// Builds the packed codec for an `n ≤ 8` process message-passing model,
+/// if the protocol packs both its local states and its messages. Mailboxes
+/// make the layout variable-width, so the codec streams fields through a
+/// [`WordWriter`], low bits first: 8 round bits, then per process `2`
+/// input bits, [`DECISION_BITS`] decision bits, 4 phases-done bits, the
+/// local codec, a 3-bit mailbox length (longer mailboxes spill) and per
+/// undelivered message a 3-bit sender pid plus the message codec. No
+/// word-level renaming shuffle is provided — relocating variable-width
+/// sections is not a bit shuffle — so quotient canonicalization keeps the
+/// brute-force rule and packing is storage-only here.
+fn build_packer<P: MpProtocol>(
+    n: usize,
+    protocol: &P,
+) -> Option<StatePacker<MpState<P::LocalState, P::Msg>>> {
+    let lp = protocol.local_packer()?;
+    let mp = protocol.msg_packer()?;
+    if n > 8 {
+        return None;
+    }
+    let pack = {
+        let lp = lp.clone();
+        let mp = mp.clone();
+        move |x: &MpState<P::LocalState, P::Msg>| {
+            if x.locals.len() != n {
+                return None;
+            }
+            let mut w = WordWriter::new().push(u64::from(x.round), 8)?;
+            for i in 0..n {
+                w = w
+                    .push(u64::from(x.inputs[i].get()), 2)?
+                    .push(pack_decision(x.decided[i])?, DECISION_BITS)?
+                    .push(u64::from(x.phases_done[i]), 4)?
+                    .push(lp.pack(&x.locals[i])?, lp.bits())?
+                    .push(u64::try_from(x.mailboxes[i].len()).ok()?, 3)?;
+                for (from, msg) in &x.mailboxes[i] {
+                    w = w
+                        .push(u64::try_from(from.index()).ok()?, 3)?
+                        .push(mp.pack(msg)?, mp.bits())?;
+                }
+            }
+            Some(w.finish())
+        }
+    };
+    let unpack = move |word: u128| {
+        let mut r = WordReader::new(word);
+        let round = r.take(8) as u16;
+        let mut inputs = Vec::with_capacity(n);
+        let mut locals = Vec::with_capacity(n);
+        let mut decided = Vec::with_capacity(n);
+        let mut phases_done = Vec::with_capacity(n);
+        let mut mailboxes = Vec::with_capacity(n);
+        for _ in 0..n {
+            inputs.push(Value::new(r.take(2) as u32));
+            decided.push(unpack_decision(r.take(DECISION_BITS)));
+            phases_done.push(r.take(4) as u16);
+            locals.push(lp.unpack(r.take(lp.bits())));
+            let len = r.take(3) as usize;
+            let mut mailbox = Vec::with_capacity(len);
+            for _ in 0..len {
+                let from = Pid::new(r.take(3) as usize);
+                mailbox.push((from, mp.unpack(r.take(mp.bits()))));
+            }
+            mailboxes.push(mailbox);
+        }
+        MpState {
+            round,
+            inputs,
+            locals,
+            decided,
+            phases_done,
+            mailboxes,
+        }
+    };
+    Some(StatePacker::new(pack, unpack))
+}
+
 impl<P: MpProtocol> LayeredModel for MpModel<P> {
     type State = MpState<P::LocalState, P::Msg>;
 
@@ -357,6 +439,10 @@ impl<P: MpProtocol> LayeredModel for MpModel<P> {
     fn crash_step(&self, x: &Self::State, j: Pid) -> Self::State {
         let order: Vec<Pid> = Pid::all(self.n).filter(|&p| p != j).collect();
         self.apply(x, &MpAction::Sequential(order))
+    }
+
+    fn state_packer(&self) -> Option<StatePacker<Self::State>> {
+        self.packer.clone()
     }
 
     fn obligated(&self, x: &Self::State) -> Vec<Pid> {

@@ -5,6 +5,7 @@ use proptest::prelude::*;
 
 use layered_async_mp::{MpAction, MpModel, MpState};
 use layered_core::{LayeredModel, Pid, Value};
+
 use layered_protocols::{MpFloodMin, MpProtocol};
 
 type State = MpState<<MpFloodMin as MpProtocol>::LocalState, <MpFloodMin as MpProtocol>::Msg>;
@@ -49,6 +50,25 @@ fn walk(m: &MpModel<MpFloodMin>, inputs: &[Value], actions: &[MpAction]) -> Vec<
 }
 
 proptest! {
+    /// The packed codec round-trips every state of a random run, mailboxes
+    /// and all; over-long mailboxes spill instead of corrupting the word.
+    #[test]
+    fn packed_codec_round_trips(
+        inputs in arb_inputs(3),
+        actions in proptest::collection::vec(arb_action(3), 0..3),
+    ) {
+        let m = MpModel::new(3, MpFloodMin::new(2));
+        let packer = m.state_packer().expect("MpFloodMin states pack");
+        for x in walk(&m, &inputs, &actions) {
+            match packer.pack(&x) {
+                Some(w) => prop_assert_eq!(packer.unpack(w), x),
+                // Variable-width codec: a crowded state may legitimately
+                // overflow the word and spill.
+                None => prop_assert!(x.in_transit() > 0 || x.round >= 256),
+            }
+        }
+    }
+
     /// The transposition bridges hold at arbitrary reachable states, for
     /// arbitrary orders and positions.
     #[test]

@@ -20,7 +20,10 @@
 
 use std::collections::HashSet;
 
-use layered_core::{canonicalize_by_min, LayeredModel, Pid, PidPerm, Symmetric, Value};
+use layered_core::{
+    canonicalize_by_min, canonicalize_packed, orbit_size, pack_decision, unpack_decision,
+    LayeredModel, Pid, PidPerm, StatePacker, Symmetric, Value, DECISION_BITS,
+};
 use layered_protocols::{Anonymous, SmProtocol};
 
 use crate::state::SmState;
@@ -92,6 +95,8 @@ pub struct SmModel<P: SmProtocol> {
     /// have decided at horizon states; `None` means "completed every phase".
     obligation: Option<u16>,
     layering: SmLayering,
+    packer: Option<StatePacker<SmState<P::LocalState, P::Reg>>>,
+    perms: Vec<PidPerm>,
 }
 
 impl<P: SmProtocol> SmModel<P> {
@@ -103,11 +108,19 @@ impl<P: SmProtocol> SmModel<P> {
     #[must_use]
     pub fn new(n: usize, protocol: P) -> Self {
         assert!(n >= 2, "the paper assumes n >= 2");
+        let packer = build_packer(n, &protocol);
+        let perms = if packer.is_some() && n <= 8 {
+            PidPerm::all(n)
+        } else {
+            Vec::new()
+        };
         SmModel {
             n,
             protocol,
             obligation: None,
             layering: SmLayering::Synchronic,
+            packer,
+            perms,
         }
     }
 
@@ -301,6 +314,118 @@ impl<P: SmProtocol> SmModel<P> {
     }
 }
 
+/// Builds the packed codec for an `n`-process shared-memory model, if the
+/// protocol packs both its local states and its register values and the
+/// lanes fit one word. Layout, low bits first: `n` lanes of `2` input
+/// bits, [`DECISION_BITS`] decision bits, the local codec, a register
+/// presence tag plus the register codec (the single-writer `V_i` travels
+/// with process `i`), and 4 phases-done bits; then 8 phase bits on top.
+fn build_packer<P: SmProtocol>(
+    n: usize,
+    protocol: &P,
+) -> Option<StatePacker<SmState<P::LocalState, P::Reg>>> {
+    let lp = protocol.local_packer()?;
+    let rp = protocol.reg_packer()?;
+    let reg_off = 2 + DECISION_BITS + lp.bits();
+    let phases_off = reg_off + 1 + rp.bits();
+    let lane = phases_off + 4;
+    let head = n as u32 * lane;
+    if head + 8 > 127 {
+        return None;
+    }
+    let pack = {
+        let lp = lp.clone();
+        let rp = rp.clone();
+        move |x: &SmState<P::LocalState, P::Reg>| {
+            if x.locals.len() != n || x.phase >= 1 << 8 {
+                return None;
+            }
+            let mut w = u128::from(x.phase) << head;
+            for i in 0..n {
+                let off = i as u32 * lane;
+                let inp = u64::from(x.inputs[i].get());
+                if inp >= 4 || x.phases_done[i] >= 16 {
+                    return None;
+                }
+                let dec = pack_decision(x.decided[i])?;
+                let loc = lp.pack(&x.locals[i])?;
+                if let Some(r) = &x.regs[i] {
+                    w |= 1 << (off + reg_off);
+                    w |= u128::from(rp.pack(r)?) << (off + reg_off + 1);
+                }
+                w |= u128::from(inp) << off;
+                w |= u128::from(dec) << (off + 2);
+                w |= u128::from(loc) << (off + 2 + DECISION_BITS);
+                w |= u128::from(x.phases_done[i]) << (off + phases_off);
+            }
+            Some(w)
+        }
+    };
+    let unpack = move |w: u128| {
+        let mut inputs = Vec::with_capacity(n);
+        let mut regs = Vec::with_capacity(n);
+        let mut locals = Vec::with_capacity(n);
+        let mut decided = Vec::with_capacity(n);
+        let mut phases_done = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = i as u32 * lane;
+            inputs.push(Value::new(((w >> off) & 0b11) as u32));
+            decided.push(unpack_decision(
+                ((w >> (off + 2)) as u64) & ((1 << DECISION_BITS) - 1),
+            ));
+            locals.push(lp.unpack(((w >> (off + 2 + DECISION_BITS)) as u64) & lp.mask()));
+            regs.push(
+                (w >> (off + reg_off) & 1 == 1)
+                    .then(|| rp.unpack(((w >> (off + reg_off + 1)) as u64) & rp.mask())),
+            );
+            phases_done.push(((w >> (off + phases_off)) & 0xF) as u16);
+        }
+        SmState {
+            phase: ((w >> head) & 0xFF) as u16,
+            inputs,
+            regs,
+            locals,
+            decided,
+            phases_done,
+        }
+    };
+    let permute = move |w: u128, perm: &PidPerm| {
+        let lane_mask = (1u128 << lane) - 1;
+        let mut out = w >> head << head;
+        for i in 0..n {
+            let bits = (w >> (i as u32 * lane)) & lane_mask;
+            out |= bits << (perm.apply(Pid::new(i)).index() as u32 * lane);
+        }
+        out
+    };
+    Some(StatePacker::new(pack, unpack).with_permute(permute))
+}
+
+/// A packed canonicalization result: the canonical representative, the
+/// renaming carrying the input onto it, and the representative's word hash.
+type PackedCanon<P> = (
+    SmState<<P as SmProtocol>::LocalState, <P as SmProtocol>::Reg>,
+    PidPerm,
+    u64,
+);
+
+impl<P> SmModel<P>
+where
+    P: SmProtocol + Anonymous,
+    P::LocalState: Ord,
+    P::Reg: Ord,
+{
+    /// The single-sweep packed canonicalization, when the codec and the
+    /// cached permutation table are available and `x` packs.
+    fn packed_canon(&self, x: &SmState<P::LocalState, P::Reg>) -> Option<PackedCanon<P>> {
+        let packer = self.packer.as_ref()?;
+        if self.perms.is_empty() {
+            return None;
+        }
+        canonicalize_packed(self, packer, &self.perms, x)
+    }
+}
+
 impl<P: SmProtocol> LayeredModel for SmModel<P> {
     type State = SmState<P::LocalState, P::Reg>;
 
@@ -373,6 +498,10 @@ impl<P: SmProtocol> LayeredModel for SmModel<P> {
         self.apply(x, SmAction::Absent(j))
     }
 
+    fn state_packer(&self) -> Option<StatePacker<Self::State>> {
+        self.packer.clone()
+    }
+
     fn obligated(&self, x: &Self::State) -> Vec<Pid> {
         match self.obligation {
             Some(r) => Pid::all(self.n)
@@ -411,8 +540,21 @@ where
         self.layering == SmLayering::FullSplit
     }
 
+    // Packed fast path first, brute-force minimum as fallback; packability
+    // is orbit-invariant, so each orbit sees exactly one rep rule.
     fn canonicalize(&self, x: &Self::State) -> (Self::State, PidPerm) {
+        if let Some((rep, pi, _)) = self.packed_canon(x) {
+            return (rep, pi);
+        }
         canonicalize_by_min(self, x)
+    }
+
+    fn canonicalize_with_orbit(&self, x: &Self::State) -> (Self::State, PidPerm, u64) {
+        if let Some(out) = self.packed_canon(x) {
+            return out;
+        }
+        let (rep, pi) = canonicalize_by_min(self, x);
+        (rep, pi, orbit_size(self, x) as u64)
     }
 }
 

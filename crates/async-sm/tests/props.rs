@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 
-use layered_async_sm::{layer_action_is_legal_schedule, SmAction, SmModel, SmState};
-use layered_core::{LayeredModel, Pid, Value};
+use layered_async_sm::{layer_action_is_legal_schedule, SmAction, SmLayering, SmModel, SmState};
+use layered_core::{orbit_size, LayeredModel, Pid, PidPerm, Symmetric, Value};
 use layered_protocols::{SmFloodMin, SmProtocol};
 
 type State = SmState<<SmFloodMin as SmProtocol>::LocalState, <SmFloodMin as SmProtocol>::Reg>;
@@ -37,6 +37,48 @@ fn walk(m: &SmModel<SmFloodMin>, inputs: &[Value], actions: &[(usize, usize)]) -
 }
 
 proptest! {
+    /// The packed codec round-trips every state of a random run — register
+    /// array included — and the word shuffle commutes with renaming.
+    #[test]
+    fn packed_codec_round_trips_and_commutes(
+        inputs in arb_inputs(3),
+        actions in proptest::collection::vec(arb_action(3), 0..3),
+        perm_ix in 0usize..6,
+    ) {
+        let m = SmModel::new(3, SmFloodMin::new(2));
+        let packer = m.state_packer().expect("SmFloodMin states pack");
+        let perm = &PidPerm::all(3)[perm_ix];
+        for x in walk(&m, &inputs, &actions) {
+            let w = packer.pack(&x).expect("reachable states pack");
+            prop_assert_eq!(packer.unpack(w), x.clone());
+            let shuffled = packer.permute_word(w, perm).expect("shuffle present");
+            prop_assert_eq!(
+                packer.unpack(shuffled),
+                m.permute_state(&x, perm),
+                "word shuffle must relocate lanes, registers included"
+            );
+        }
+    }
+
+    /// Packed canonicalization: valid witness, brute-force orbit size, and
+    /// an orbit-invariant representative.
+    #[test]
+    fn packed_canonicalization_is_orbit_consistent(
+        inputs in arb_inputs(3),
+        actions in proptest::collection::vec(arb_action(3), 0..2),
+        perm_ix in 0usize..6,
+    ) {
+        let m = SmModel::new(3, SmFloodMin::new(2)).with_layering(SmLayering::FullSplit);
+        let x = walk(&m, &inputs, &actions).pop().unwrap();
+        let (rep, pi, orbit) = m.canonicalize_with_orbit(&x);
+        prop_assert_eq!(&m.permute_state(&x, &pi), &rep);
+        prop_assert_eq!(orbit, orbit_size(&m, &x) as u64);
+        let y = m.permute_state(&x, &PidPerm::all(3)[perm_ix]);
+        let (rep_y, pi_y) = m.canonicalize(&y);
+        prop_assert_eq!(&rep_y, &rep);
+        prop_assert_eq!(&m.permute_state(&y, &pi_y), &rep);
+    }
+
     /// Lemma 5.3(i) along random runs: at every reachable state, every
     /// layer action replays as a legal atomic W₁R₁W₂R₂ schedule.
     #[test]

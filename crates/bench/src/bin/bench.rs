@@ -7,7 +7,7 @@
 //! ```
 //!
 //! Compares a fresh run of the scan experiments (E-scan at n = 4, E-sym at
-//! n = 4 and n = 5 — the instances the committed records cover) against the
+//! n = 4, 5 and 6 — the instances the committed records cover) against the
 //! best committed `BENCH_*.json` baseline per experiment, with the noise
 //! tolerances documented in [`layered_bench::regress`]. Exits 1 on a
 //! regression, 2 on usage or I/O errors.
@@ -111,10 +111,16 @@ fn fresh_run() -> Vec<String> {
         quotient: true,
         ..ScanConfig::default()
     };
+    let sym6 = ScanConfig {
+        n: 6,
+        quotient: true,
+        ..ScanConfig::default()
+    };
     [
         interned_scan(&scan),
         quotient_scan(&sym4),
         quotient_scan(&sym5),
+        quotient_scan(&sym6),
         resume_roundtrip(&ScanConfig::default()),
     ]
     .iter()
@@ -158,9 +164,7 @@ fn main() {
             }
         },
         None => {
-            println!(
-                "Running fresh scan experiments (E-scan n=4, E-sym n=4, E-sym n=5, E-resume n=4)..."
-            );
+            println!("Running fresh scan experiments (E-scan n=4, E-sym n=4/5/6, E-resume n=4)...");
             fresh_run()
         }
     };

@@ -6,10 +6,10 @@
 //! experiments [quick] [--json <path>] [--metrics] [--store <dir>]
 //! experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>]
 //!             [--adversary <name>] [--json <path>] [--metrics] [--store <dir>]
-//! experiments --scan [--quotient] [--n <k>] [--depth <k>] [--threads <k>]
-//!             [--horizon <k>] [--snapshot <dir>] [--resume <dir>]
-//!             [--json <path>] [--metrics] [--trace <path>] [--profile]
-//!             [--heartbeat-ms <k>] [--store <dir>]
+//! experiments --scan [--quotient] [--boxed] [--n <k>] [--depth <k>]
+//!             [--threads <k>] [--horizon <k>] [--snapshot <dir>]
+//!             [--resume <dir>] [--json <path>] [--metrics] [--trace <path>]
+//!             [--profile] [--heartbeat-ms <k>] [--store <dir>]
 //! ```
 //!
 //! * `quick` — small CI-friendly instances (default: the full sizes).
@@ -27,8 +27,11 @@
 //!   (`--n`/`--depth`/`--threads` control the instance).
 //! * `--scan --quotient` — the symmetry-reduced variant: the same Lemma
 //!   5.1 instance over canonical orbits, cross-checked against the full
-//!   space when n ≤ 4 and quotient-only beyond (the reduction is what
-//!   makes n = 5 reachable).
+//!   space when n ≤ 5 and quotient-only beyond (the reduction plus packed
+//!   arenas are what make n = 6 reachable).
+//! * `--boxed` — (scan mode) force boxed state storage even when the model
+//!   provides a packed codec — the cross-check path that demonstrates
+//!   packing is a pure representation change.
 //! * `--snapshot <dir>` — (scan mode) after the scan, write the explored
 //!   arena into `<dir>` as a versioned, SHA-256-sealed snapshot
 //!   (`arena-state.bin`, or `arena-quotient.bin` under `--quotient`).
@@ -106,6 +109,7 @@ fn parse_args() -> Result<Options, String> {
             "--sim" => sim_requested = true,
             "--scan" => scan_requested = true,
             "--quotient" => scan_cfg.quotient = true,
+            "--boxed" => scan_cfg.packed = false,
             "--seed" => sim_cfg.seed = numeric("--seed")?,
             "--runs" => sim_cfg.runs = numeric("--runs")? as usize,
             "--n" => {
@@ -164,8 +168,8 @@ fn parse_args() -> Result<Options, String> {
         }
         opts.sim = Some(sim_cfg);
     }
-    if scan_cfg.quotient && !scan_requested {
-        return Err("--quotient only applies to --scan".to_string());
+    if (scan_cfg.quotient || !scan_cfg.packed) && !scan_requested {
+        return Err("--quotient and --boxed only apply to --scan".to_string());
     }
     if (scan_cfg.snapshot_dir.is_some() || scan_cfg.resume_dir.is_some()) && !scan_requested {
         return Err("--snapshot and --resume only apply to --scan".to_string());
@@ -346,7 +350,7 @@ fn main() {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: experiments [quick|full] [--json <path>] [--metrics] [--store <dir>]\n       experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>] [--adversary <name>] [--json <path>] [--store <dir>]\n       experiments --scan [--quotient] [--n <k>] [--depth <k>] [--threads <k>] [--horizon <k>] [--snapshot <dir>] [--resume <dir>] [--json <path>] [--trace <path>] [--profile] [--heartbeat-ms <k>] [--store <dir>]"
+                "usage: experiments [quick|full] [--json <path>] [--metrics] [--store <dir>]\n       experiments --sim [--seed <u64>] [--runs <k>] [--n <k>] [--horizon <k>] [--adversary <name>] [--json <path>] [--store <dir>]\n       experiments --scan [--quotient] [--boxed] [--n <k>] [--depth <k>] [--threads <k>] [--horizon <k>] [--snapshot <dir>] [--resume <dir>] [--json <path>] [--trace <path>] [--profile] [--heartbeat-ms <k>] [--store <dir>]"
             );
             std::process::exit(2);
         }

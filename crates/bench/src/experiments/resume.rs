@@ -148,27 +148,18 @@ pub fn resume_roundtrip(cfg: &ScanConfig) -> Experiment {
             let mut ideep_par = ValenceSolver::with_observer(&mi, horizon, obs);
             let icold_deep_par =
                 scan_layer_valence_connectivity_parallel(&mut ideep_par, deeper, true, cfg.threads);
-            let iwarm =
-                load_space::<MobileModel<FloodMin>>(&ibytes, obs)
-                    .ok()
-                    .map(|(space, _, _)| {
-                        let mut s = ValenceSolver::with_space(&mi, horizon, space, obs);
-                        scan_layer_valence_connectivity(&mut s, depth0, true)
-                    });
-            let iresumed =
-                load_space::<MobileModel<FloodMin>>(&ibytes, obs)
-                    .ok()
-                    .map(|(space, _, _)| {
-                        let mut s = ValenceSolver::with_space(&mi, horizon, space, obs);
-                        scan_layer_valence_connectivity(&mut s, deeper, true)
-                    });
-            let iresumed_par =
-                load_space::<MobileModel<FloodMin>>(&ibytes, obs)
-                    .ok()
-                    .map(|(space, _, _)| {
-                        let mut s = ValenceSolver::with_space(&mi, horizon, space, obs);
-                        scan_layer_valence_connectivity_parallel(&mut s, deeper, true, cfg.threads)
-                    });
+            let iwarm = load_space(&mi, &ibytes, obs).ok().map(|(space, _, _)| {
+                let mut s = ValenceSolver::with_space(&mi, horizon, space, obs);
+                scan_layer_valence_connectivity(&mut s, depth0, true)
+            });
+            let iresumed = load_space(&mi, &ibytes, obs).ok().map(|(space, _, _)| {
+                let mut s = ValenceSolver::with_space(&mi, horizon, space, obs);
+                scan_layer_valence_connectivity(&mut s, deeper, true)
+            });
+            let iresumed_par = load_space(&mi, &ibytes, obs).ok().map(|(space, _, _)| {
+                let mut s = ValenceSolver::with_space(&mi, horizon, space, obs);
+                scan_layer_valence_connectivity_parallel(&mut s, deeper, true, cfg.threads)
+            });
             let interned_identical = iwarm.as_ref() == Some(&icold_scan)
                 && icold_deep_seq == icold_deep_par
                 && iresumed.as_ref() == Some(&icold_deep_seq)

@@ -40,7 +40,9 @@ pub const GATED_COUNTERS: [&str; 4] = [
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BenchRecord {
     /// Comparison key: the experiment id, qualified by the instance size
-    /// when the record carries one (`E-sym@n=5`), so differently-sized runs
+    /// when the record carries one (`E-sym@n=5`) and by `+full` when the
+    /// run included the full-space baseline alongside the quotient
+    /// (`E-sym@n=5+full`), so differently-sized or differently-shaped runs
     /// of one experiment never gate each other.
     pub key: String,
     /// The experiment id (`E-scan`, `E-sym`, …).
@@ -75,15 +77,19 @@ impl BenchRecord {
             .map(|&name| (name, json.get(name).and_then(Json::as_u64).unwrap_or(0)))
             .collect();
         // Instance size, when the experiment records one as a gauge.
-        let n = json
-            .get("metrics")
-            .and_then(|m| m.get("gauges"))
+        let gauges = json.get("metrics").and_then(|m| m.get("gauges"));
+        let n = gauges
             .and_then(|g| g.get("scan.sym.n"))
             .and_then(|g| g.get("last"))
             .and_then(Json::as_u64);
-        let key = match n {
-            Some(n) => format!("{id}@n={n}"),
-            None => id.clone(),
+        // Whether the run included the full-space baseline: its wall and
+        // counters are a different workload than a quotient-only run of the
+        // same size (n = 5 crossed that line when the arenas went packed).
+        let full = gauges.is_some_and(|g| g.get("scan.sym.full.states_seen").is_some());
+        let key = match (n, full) {
+            (Some(n), true) => format!("{id}@n={n}+full"),
+            (Some(n), false) => format!("{id}@n={n}"),
+            (None, _) => id.clone(),
         };
         Ok(BenchRecord {
             key,
@@ -398,5 +404,15 @@ mod tests {
         let line = r#"{"id":"E-sym","ok":true,"wall_ns":5,"metrics":{"gauges":{"scan.sym.n":{"last":5,"max":5}}}}"#;
         let r = BenchRecord::parse(line).expect("parses");
         assert_eq!(r.key, "E-sym@n=5");
+    }
+
+    #[test]
+    fn full_baseline_runs_get_their_own_keys() {
+        // A record carrying the full-space baseline gauges is a different
+        // workload than a quotient-only run of the same size: it must not
+        // gate against (or be gated by) the quotient-only baselines.
+        let line = r#"{"id":"E-sym","ok":true,"wall_ns":5,"metrics":{"gauges":{"scan.sym.full.states_seen":{"last":112,"max":112},"scan.sym.n":{"last":5,"max":5}}}}"#;
+        let r = BenchRecord::parse(line).expect("parses");
+        assert_eq!(r.key, "E-sym@n=5+full");
     }
 }

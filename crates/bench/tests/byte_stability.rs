@@ -12,9 +12,22 @@
 //! * the `*.wall_ns` gauges (e.g. `scan.sym.quotient.wall_ns`),
 //! * the `*_ns` timing histograms (e.g. `space.layer_expand_ns`).
 //!
+//! Two scheduling-dependent contention counters are additionally
+//! *removed* (not zeroed) before thread-count comparisons:
+//! `space.shard.contention` and `space.intern.cas_retries` count lock
+//! collisions in the sharded intern table, which depend on thread timing
+//! by design.
+//!
 //! Everything else — counters, gauge levels, work histograms, events,
 //! verdicts — must not move when the thread count changes, or parallel
 //! scans are leaking scheduling order into results.
+//!
+//! A second contract rides along since the packed encodings landed:
+//! packed and boxed arenas produce byte-identical records modulo the
+//! *representation-dependent* telemetry (`mem.*` footprints, `space.pack.*`,
+//! and the hash-distribution metrics under `space.intern.*` /
+//! `space.shard.*`). Ids, layers, verdicts and every work counter are
+//! storage-independent.
 
 use layered_bench::{interned_scan, quotient_scan, ScanConfig};
 use layered_core::telemetry::json::Json;
@@ -40,18 +53,63 @@ fn strip_timing(json: &mut Json) {
     }
 }
 
+/// Removes object members whose key satisfies `drop`, recursively — for
+/// metrics whose *presence* is scheduling- or representation-dependent.
+fn strip_keys(json: &mut Json, drop: &dyn Fn(&str) -> bool) {
+    match json {
+        Json::Object(members) => {
+            members.retain(|(key, _)| !drop(key));
+            for (_, value) in members.iter_mut() {
+                strip_keys(value, drop);
+            }
+        }
+        Json::Array(items) => {
+            for item in items {
+                strip_keys(item, drop);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The comparison form for thread-count stability: timing zeroed and the
+/// scheduling-dependent contention counters removed.
 fn record_modulo_timing(record: Json) -> String {
     let mut record = record;
     strip_timing(&mut record);
+    strip_keys(&mut record, &|key| {
+        key == "space.shard.contention" || key == "space.intern.cas_retries"
+    });
     record.to_string()
 }
 
-fn scan_record(threads: usize, quotient: bool) -> Json {
+/// The comparison form for packed-vs-boxed stability: timing zeroed and
+/// the representation-dependent metrics removed — memory footprints,
+/// packing stats, and the hash-distribution metrics of the intern table
+/// (packed words hash differently than boxed states, so probe lengths,
+/// load factors and shard spread legitimately move; hits and misses are
+/// work counters and must not).
+fn record_modulo_representation(record: Json) -> String {
+    let mut record = record;
+    strip_timing(&mut record);
+    strip_keys(&mut record, &|key| {
+        key.starts_with("mem.")
+            || key.starts_with("space.pack.")
+            || key.starts_with("space.shard.")
+            || key == "space.intern.probe_len"
+            || key == "space.intern.load_x1000"
+            || key == "space.intern.cas_retries"
+    });
+    record.to_string()
+}
+
+fn scan_record_with(threads: usize, quotient: bool, packed: bool) -> Json {
     let cfg = ScanConfig {
         n: 3,
         depth: 1,
         threads,
         quotient,
+        packed,
         ..ScanConfig::default()
     };
     let exp = if quotient {
@@ -66,14 +124,20 @@ fn scan_record(threads: usize, quotient: bool) -> Json {
     exp.json_record()
 }
 
+fn scan_record(threads: usize, quotient: bool) -> Json {
+    scan_record_with(threads, quotient, true)
+}
+
 #[test]
 fn interned_scan_records_are_identical_across_thread_counts() {
     let one = record_modulo_timing(scan_record(1, false));
-    let eight = record_modulo_timing(scan_record(8, false));
-    assert_eq!(
-        one, eight,
-        "E-scan records diverged between --threads 1 and --threads 8"
-    );
+    for threads in [2, 8] {
+        assert_eq!(
+            one,
+            record_modulo_timing(scan_record(threads, false)),
+            "E-scan records diverged between --threads 1 and --threads {threads}"
+        );
+    }
     // And across repeated runs at the same thread count.
     assert_eq!(one, record_modulo_timing(scan_record(1, false)));
 }
@@ -81,10 +145,32 @@ fn interned_scan_records_are_identical_across_thread_counts() {
 #[test]
 fn quotient_scan_records_are_identical_across_thread_counts() {
     let one = record_modulo_timing(scan_record(1, true));
-    let three = record_modulo_timing(scan_record(3, true));
+    for threads in [2, 8] {
+        assert_eq!(
+            one,
+            record_modulo_timing(scan_record(threads, true)),
+            "E-sym records diverged between --threads 1 and --threads {threads}"
+        );
+    }
+}
+
+#[test]
+fn packed_and_boxed_interned_scans_are_identical() {
+    let packed = record_modulo_representation(scan_record_with(4, false, true));
+    let boxed = record_modulo_representation(scan_record_with(4, false, false));
     assert_eq!(
-        one, three,
-        "E-sym records diverged between --threads 1 and --threads 3"
+        packed, boxed,
+        "E-scan records diverged between packed and boxed arenas"
+    );
+}
+
+#[test]
+fn packed_and_boxed_quotient_scans_are_identical() {
+    let packed = record_modulo_representation(scan_record_with(4, true, true));
+    let boxed = record_modulo_representation(scan_record_with(4, true, false));
+    assert_eq!(
+        packed, boxed,
+        "E-sym records diverged between packed and boxed arenas"
     );
 }
 

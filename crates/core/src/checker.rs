@@ -170,7 +170,7 @@ pub fn check_consensus_with<M: LayeredModel>(
             obs.counter("engine.states_visited", 1);
             {
                 let x = space.resolve(id);
-                for v in state_violations(model, x) {
+                for v in state_violations(model, &x) {
                     if report.violations.len() < max_violations {
                         obs.counter("checker.violations", 1);
                         report.violations.push(v);
@@ -178,14 +178,14 @@ pub fn check_consensus_with<M: LayeredModel>(
                 }
                 if depth == horizon {
                     let undecided: Vec<Pid> = model
-                        .obligated(x)
+                        .obligated(&x)
                         .into_iter()
-                        .filter(|&i| model.decision(x, i).is_none())
+                        .filter(|&i| model.decision(&x, i).is_none())
                         .collect();
                     if !undecided.is_empty() && report.violations.len() < max_violations {
                         obs.counter("checker.violations", 1);
                         report.violations.push(Violation::Decision {
-                            state: x.clone(),
+                            state: x,
                             undecided,
                         });
                     }

@@ -231,9 +231,12 @@ pub fn similarity_graph_ids<M: LayeredModel>(
     ids: &[StateId],
     obs: &dyn Observer,
 ) -> Graph {
+    // Materialize the layer once: the predicate runs O(L²) times and
+    // unpacking inside it would redo the decode per pair.
+    let states = space.materialize(ids);
     Graph::from_predicate(ids.len(), |a, b| {
         obs.counter("connectivity.pairs_tested", 1);
-        let edge = similar(model, space.resolve(ids[a]), space.resolve(ids[b]));
+        let edge = similar(model, &states[a], &states[b]);
         if edge {
             obs.counter("connectivity.similarity_edges", 1);
         }

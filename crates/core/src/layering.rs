@@ -204,20 +204,20 @@ pub fn extend_bivalent_run_interned<M: LayeredModel>(
     let obs = solver.observer();
     let _span = Span::enter(obs, "layering.bivalent_run");
     let mut chain = vec![start];
-    let mut undecided = vec![undecided_non_failed(model, solver.space().resolve(start)).len()];
+    let mut undecided = vec![undecided_non_failed(model, &solver.space().resolve(start)).len()];
     for _ in 0..steps {
         let x = *chain.last().expect("chain is non-empty");
         match bivalent_successor_id(solver, x) {
             Some(y) => {
                 obs.counter("layering.extensions", 1);
-                undecided.push(undecided_non_failed(model, solver.space().resolve(y)).len());
+                undecided.push(undecided_non_failed(model, &solver.space().resolve(y)).len());
                 chain.push(y);
                 obs.gauge("layering.run_length", (chain.len() - 1) as u64);
             }
             None => {
                 let layer = solver.successor_ids(x);
                 let report = valence_report_ids(solver, &layer);
-                let depth = model.depth(solver.space().resolve(x));
+                let depth = model.depth(&solver.space().resolve(x));
                 obs.counter("layering.stuck", 1);
                 obs.event(
                     "layering.stuck",
@@ -361,10 +361,10 @@ fn scan_ids<M: LayeredModel>(
                 return LayerScan {
                     layers_checked,
                     states_seen,
-                    violation: Some((solver.space().resolve(id).clone(), report)),
+                    violation: Some((solver.space().resolve(id), report)),
                 };
             }
-            if model.depth(solver.space().resolve(id)) < depth_limit {
+            if model.depth(&solver.space().resolve(id)) < depth_limit {
                 for y in layer {
                     if seen.insert(y) {
                         next.push(y);
@@ -482,10 +482,10 @@ fn scan_quotient_ids<M: Symmetric>(
                 return LayerScan {
                     layers_checked,
                     states_seen,
-                    violation: Some((solver.space().resolve(id).clone(), report)),
+                    violation: Some((solver.space().resolve(id), report)),
                 };
             }
-            if model.depth(solver.space().resolve(id)) < depth_limit {
+            if model.depth(&solver.space().resolve(id)) < depth_limit {
                 for y in layer {
                     if seen.insert(y) {
                         next.push(y);
@@ -549,20 +549,20 @@ pub fn build_bivalent_run_quotient<M: Symmetric>(
     };
     let model = solver.model();
     let mut chain = vec![x0];
-    let mut undecided = vec![undecided_non_failed(model, solver.space().resolve(x0)).len()];
+    let mut undecided = vec![undecided_non_failed(model, &solver.space().resolve(x0)).len()];
     for _ in 0..steps {
         let x = *chain.last().expect("chain is non-empty");
         match bivalent_successor_quotient_id(solver, x) {
             Some(y) => {
                 obs.counter("layering.extensions", 1);
-                undecided.push(undecided_non_failed(model, solver.space().resolve(y)).len());
+                undecided.push(undecided_non_failed(model, &solver.space().resolve(y)).len());
                 chain.push(y);
                 obs.gauge("layering.run_length", (chain.len() - 1) as u64);
             }
             None => {
                 let layer = solver.successor_ids(x);
                 let report = quotient_valence_report_ids(solver, &layer);
-                let depth = model.depth(solver.space().resolve(x));
+                let depth = model.depth(&solver.space().resolve(x));
                 obs.counter("layering.stuck", 1);
                 obs.event(
                     "layering.stuck",
@@ -680,13 +680,13 @@ fn lemma_sweep<M: LayeredModel>(
         let mut seen: HashSet<StateId> = HashSet::new();
         for &id in &frontier {
             obs.counter("engine.states_visited", 1);
-            precheck(model, solver.space().resolve(id));
+            precheck(model, &solver.space().resolve(id));
             if solver.valence_id(id) == Valence::Bivalent
-                && undecided_non_failed(model, solver.space().resolve(id)).len() < min_undecided
+                && undecided_non_failed(model, &solver.space().resolve(id)).len() < min_undecided
             {
-                return Some(solver.space().resolve(id).clone());
+                return Some(solver.space().resolve(id));
             }
-            if model.depth(solver.space().resolve(id)) < depth_limit {
+            if model.depth(&solver.space().resolve(id)) < depth_limit {
                 for y in solver.successor_ids(id) {
                     if seen.insert(y) {
                         next.push(y);

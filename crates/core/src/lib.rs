@@ -87,13 +87,16 @@ pub use model::{
 };
 pub use pid::{binary_input_vectors, Pid, Value};
 pub use sim::{MoveRecord, SimModel};
+pub use space::pack::{
+    pack_decision, unpack_decision, FieldPacker, StatePacker, WordReader, WordWriter, DECISION_BITS,
+};
 pub use space::snapshot::{
     load_quotient, load_space, save_quotient, save_space, ArenaMeta, SnapshotError, SnapshotReader,
-    SnapshotState,
+    SnapshotState, SNAPSHOT_VERSION,
 };
-pub use space::{DiffReport, QuotientSpace, StateId, StateSpace};
+pub use space::{DiffReport, QuotientSpace, StateId, StateSpace, SHARD_COUNT};
 pub use stats::{census, census_with, LevelCensus};
-pub use sym::{canonicalize_by_min, orbit_size, PidPerm, Symmetric};
+pub use sym::{canonicalize_by_min, canonicalize_packed, orbit_size, PidPerm, Symmetric};
 pub use telemetry::{
     Fanout, Heartbeat, Histogram, JsonlObserver, MemoryBreakdown, MemoryFootprint, MetricsRegistry,
     MetricsSnapshot, NoopObserver, Observer, Span, TraceObserver,

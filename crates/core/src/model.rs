@@ -26,6 +26,7 @@
 use std::fmt::Debug;
 use std::hash::Hash;
 
+use crate::space::pack::StatePacker;
 use crate::space::StateSpace;
 use crate::telemetry::{Observer, Span, NOOP};
 use crate::{Pid, Value};
@@ -125,6 +126,19 @@ pub trait LayeredModel {
             .filter(|&i| !self.failed_at(x, i))
             .collect()
     }
+
+    /// A packed `u128` codec for this model's states, if the instance fits
+    /// one (see [`crate::space::pack`] for the codec contract). Arenas built
+    /// with [`StateSpace::for_model`](crate::space::StateSpace::for_model)
+    /// use it as their storage and hash key; `None` (the default) keeps the
+    /// boxed representation.
+    ///
+    /// Implementations typically construct the packer once per model
+    /// instance and hand out clones (it is a bundle of `Arc`s), returning
+    /// `None` for configurations that exceed the codec's field widths.
+    fn state_packer(&self) -> Option<StatePacker<Self::State>> {
+        None
+    }
 }
 
 /// The set of all states reachable from `from` in exactly `k` layers.
@@ -155,7 +169,7 @@ pub fn states_at_depth_with<M: LayeredModel>(
     k: usize,
     obs: &dyn Observer,
 ) -> Vec<M::State> {
-    let mut space: StateSpace<M> = StateSpace::new();
+    let mut space: StateSpace<M> = StateSpace::for_model(model);
     let levels = space.expand_layers(model, std::slice::from_ref(from), k, obs);
     space.materialize(levels.last().expect("expand returns k + 1 levels"))
 }
@@ -203,7 +217,7 @@ pub fn explore_with<M: LayeredModel>(
     obs: &dyn Observer,
 ) -> Exploration<M::State> {
     let _span = Span::enter(obs, "explore.sweep");
-    let mut space: StateSpace<M> = StateSpace::new();
+    let mut space: StateSpace<M> = StateSpace::for_model(model);
     let id_levels = space.expand_layers(model, roots, horizon, obs);
     // Every frontier state's successor list was computed exactly once into
     // the arena, so the cached edge total is the traversal's edge total.

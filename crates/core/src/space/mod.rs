@@ -1,6 +1,6 @@
 //! Hash-consed state spaces: dense [`StateId`]s over a model's reachable
-//! states, with CSR-packed successor adjacency and deterministic parallel
-//! layer expansion.
+//! states, with CSR-packed successor adjacency, a sharded concurrent intern
+//! table, packed state storage and deterministic parallel layer expansion.
 //!
 //! Every exact engine in this crate (valence, connectivity, layering, the
 //! consensus checker) explores the same graded state graph. Keying those
@@ -12,6 +12,32 @@
 //! computed once and packed into a single flat edge array (compressed sparse
 //! row layout).
 //!
+//! # Packed storage
+//!
+//! When the model provides a [`StatePacker`]
+//! ([`LayeredModel::state_packer`]), the arena stores each state as a single
+//! `u128` word instead of the boxed model struct: hashing, equality and
+//! lookup all operate on the word, and states are only unpacked at the
+//! [`resolve`](StateSpace::resolve) boundary. States the codec cannot
+//! represent *spill* into a side vector (tagged via [`pack::SPILL_TAG`]), so
+//! packing is always a pure representation change — ids, layers and every
+//! derived report are identical to the boxed arena's.
+//!
+//! # Sharded interning
+//!
+//! The intern index is split into [`SHARD_COUNT`] shards keyed by state
+//! hash, each behind its own mutex. During bulk expansion worker threads
+//! probe and *stage* new states concurrently: a previously unseen state is
+//! appended to its shard's pending list and identified by a provisional id.
+//! No dense id is assigned concurrently — after the workers join, the
+//! calling thread walks the frontier's successor lists **in frontier order**
+//! and renumbers every provisional id in first-touch order ([`ProvMap`]),
+//! which is exactly the order the sequential path would have interned them
+//! in. The staged states are then published into the dense store and the
+//! shard buckets rewritten. Parallelism changes how fast successor lists are
+//! produced, never which states exist, their ids, or the contents of any
+//! layer, so sequential and parallel expansion are bit-identical.
+//!
 //! # Id layout and determinism
 //!
 //! Ids are assigned in *interning order*: the first distinct state presented
@@ -21,37 +47,60 @@
 //! level), so for a fixed model and entry point the id assignment — and
 //! everything derived from it — is deterministic.
 //!
-//! The parallel path ([`StateSpace::expand_layers_parallel`],
-//! [`StateSpace::prefetch_successors`]) keeps that guarantee: worker threads
-//! only evaluate `model.successors(x)` for disjoint chunks of the frontier
-//! (a pure function under the [`LayeredModel`] contract), and the merge back
-//! into the arena happens on the calling thread *in frontier order* — the
-//! exact order the sequential path would have used. Parallelism changes how
-//! fast successor lists are produced, never which states exist, their ids,
-//! or the contents of any layer, so sequential and parallel expansion are
-//! bit-identical.
-//!
 //! # Persistence
 //!
 //! Both arenas serialize to versioned, integrity-hashed snapshots (see
-//! [`snapshot`]): the state arena, intern index, CSR successor cache and
-//! per-state successor fingerprints round-trip byte-identically, so a scan
-//! can be resumed — deepened, re-budgeted, or differentially re-verified
-//! after a protocol change via [`StateSpace::refresh_differential`] /
+//! [`snapshot`]): the state arena (packed words or boxed states), intern
+//! index, CSR successor cache and per-state successor fingerprints
+//! round-trip byte-identically, so a scan can be resumed — deepened,
+//! re-budgeted, or differentially re-verified after a protocol change via
+//! [`StateSpace::refresh_differential`] /
 //! [`QuotientSpace::refresh_differential`] — instead of recomputed.
 
+pub mod pack;
 pub mod snapshot;
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, MutexGuard, TryLockError};
 
 use fxhash::{FxHashMap, FxHasher};
 
+use self::pack::{word_hash, StatePacker, SPILL_TAG};
 use crate::sym::{PidPerm, Symmetric};
 use crate::telemetry::{
     clock, trace, Heartbeat, MemoryBreakdown, MemoryFootprint, Observer, Span, NOOP,
 };
 use crate::LayeredModel;
+
+/// Number of bits of the state hash that select an intern shard.
+const SHARD_BITS: u32 = 4;
+
+/// Number of independently locked shards in the intern index. A fixed
+/// power of two: the shard of a state is the low [`SHARD_BITS`] bits of its
+/// hash, so shard assignment is a pure function of the state and identical
+/// at every thread count.
+pub const SHARD_COUNT: usize = 1 << SHARD_BITS;
+
+/// Bucket entries with this bit set index a shard's pending (staged) list
+/// instead of the dense store. Caps dense ids at `2^31`.
+const PENDING_BIT: u32 = 1 << 31;
+
+/// Provisional ids with this bit set refer to a staged state
+/// (`shard << 32 | pending index`); without it they are dense ids.
+const PROV_PENDING: u64 = 1 << 63;
+
+/// The shard owning hash `h`.
+fn shard_of(h: u64) -> usize {
+    (h & (SHARD_COUNT as u64 - 1)) as usize
+}
+
+/// FxHash of a full model state (the boxed-store / spill-path hash).
+fn fx_hash<S: Hash>(s: &S) -> u64 {
+    let mut h = FxHasher::default();
+    s.hash(&mut h);
+    h.finish()
+}
 
 /// Dense identifier of an interned state within one [`StateSpace`].
 ///
@@ -75,11 +124,519 @@ struct SuccRange {
     len: u32,
 }
 
-/// Outcome of probing one hash bucket for a state: found (with the number
+/// How a state probes the intern index: its shard-selecting hash, plus the
+/// packed word when the store is packed and the state fits the codec
+/// (`None` means boxed comparison — the boxed store, or a spilled state).
+struct ProbeKey {
+    hash: u64,
+    word: Option<u128>,
+}
+
+/// A staged (not yet dense) state held in a shard's pending list.
+enum PendKey<S> {
+    /// Packed representation (packed store, codec fits).
+    Word(u128),
+    /// Boxed representation (boxed store, or a spilled state).
+    State(S),
+}
+
+/// The arena's state storage: boxed model structs, or packed `u128` words
+/// with a spill vector for states the codec cannot represent. Word slots
+/// with [`SPILL_TAG`] set index the spill vector.
+enum Store<S> {
+    /// One boxed state per id.
+    Boxed(Vec<S>),
+    /// One word per id; spilled states live in `spill`.
+    Packed {
+        /// The model's codec.
+        packer: StatePacker<S>,
+        /// Per-id packed word, or `SPILL_TAG | spill index`.
+        words: Vec<u128>,
+        /// States the codec could not represent.
+        spill: Vec<S>,
+    },
+}
+
+/// A read-only view of one store slot (used by snapshot encoding and index
+/// rebuilding).
+enum Slot<'a, S> {
+    /// A packed word (never has [`SPILL_TAG`] set).
+    Word(u128),
+    /// A boxed or spilled state.
+    State(&'a S),
+}
+
+impl<S: Clone + Eq + Hash> Store<S> {
+    fn boxed() -> Self {
+        Store::Boxed(Vec::new())
+    }
+
+    fn packed(packer: StatePacker<S>) -> Self {
+        Store::Packed {
+            packer,
+            words: Vec::new(),
+            spill: Vec::new(),
+        }
+    }
+
+    fn is_packed(&self) -> bool {
+        matches!(self, Store::Packed { .. })
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Store::Boxed(v) => v.len(),
+            Store::Packed { words, .. } => words.len(),
+        }
+    }
+
+    fn spill_len(&self) -> usize {
+        match self {
+            Store::Boxed(_) => 0,
+            Store::Packed { spill, .. } => spill.len(),
+        }
+    }
+
+    /// The probe key of `s` under this store's representation.
+    fn key_of(&self, s: &S) -> ProbeKey {
+        match self {
+            Store::Boxed(_) => ProbeKey {
+                hash: fx_hash(s),
+                word: None,
+            },
+            Store::Packed { packer, .. } => match packer.pack(s) {
+                Some(w) => ProbeKey {
+                    hash: word_hash(w),
+                    word: Some(w),
+                },
+                None => ProbeKey {
+                    hash: fx_hash(s),
+                    word: None,
+                },
+            },
+        }
+    }
+
+    /// The state behind slot `i`, owned (unpacked or cloned).
+    fn get(&self, i: usize) -> S {
+        match self {
+            Store::Boxed(v) => v[i].clone(),
+            Store::Packed {
+                packer,
+                words,
+                spill,
+            } => {
+                let w = words[i];
+                if w & SPILL_TAG == 0 {
+                    packer.unpack(w)
+                } else {
+                    spill[(w ^ SPILL_TAG) as usize].clone()
+                }
+            }
+        }
+    }
+
+    /// Whether slot `i` holds the state with probe key `key` / value `s`.
+    /// Packed slots compare by word; packability is equality-invariant
+    /// (codec contract), so a packed slot can never equal a spilled probe.
+    fn slot_matches(&self, i: usize, key: &ProbeKey, s: &S) -> bool {
+        match self {
+            Store::Boxed(v) => v[i] == *s,
+            Store::Packed { words, spill, .. } => {
+                let w = words[i];
+                if w & SPILL_TAG == 0 {
+                    key.word == Some(w)
+                } else {
+                    key.word.is_none() && spill[(w ^ SPILL_TAG) as usize] == *s
+                }
+            }
+        }
+    }
+
+    /// Whether slots `i` and `j` hold equal states (index rebuilding).
+    fn slots_equal(&self, i: usize, j: usize) -> bool {
+        match self {
+            Store::Boxed(v) => v[i] == v[j],
+            Store::Packed { words, spill, .. } => {
+                let (a, b) = (words[i], words[j]);
+                if a & SPILL_TAG == 0 || b & SPILL_TAG == 0 {
+                    a == b
+                } else {
+                    spill[(a ^ SPILL_TAG) as usize] == spill[(b ^ SPILL_TAG) as usize]
+                }
+            }
+        }
+    }
+
+    /// Appends `s` (with its already-computed probe key) as the next dense
+    /// slot.
+    fn push(&mut self, key: &ProbeKey, s: &S) {
+        match self {
+            Store::Boxed(v) => v.push(s.clone()),
+            Store::Packed { words, spill, .. } => match key.word {
+                Some(w) => words.push(w),
+                None => {
+                    let idx = spill.len() as u128;
+                    spill.push(s.clone());
+                    words.push(SPILL_TAG | idx);
+                }
+            },
+        }
+    }
+
+    /// Publishes a staged state as the next dense slot.
+    fn push_pend(&mut self, key: PendKey<S>) {
+        match (self, key) {
+            (Store::Boxed(v), PendKey::State(s)) => v.push(s),
+            (Store::Packed { words, .. }, PendKey::Word(w)) => words.push(w),
+            (Store::Packed { words, spill, .. }, PendKey::State(s)) => {
+                let idx = spill.len() as u128;
+                spill.push(s);
+                words.push(SPILL_TAG | idx);
+            }
+            (Store::Boxed(_), PendKey::Word(_)) => {
+                unreachable!("boxed stores never stage packed words")
+            }
+        }
+    }
+
+    /// Appends a decoded packed word (snapshot loading; packed stores only).
+    fn push_word(&mut self, w: u128) {
+        match self {
+            Store::Packed { words, .. } => words.push(w),
+            Store::Boxed(_) => unreachable!("boxed stores hold no words"),
+        }
+    }
+
+    /// Appends a decoded boxed/spilled state (snapshot loading).
+    fn push_spilled(&mut self, s: S) {
+        match self {
+            Store::Boxed(v) => v.push(s),
+            Store::Packed { words, spill, .. } => {
+                let idx = spill.len() as u128;
+                spill.push(s);
+                words.push(SPILL_TAG | idx);
+            }
+        }
+    }
+
+    /// Whether `s` fits this store's codec (always false for boxed stores).
+    fn packs(&self, s: &S) -> bool {
+        matches!(self, Store::Packed { packer, .. } if packer.pack(s).is_some())
+    }
+
+    /// A read-only view of slot `i`.
+    fn slot(&self, i: usize) -> Slot<'_, S> {
+        match self {
+            Store::Boxed(v) => Slot::State(&v[i]),
+            Store::Packed { words, spill, .. } => {
+                let w = words[i];
+                if w & SPILL_TAG == 0 {
+                    Slot::Word(w)
+                } else {
+                    Slot::State(&spill[(w ^ SPILL_TAG) as usize])
+                }
+            }
+        }
+    }
+
+    /// The intern hash of slot `i` (identical to `key_of(get(i)).hash`).
+    fn hash_of_slot(&self, i: usize) -> u64 {
+        match self.slot(i) {
+            Slot::Word(w) => word_hash(w),
+            Slot::State(s) => fx_hash(s),
+        }
+    }
+
+    /// Shallow capacity-based byte accounting of the state payloads.
+    fn state_bytes(&self) -> u64 {
+        match self {
+            Store::Boxed(v) => v.capacity() as u64 * std::mem::size_of::<S>() as u64,
+            Store::Packed { words, spill, .. } => {
+                words.capacity() as u64 * 16
+                    + spill.capacity() as u64 * std::mem::size_of::<S>() as u64
+            }
+        }
+    }
+
+    /// Bytes the packed representation saves over boxing every state
+    /// (0 for boxed stores; spilled states save nothing).
+    fn bytes_saved(&self) -> u64 {
+        let per_state = std::mem::size_of::<S>().saturating_sub(16) as u64;
+        per_state * (self.len() - self.spill_len()) as u64
+    }
+}
+
+/// One intern shard: hash-bucketed candidate entries plus the pending list
+/// of states staged during the current bulk expansion. Bucket entries are
+/// dense ids, or `PENDING_BIT | pending index` while staged; dense entries
+/// are kept in ascending id order (== interning order).
+struct Shard<S> {
+    buckets: FxHashMap<u64, Vec<u32>>,
+    /// Staged states: `(hash, key, orbit size)` — orbit is 0 in the plain
+    /// arena and carries the precomputed orbit size in the quotient.
+    pending: Vec<(u64, PendKey<S>, u64)>,
+}
+
+impl<S> Default for Shard<S> {
+    fn default() -> Self {
+        Shard {
+            buckets: FxHashMap::default(),
+            pending: Vec::new(),
+        }
+    }
+}
+
+/// Aggregated interning statistics from one bulk expansion. `hits` and
+/// `misses` are thread-count-invariant (each raw successor is probed
+/// exactly once; misses count distinct new states); `contention` and
+/// `retries` measure lock pressure and are inherently nondeterministic.
+#[derive(Clone, Copy, Default, Debug)]
+struct InternStats {
+    hits: u64,
+    misses: u64,
+    contention: u64,
+    retries: u64,
+}
+
+impl InternStats {
+    fn merge(&mut self, o: &InternStats) {
+        self.hits += o.hits;
+        self.misses += o.misses;
+        self.contention += o.contention;
+        self.retries += o.retries;
+    }
+}
+
+/// Locks a shard, counting contention: a failed `try_lock` bumps
+/// `contention`, each spin retry bumps `retries`, and after a bounded spin
+/// the caller parks on the blocking lock.
+fn lock_counting<'a, S>(
+    m: &'a Mutex<Shard<S>>,
+    stats: &mut InternStats,
+) -> MutexGuard<'a, Shard<S>> {
+    match m.try_lock() {
+        Ok(g) => return g,
+        Err(TryLockError::WouldBlock) => stats.contention += 1,
+        Err(TryLockError::Poisoned(_)) => panic!("intern shard poisoned: a worker panicked"),
+    }
+    for _ in 0..64 {
+        std::hint::spin_loop();
+        match m.try_lock() {
+            Ok(g) => return g,
+            Err(TryLockError::WouldBlock) => stats.retries += 1,
+            Err(TryLockError::Poisoned(_)) => panic!("intern shard poisoned: a worker panicked"),
+        }
+    }
+    match m.lock() {
+        Ok(g) => g,
+        Err(_) => panic!("intern shard poisoned: a worker panicked"),
+    }
+}
+
+/// The sharded concurrent intern index shared by both arenas.
+struct ShardedIndex<S> {
+    shards: Vec<Mutex<Shard<S>>>,
+}
+
+impl<S: Clone + Eq + Hash> ShardedIndex<S> {
+    fn new() -> Self {
+        ShardedIndex {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+        }
+    }
+
+    /// Exclusive access to the shard owning `h` (single-threaded paths).
+    fn shard_mut(&mut self, h: u64) -> &mut Shard<S> {
+        match self.shards[shard_of(h)].get_mut() {
+            Ok(g) => g,
+            Err(_) => panic!("intern shard poisoned: a worker panicked"),
+        }
+    }
+
+    /// Locked access to the shard owning `h` (shared-borrow paths).
+    fn shard(&self, h: u64) -> MutexGuard<'_, Shard<S>> {
+        match self.shards[shard_of(h)].lock() {
+            Ok(g) => g,
+            Err(_) => panic!("intern shard poisoned: a worker panicked"),
+        }
+    }
+
+    /// Concurrent probe: returns the provisional id of `s` — its dense id
+    /// if already interned, the id of an earlier staging if another probe
+    /// already staged it this bulk round, or a fresh staging otherwise.
+    fn probe_or_stage(
+        &self,
+        store: &Store<S>,
+        key: &ProbeKey,
+        s: &S,
+        orbit: u64,
+        stats: &mut InternStats,
+    ) -> u64 {
+        let shard_no = shard_of(key.hash);
+        let mut guard = lock_counting(&self.shards[shard_no], stats);
+        let Shard { buckets, pending } = &mut *guard;
+        let bucket = buckets.entry(key.hash).or_default();
+        for &entry in bucket.iter() {
+            if entry & PENDING_BIT != 0 {
+                let idx = (entry & !PENDING_BIT) as usize;
+                let hit = match (&pending[idx].1, &key.word) {
+                    (PendKey::Word(w), Some(k)) => w == k,
+                    (PendKey::State(t), None) => t == s,
+                    _ => false,
+                };
+                if hit {
+                    stats.hits += 1;
+                    return PROV_PENDING | ((shard_no as u64) << 32) | idx as u64;
+                }
+            } else if store.slot_matches(entry as usize, key, s) {
+                stats.hits += 1;
+                return u64::from(entry);
+            }
+        }
+        let idx = u32::try_from(pending.len()).expect("more than u32::MAX staged states");
+        assert!(idx < PENDING_BIT, "shard pending list overflow");
+        let pend = match key.word {
+            Some(w) => PendKey::Word(w),
+            None => PendKey::State(s.clone()),
+        };
+        pending.push((key.hash, pend, orbit));
+        bucket.push(PENDING_BIT | idx);
+        stats.misses += 1;
+        PROV_PENDING | ((shard_no as u64) << 32) | u64::from(idx)
+    }
+
+    /// Per-shard pending-list lengths (sized for [`ProvMap::new`]).
+    fn pending_lens(&mut self) -> Vec<usize> {
+        self.shards
+            .iter_mut()
+            .map(|m| match m.get_mut() {
+                Ok(g) => g.pending.len(),
+                Err(_) => panic!("intern shard poisoned: a worker panicked"),
+            })
+            .collect()
+    }
+
+    /// Publishes every staged state into the dense store under the ids
+    /// `map` assigned, rewriting the affected buckets (and restoring their
+    /// ascending-id order). Returns the staged orbit sizes in dense id
+    /// order.
+    fn publish(&mut self, store: &mut Store<S>, map: &ProvMap) -> Vec<u64> {
+        let mut staged: Vec<(u32, PendKey<S>, u64)> = Vec::new();
+        for (shard_no, m) in self.shards.iter_mut().enumerate() {
+            let shard = match m.get_mut() {
+                Ok(g) => g,
+                Err(_) => panic!("intern shard poisoned: a worker panicked"),
+            };
+            if shard.pending.is_empty() {
+                continue;
+            }
+            let mut hashes: Vec<u64> = shard.pending.iter().map(|p| p.0).collect();
+            hashes.sort_unstable();
+            hashes.dedup();
+            for h in hashes {
+                let bucket = shard
+                    .buckets
+                    .get_mut(&h)
+                    .expect("staged entry always has a bucket");
+                for e in bucket.iter_mut() {
+                    if *e & PENDING_BIT != 0 {
+                        let id = map.assigned[shard_no][(*e & !PENDING_BIT) as usize];
+                        debug_assert_ne!(id, u32::MAX, "staged state never renumbered");
+                        *e = id;
+                    }
+                }
+                bucket.sort_unstable();
+            }
+            for (idx, (_, key, orbit)) in shard.pending.drain(..).enumerate() {
+                staged.push((map.assigned[shard_no][idx], key, orbit));
+            }
+        }
+        staged.sort_unstable_by_key(|(id, _, _)| *id);
+        let mut orbits = Vec::with_capacity(staged.len());
+        for (id, key, orbit) in staged {
+            debug_assert_eq!(id as usize, store.len(), "dense ids are contiguous");
+            store.push_pend(key);
+            orbits.push(orbit);
+        }
+        orbits
+    }
+
+    /// Inserts dense slot `i` of `store` into the index (snapshot
+    /// rebuilding; slots must arrive in id order). Returns `false` if an
+    /// equal state is already indexed.
+    fn insert_slot(&mut self, store: &Store<S>, i: usize) -> bool {
+        let h = store.hash_of_slot(i);
+        let shard = self.shard_mut(h);
+        let bucket = shard.buckets.entry(h).or_default();
+        if bucket.iter().any(|&e| store.slots_equal(e as usize, i)) {
+            return false;
+        }
+        bucket.push(u32::try_from(i).expect("more than u32::MAX states"));
+        true
+    }
+
+    /// All buckets merged across shards, sorted by hash (snapshot
+    /// encoding). Bucket hashes are disjoint across shards by construction.
+    fn bucket_snapshot(&self) -> BTreeMap<u64, Vec<StateId>> {
+        let mut out = BTreeMap::new();
+        for m in &self.shards {
+            let g = match m.lock() {
+                Ok(g) => g,
+                Err(_) => panic!("intern shard poisoned: a worker panicked"),
+            };
+            for (h, bucket) in &g.buckets {
+                debug_assert!(
+                    bucket.iter().all(|e| e & PENDING_BIT == 0),
+                    "staging drained before snapshot"
+                );
+                out.insert(*h, bucket.iter().map(|&e| StateId(e)).collect());
+            }
+        }
+        out
+    }
+}
+
+/// The canonical renumbering pass: maps provisional ids to dense ids in
+/// first-touch order. The caller resolves every successor list in frontier
+/// order, so the first touch of each staged state happens in exactly the
+/// order the sequential path would have interned it — dense ids are
+/// therefore identical at every thread count.
+struct ProvMap {
+    /// Per shard, per pending index: the assigned dense id (`u32::MAX`
+    /// until first touch).
+    assigned: Vec<Vec<u32>>,
+    next: u32,
+}
+
+impl ProvMap {
+    fn new(pending_lens: &[usize], base: u32) -> Self {
+        ProvMap {
+            assigned: pending_lens.iter().map(|&l| vec![u32::MAX; l]).collect(),
+            next: base,
+        }
+    }
+
+    fn resolve(&mut self, prov: u64) -> StateId {
+        if prov & PROV_PENDING == 0 {
+            return StateId(prov as u32);
+        }
+        let shard = ((prov & !PROV_PENDING) >> 32) as usize;
+        let idx = (prov & 0xFFFF_FFFF) as usize;
+        let slot = &mut self.assigned[shard][idx];
+        if *slot == u32::MAX {
+            *slot = self.next;
+            self.next = self.next.checked_add(1).expect("more than u32::MAX states");
+        }
+        StateId(*slot)
+    }
+}
+
+/// Outcome of probing one dense bucket for a state: found (with the number
 /// of equality comparisons it took) or absent (with the number of
-/// candidates that were ruled out). One helper serves both arenas' `intern`
-/// and `get` paths — including indices reconstructed from snapshots — so
-/// there is exactly one probe code path to keep correct.
+/// candidates that were ruled out).
 enum Probe {
     /// The state is interned as `.0`; `.1` candidates were compared.
     Hit(StateId, u64),
@@ -87,21 +644,23 @@ enum Probe {
     Miss(u64),
 }
 
-/// Probes `index[h]` for a state equal to `s` among `states`.
-fn probe_bucket<S: PartialEq>(
-    states: &[S],
-    index: &FxHashMap<u64, Vec<StateId>>,
-    h: u64,
+/// Probes a dense bucket for a state equal to `s`. Only valid outside bulk
+/// expansion (staged entries are always drained before direct interning).
+fn probe_dense<S: Clone + Eq + Hash>(
+    store: &Store<S>,
+    bucket: Option<&Vec<u32>>,
+    key: &ProbeKey,
     s: &S,
 ) -> Probe {
-    match index.get(&h) {
-        Some(bucket) => {
-            for (probed, &id) in bucket.iter().enumerate() {
-                if &states[id.index()] == s {
-                    return Probe::Hit(id, probed as u64 + 1);
+    match bucket {
+        Some(b) => {
+            for (probed, &e) in b.iter().enumerate() {
+                debug_assert_eq!(e & PENDING_BIT, 0, "staging drained before direct probe");
+                if store.slot_matches(e as usize, key, s) {
+                    return Probe::Hit(StateId(e), probed as u64 + 1);
                 }
             }
-            Probe::Miss(bucket.len() as u64)
+            Probe::Miss(b.len() as u64)
         }
         None => Probe::Miss(0),
     }
@@ -137,6 +696,77 @@ pub struct DiffReport {
     pub new_states: usize,
 }
 
+/// One chunk's output from [`expand_chunk`]: per-state provisional-id rows
+/// (successor provisional ids plus the state's fingerprint, in chunk order)
+/// and the chunk's interning statistics.
+type ChunkOutput = (Vec<(Vec<u64>, u64)>, InternStats);
+
+/// Expands one chunk of the frontier against the shared store and index:
+/// per frontier state, the raw successor list is computed, fingerprinted,
+/// and every successor probed-or-staged. Returns per-state provisional-id
+/// rows (in chunk order) plus the chunk's interning statistics. Pure with
+/// respect to the dense arena — all novelty is staged in the shards.
+fn expand_chunk<M: LayeredModel>(
+    model: &M,
+    store: &Store<M::State>,
+    index: &ShardedIndex<M::State>,
+    part: &[StateId],
+) -> ChunkOutput {
+    let mut stats = InternStats::default();
+    let rows = part
+        .iter()
+        .map(|&id| {
+            let x = store.get(id.index());
+            let raw = model.successors(&x);
+            let fp = successor_fingerprint(&raw);
+            let provs = raw
+                .iter()
+                .map(|y| {
+                    let key = store.key_of(y);
+                    index.probe_or_stage(store, &key, y, 0, &mut stats)
+                })
+                .collect();
+            (provs, fp)
+        })
+        .collect();
+    (rows, stats)
+}
+
+/// Quotient twin of [`expand_chunk`]: every raw successor is canonicalized
+/// (the `n!` work that dominates quotient expansion) and its orbit
+/// representative probed-or-staged with its precomputed orbit size. Rows
+/// carry the witnessing permutation alongside each provisional id.
+#[allow(clippy::type_complexity)]
+fn canon_chunk<M: Symmetric>(
+    model: &M,
+    store: &Store<M::State>,
+    index: &ShardedIndex<M::State>,
+    part: &[StateId],
+) -> (Vec<(Vec<(u64, PidPerm)>, u64)>, InternStats) {
+    let mut stats = InternStats::default();
+    let rows = part
+        .iter()
+        .map(|&id| {
+            let x = store.get(id.index());
+            let raw = model.successors(&x);
+            let fp = successor_fingerprint(&raw);
+            let entries = raw
+                .iter()
+                .map(|y| {
+                    let (rep, perm, orbit) = model.canonicalize_with_orbit(y);
+                    let key = store.key_of(&rep);
+                    (
+                        index.probe_or_stage(store, &key, &rep, orbit, &mut stats),
+                        perm,
+                    )
+                })
+                .collect();
+            (entries, fp)
+        })
+        .collect();
+    (rows, stats)
+}
+
 /// A hash-consing arena over a model's states.
 ///
 /// Interning deduplicates states structurally: `intern` returns the same
@@ -154,19 +784,14 @@ pub struct DiffReport {
 ///
 /// let m = CounterModel::new(2, 4);
 /// let x0 = m.initial_states().remove(0);
-/// let mut space: StateSpace<CounterModel> = StateSpace::new();
+/// let mut space: StateSpace<CounterModel> = StateSpace::for_model(&m);
 /// let id = space.intern(&x0);
 /// assert_eq!(space.intern(&x0), id); // double-intern: same id
-/// assert_eq!(space.resolve(id), &x0); // round-trip
+/// assert_eq!(space.resolve(id), x0); // round-trip
 /// ```
 pub struct StateSpace<M: LayeredModel> {
-    states: Vec<M::State>,
-    /// Hash-bucketed index: state hash → candidate ids (collisions resolved
-    /// by equality against `states`). Stores every state once, in `states`.
-    /// Keyed and hashed with the vendored FxHash — states are hashed on
-    /// every intern, and the keyless multiply-rotate mix is both faster
-    /// than `std`'s SipHash and deterministic across runs and machines.
-    index: FxHashMap<u64, Vec<StateId>>,
+    store: Store<M::State>,
+    index: ShardedIndex<M::State>,
     succ: Vec<Option<SuccRange>>,
     edges: Vec<StateId>,
     /// FxHash fingerprint of each state's *raw* successor list (0 until the
@@ -181,40 +806,54 @@ impl<M: LayeredModel> Default for StateSpace<M> {
 }
 
 impl<M: LayeredModel> StateSpace<M> {
-    /// An empty arena.
+    /// An empty arena with boxed storage. Prefer
+    /// [`StateSpace::for_model`], which picks packed storage when the model
+    /// provides a codec.
     #[must_use]
     pub fn new() -> Self {
         StateSpace {
-            states: Vec::new(),
-            index: FxHashMap::default(),
+            store: Store::boxed(),
+            index: ShardedIndex::new(),
             succ: Vec::new(),
             edges: Vec::new(),
             succ_fp: Vec::new(),
         }
     }
 
+    /// An empty arena storing states packed when `model` provides a
+    /// [`StatePacker`] ([`LayeredModel::state_packer`]), boxed otherwise.
+    /// Packing is a pure representation change: ids, layers and every
+    /// derived report are identical either way.
+    #[must_use]
+    pub fn for_model(model: &M) -> Self {
+        match model.state_packer() {
+            Some(p) => StateSpace {
+                store: Store::packed(p),
+                index: ShardedIndex::new(),
+                succ: Vec::new(),
+                edges: Vec::new(),
+                succ_fp: Vec::new(),
+            },
+            None => StateSpace::new(),
+        }
+    }
+
     /// Number of distinct states interned so far.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.states.len()
+        self.store.len()
     }
 
     /// Whether no state has been interned yet.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.store.len() == 0
     }
 
     /// Total successor edges cached so far (with multiplicity).
     #[must_use]
     pub fn edge_count(&self) -> usize {
         self.edges.len()
-    }
-
-    fn hash_of(s: &M::State) -> u64 {
-        let mut h = FxHasher::default();
-        s.hash(&mut h);
-        h.finish()
     }
 
     /// Interns `s`, returning its dense id (allocating one on first sight).
@@ -227,8 +866,9 @@ impl<M: LayeredModel> StateSpace<M> {
     /// `space.intern.probe_len` histogram (equality comparisons per probe)
     /// to `obs`.
     pub fn intern_with(&mut self, s: &M::State, obs: &dyn Observer) -> StateId {
-        let h = Self::hash_of(s);
-        match probe_bucket(&self.states, &self.index, h, s) {
+        let key = self.store.key_of(s);
+        let shard = self.index.shard_mut(key.hash);
+        match probe_dense(&self.store, shard.buckets.get(&key.hash), &key, s) {
             Probe::Hit(id, compared) => {
                 obs.counter("space.intern.hits", 1);
                 obs.histogram("space.intern.probe_len", compared);
@@ -237,46 +877,41 @@ impl<M: LayeredModel> StateSpace<M> {
             Probe::Miss(compared) => obs.histogram("space.intern.probe_len", compared),
         }
         obs.counter("space.intern.misses", 1);
-        let id = StateId(u32::try_from(self.states.len()).expect("more than u32::MAX states"));
-        self.states.push(s.clone());
+        let id = u32::try_from(self.store.len()).expect("more than u32::MAX states");
+        self.store.push(&key, s);
         self.succ.push(None);
         self.succ_fp.push(0);
-        self.index.entry(h).or_default().push(id);
-        obs.gauge("space.states", self.states.len() as u64);
-        id
+        shard.buckets.entry(key.hash).or_default().push(id);
+        obs.gauge("space.states", self.store.len() as u64);
+        StateId(id)
     }
 
     /// The id of `s` if it has been interned, without interning it.
     #[must_use]
     pub fn get(&self, s: &M::State) -> Option<StateId> {
-        match probe_bucket(&self.states, &self.index, Self::hash_of(s), s) {
+        let key = self.store.key_of(s);
+        let shard = self.index.shard(key.hash);
+        match probe_dense(&self.store, shard.buckets.get(&key.hash), &key, s) {
             Probe::Hit(id, _) => Some(id),
             Probe::Miss(_) => None,
         }
     }
 
-    /// The state behind `id`.
+    /// The state behind `id`, owned: unpacked from the packed word, or
+    /// cloned out of the boxed store.
     ///
     /// # Panics
     ///
     /// Panics if `id` was not produced by this space.
     #[must_use]
-    pub fn resolve(&self, id: StateId) -> &M::State {
-        &self.states[id.index()]
+    pub fn resolve(&self, id: StateId) -> M::State {
+        self.store.get(id.index())
     }
 
-    /// Clones the states behind `ids` back out of the arena (used to
-    /// materialize id paths into state-typed witnesses at the API boundary).
+    /// The states behind `ids`, owned (used to materialize id paths into
+    /// state-typed witnesses at the API boundary).
     #[must_use]
     pub fn materialize(&self, ids: &[StateId]) -> Vec<M::State> {
-        ids.iter().map(|&id| self.resolve(id).clone()).collect()
-    }
-
-    /// Borrowed twin of [`StateSpace::materialize`]: views into the arena
-    /// for callers that only need to *read* the states behind `ids` — no
-    /// per-state clone.
-    #[must_use]
-    pub fn resolve_many(&self, ids: &[StateId]) -> Vec<&M::State> {
         ids.iter().map(|&id| self.resolve(id)).collect()
     }
 
@@ -290,6 +925,20 @@ impl<M: LayeredModel> StateSpace<M> {
         })
     }
 
+    /// Packs already-resolved successor ids of `id` into the edge array.
+    /// No-op if `id`'s successors are already cached.
+    fn record_ids(&mut self, id: StateId, succs: &[StateId], fp: u64, obs: &dyn Observer) {
+        if self.succ[id.index()].is_some() {
+            return;
+        }
+        let start = u32::try_from(self.edges.len()).expect("more than u32::MAX edges");
+        self.edges.extend_from_slice(succs);
+        let len = u32::try_from(succs.len()).expect("layer larger than u32::MAX");
+        self.succ[id.index()] = Some(SuccRange { start, len });
+        self.succ_fp[id.index()] = fp;
+        obs.histogram("space.succ_fanout", len.into());
+    }
+
     /// Interns the given successor states of `id` and packs them into the
     /// edge array. No-op if `id`'s successors are already cached.
     fn record_successors(&mut self, id: StateId, succs: &[M::State], obs: &dyn Observer) {
@@ -297,15 +946,8 @@ impl<M: LayeredModel> StateSpace<M> {
             return;
         }
         let fp = successor_fingerprint(succs);
-        let start = u32::try_from(self.edges.len()).expect("more than u32::MAX edges");
-        for y in succs {
-            let yid = self.intern_with(y, obs);
-            self.edges.push(yid);
-        }
-        let len = u32::try_from(succs.len()).expect("layer larger than u32::MAX");
-        self.succ[id.index()] = Some(SuccRange { start, len });
-        self.succ_fp[id.index()] = fp;
-        obs.histogram("space.succ_fanout", len.into());
+        let ids: Vec<StateId> = succs.iter().map(|y| self.intern_with(y, obs)).collect();
+        self.record_ids(id, &ids, fp, obs);
     }
 
     /// The fingerprint of `id`'s cached raw successor list, or `None` if
@@ -334,7 +976,7 @@ impl<M: LayeredModel> StateSpace<M> {
     /// [`cached_successors`]: StateSpace::cached_successors
     pub fn refresh_differential(&mut self, model: &M, obs: &dyn Observer) -> DiffReport {
         let _span = Span::enter(obs, "space.resume.refresh");
-        let old_len = self.states.len();
+        let old_len = self.store.len();
         let old_succ = std::mem::take(&mut self.succ);
         let old_edges = std::mem::take(&mut self.edges);
         let old_fp = std::mem::take(&mut self.succ_fp);
@@ -343,7 +985,8 @@ impl<M: LayeredModel> StateSpace<M> {
         let mut report = DiffReport::default();
         for k in 0..old_len {
             let Some(range) = old_succ[k] else { continue };
-            let succs = model.successors(&self.states[k]);
+            let x = self.store.get(k);
+            let succs = model.successors(&x);
             let fp = successor_fingerprint(&succs);
             if fp == old_fp[k] {
                 let start = u32::try_from(self.edges.len()).expect("more than u32::MAX edges");
@@ -361,7 +1004,7 @@ impl<M: LayeredModel> StateSpace<M> {
                 report.recomputed += 1;
             }
         }
-        report.new_states = self.states.len() - old_len;
+        report.new_states = self.store.len() - old_len;
         obs.counter("space.resume.rows_reused", report.reused as u64);
         obs.counter("space.resume.rows_recomputed", report.recomputed as u64);
         report
@@ -371,10 +1014,8 @@ impl<M: LayeredModel> StateSpace<M> {
     /// caching the list on first use.
     pub fn successor_ids(&mut self, model: &M, id: StateId, obs: &dyn Observer) -> Vec<StateId> {
         if self.succ[id.index()].is_none() {
-            // The successor computation only needs a shared borrow of the
-            // arena; the borrow ends before `record_successors` mutates it,
-            // so the previous full state clone here was pure overhead.
-            let succs = model.successors(&self.states[id.index()]);
+            let x = self.store.get(id.index());
+            let succs = model.successors(&x);
             self.record_successors(id, &succs, obs);
         }
         self.cached_successors(id)
@@ -382,14 +1023,114 @@ impl<M: LayeredModel> StateSpace<M> {
             .to_vec()
     }
 
-    /// Eagerly computes and caches the successor lists of `ids`, fanning the
-    /// `model.successors` calls out across up to `threads` scoped workers.
+    /// The subset of `ids` whose successor lists are not cached yet.
+    fn pending_of(&self, ids: &[StateId]) -> Vec<StateId> {
+        ids.iter()
+            .copied()
+            .filter(|id| self.succ[id.index()].is_none())
+            .collect()
+    }
+
+    /// Renumbers, publishes and records the results of one bulk expansion:
+    /// provisional ids are resolved in frontier order ([`ProvMap`] — the
+    /// canonical renumbering pass), staged states are published into the
+    /// dense store, and every frontier row's CSR slice is packed.
+    fn finish_bulk(
+        &mut self,
+        pending: &[StateId],
+        rows: Vec<(Vec<u64>, u64)>,
+        stats: InternStats,
+        obs: &dyn Observer,
+    ) {
+        let base = u32::try_from(self.store.len()).expect("more than u32::MAX states");
+        let mut map = ProvMap::new(&self.index.pending_lens(), base);
+        let resolved: Vec<(Vec<StateId>, u64)> = rows
+            .into_iter()
+            .map(|(provs, fp)| (provs.into_iter().map(|p| map.resolve(p)).collect(), fp))
+            .collect();
+        let orbits = self.index.publish(&mut self.store, &map);
+        for _ in 0..orbits.len() {
+            self.succ.push(None);
+            self.succ_fp.push(0);
+        }
+        obs.counter("space.intern.hits", stats.hits);
+        obs.counter("space.intern.misses", stats.misses);
+        obs.counter("space.shard.contention", stats.contention);
+        obs.counter("space.intern.cas_retries", stats.retries);
+        obs.gauge("space.states", self.store.len() as u64);
+        for (&id, (yids, fp)) in pending.iter().zip(&resolved) {
+            self.record_ids(id, yids, *fp, obs);
+        }
+    }
+
+    /// Sequential bulk expansion of `ids` (no `Sync` bounds): the exact
+    /// same probe-stage-renumber-publish path the parallel variant uses,
+    /// run inline.
+    fn bulk_seq(&mut self, model: &M, ids: &[StateId], obs: &dyn Observer) {
+        let pending = self.pending_of(ids);
+        if pending.is_empty() {
+            return;
+        }
+        let (rows, stats) = expand_chunk(model, &self.store, &self.index, &pending);
+        self.finish_bulk(&pending, rows, stats, obs);
+    }
+
+    /// Parallel bulk expansion of `ids` across up to `threads` scoped
+    /// workers probing the sharded index concurrently.
+    fn bulk_par(&mut self, model: &M, ids: &[StateId], threads: usize, obs: &dyn Observer)
+    where
+        M: Sync,
+        M::State: Send + Sync,
+    {
+        let pending = self.pending_of(ids);
+        if pending.is_empty() {
+            return;
+        }
+        let threads = threads.max(1).min(pending.len());
+        if threads == 1 {
+            let (rows, stats) = expand_chunk(model, &self.store, &self.index, &pending);
+            self.finish_bulk(&pending, rows, stats, obs);
+            return;
+        }
+        let (store, index) = (&self.store, &self.index);
+        let parent = trace::current_span_id();
+        let chunked: Vec<ChunkOutput> = std::thread::scope(|scope| {
+            let handles: Vec<_> = balanced_chunks(&pending, threads)
+                .map(|part| {
+                    scope.spawn(move || {
+                        let _span = Span::enter_under(
+                            obs,
+                            "space.prefetch_chunk",
+                            parent,
+                            &[("chunk_len", part.len() as u64)],
+                        );
+                        expand_chunk(model, store, index, part)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("successor worker panicked"))
+                .collect()
+        });
+        let mut rows = Vec::with_capacity(pending.len());
+        let mut stats = InternStats::default();
+        for (r, s) in chunked {
+            rows.extend(r);
+            stats.merge(&s);
+        }
+        self.finish_bulk(&pending, rows, stats, obs);
+    }
+
+    /// Eagerly computes and caches the successor lists of `ids`, fanning
+    /// the `model.successors` calls out across up to `threads` scoped
+    /// workers that intern through the sharded index as they expand.
     ///
-    /// Determinism: workers receive disjoint chunks of the (already
-    /// deduplicated) id list and only evaluate the pure successor function;
-    /// the results are merged into the arena on the calling thread in the
-    /// order of `ids`. The resulting interning order — and therefore every
-    /// id, layer and report derived from it — is identical to calling
+    /// Determinism: workers probe and stage concurrently, but no dense id
+    /// is assigned until the renumbering pass on the calling thread walks
+    /// the results in the order of `ids` — the exact order the sequential
+    /// path would have used. The resulting interning order — and therefore
+    /// every id, layer and report derived from it — is identical to calling
     /// [`StateSpace::successor_ids`] sequentially over `ids`.
     pub fn prefetch_successors(
         &mut self,
@@ -401,53 +1142,7 @@ impl<M: LayeredModel> StateSpace<M> {
         M: Sync,
         M::State: Send + Sync,
     {
-        let pending: Vec<StateId> = ids
-            .iter()
-            .copied()
-            .filter(|id| self.succ[id.index()].is_none())
-            .collect();
-        if pending.is_empty() {
-            return;
-        }
-        let threads = threads.max(1).min(pending.len());
-        if threads == 1 {
-            for &id in &pending {
-                let succs = model.successors(&self.states[id.index()]);
-                self.record_successors(id, &succs, obs);
-            }
-            return;
-        }
-        // Workers borrow the arena's state vector directly (no per-state
-        // clones); the merge below runs after the scope ends, when the
-        // shared borrow is released.
-        let states = &self.states;
-        // Worker spans attach to the dispatching span explicitly: the
-        // parent lives on this thread's span stack, not the workers'.
-        let parent = trace::current_span_id();
-        let computed: Vec<Vec<Vec<M::State>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = balanced_chunks(&pending, threads)
-                .map(|part| {
-                    scope.spawn(move || {
-                        let _span = Span::enter_under(
-                            obs,
-                            "space.prefetch_chunk",
-                            parent,
-                            &[("chunk_len", part.len() as u64)],
-                        );
-                        part.iter()
-                            .map(|id| model.successors(&states[id.index()]))
-                            .collect()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("successor worker panicked"))
-                .collect()
-        });
-        for (&id, succs) in pending.iter().zip(computed.iter().flatten()) {
-            self.record_successors(id, succs, obs);
-        }
+        self.bulk_par(model, ids, threads, obs);
     }
 
     /// Breadth-first expansion of the layered graph from `roots` for
@@ -465,7 +1160,9 @@ impl<M: LayeredModel> StateSpace<M> {
         horizon: usize,
         obs: &dyn Observer,
     ) -> Vec<Vec<StateId>> {
-        self.expand_with(model, roots, horizon, obs, |_, _| {})
+        self.expand_with(model, roots, horizon, obs, |space, frontier| {
+            space.bulk_seq(model, frontier, obs);
+        })
     }
 
     /// [`StateSpace::expand_layers`] with the per-level successor
@@ -486,7 +1183,7 @@ impl<M: LayeredModel> StateSpace<M> {
         M::State: Send + Sync,
     {
         self.expand_with(model, roots, horizon, obs, |space, frontier| {
-            space.prefetch_successors(model, frontier, threads, obs);
+            space.bulk_par(model, frontier, threads, obs);
         })
     }
 
@@ -499,6 +1196,7 @@ impl<M: LayeredModel> StateSpace<M> {
         mut prefetch: impl FnMut(&mut Self, &[StateId]),
     ) -> Vec<Vec<StateId>> {
         let _span = Span::enter(obs, "space.build");
+        obs.gauge("space.shard.count", SHARD_COUNT as u64);
         let mut levels: Vec<Vec<StateId>> = Vec::with_capacity(horizon + 1);
         let mut frontier: Vec<StateId> = Vec::new();
         let mut seen: HashSet<StateId> = HashSet::new();
@@ -555,22 +1253,44 @@ impl<M: LayeredModel> StateSpace<M> {
     }
 }
 
-/// Shared estimate of an intern index's bytes: the map's own capacity plus
-/// every bucket vector's. Shallow (allocator headers excluded), but
-/// deterministic — capacities depend only on the insertion sequence.
-fn index_bytes(index: &FxHashMap<u64, Vec<StateId>>) -> u64 {
-    let table = index.capacity() as u64 * std::mem::size_of::<(u64, Vec<StateId>)>() as u64;
-    let buckets: u64 = index
-        .values()
-        .map(|b| b.capacity() as u64 * std::mem::size_of::<StateId>() as u64)
-        .sum();
-    table + buckets
+/// Shared estimate of the sharded intern index's bytes: each shard map's
+/// own capacity plus every bucket vector's. Shallow (allocator headers and
+/// the drained pending scratch excluded), but deterministic — capacities
+/// depend only on per-shard entry counts, which are a pure function of the
+/// interned set.
+fn index_bytes<S>(index: &ShardedIndex<S>) -> u64 {
+    index
+        .shards
+        .iter()
+        .map(|m| {
+            let g = match m.lock() {
+                Ok(g) => g,
+                Err(_) => panic!("intern shard poisoned: a worker panicked"),
+            };
+            let table = g.buckets.capacity() as u64 * std::mem::size_of::<(u64, Vec<u32>)>() as u64;
+            let buckets: u64 = g
+                .buckets
+                .values()
+                .map(|b| b.capacity() as u64 * std::mem::size_of::<u32>() as u64)
+                .sum();
+            table + buckets
+        })
+        .sum()
 }
 
 /// Intern-table load factor in fixed-point thousandths
-/// (`len / capacity × 1000`).
-fn index_load_x1000(index: &FxHashMap<u64, Vec<StateId>>) -> u64 {
-    index.len() as u64 * 1000 / index.capacity().max(1) as u64
+/// (`distinct hashes / table capacity × 1000`, summed across shards).
+fn index_load_x1000<S>(index: &ShardedIndex<S>) -> u64 {
+    let (mut len, mut cap) = (0u64, 0u64);
+    for m in &index.shards {
+        let g = match m.lock() {
+            Ok(g) => g,
+            Err(_) => panic!("intern shard poisoned: a worker panicked"),
+        };
+        len += g.buckets.len() as u64;
+        cap += g.buckets.capacity() as u64;
+    }
+    len * 1000 / cap.max(1)
 }
 
 impl<M: LayeredModel> MemoryFootprint for StateSpace<M> {
@@ -578,12 +1298,10 @@ impl<M: LayeredModel> MemoryFootprint for StateSpace<M> {
     /// [`telemetry::mem`](crate::telemetry::mem)): state payloads that own
     /// further heap (e.g. vectors inside `M::State`) are counted at their
     /// inline size only, so every figure is a deterministic lower bound.
+    /// Packed stores count 16 bytes per word plus the spill vector.
     fn memory_footprint(&self) -> MemoryBreakdown {
         let mut b = MemoryBreakdown::new();
-        b.push(
-            "mem.space.states_bytes",
-            self.states.capacity() as u64 * std::mem::size_of::<M::State>() as u64,
-        );
+        b.push("mem.space.states_bytes", self.store.state_bytes());
         b.push("mem.space.index_bytes", index_bytes(&self.index));
         b.push(
             "mem.space.edges_bytes",
@@ -593,10 +1311,12 @@ impl<M: LayeredModel> MemoryFootprint for StateSpace<M> {
         b
     }
 
-    /// Adds the `space.intern.load_x1000` gauge next to the byte gauges.
+    /// Adds the `space.intern.load_x1000` and `space.pack.bytes_saved`
+    /// gauges next to the byte gauges.
     fn report_memory(&self, obs: &dyn Observer) {
         self.memory_footprint().report(obs);
         obs.gauge("space.intern.load_x1000", index_load_x1000(&self.index));
+        obs.gauge("space.pack.bytes_saved", self.store.bytes_saved());
     }
 }
 
@@ -607,10 +1327,7 @@ impl<M: Symmetric> MemoryFootprint for QuotientSpace<M> {
     /// plus their permutation maps).
     fn memory_footprint(&self) -> MemoryBreakdown {
         let mut b = MemoryBreakdown::new();
-        b.push(
-            "mem.space.states_bytes",
-            self.states.capacity() as u64 * std::mem::size_of::<M::State>() as u64,
-        );
+        b.push("mem.space.states_bytes", self.store.state_bytes());
         b.push("mem.space.index_bytes", index_bytes(&self.index));
         b.push(
             "mem.space.edges_bytes",
@@ -629,10 +1346,12 @@ impl<M: Symmetric> MemoryFootprint for QuotientSpace<M> {
         b
     }
 
-    /// Adds the `space.intern.load_x1000` gauge next to the byte gauges.
+    /// Adds the `space.intern.load_x1000` and `space.pack.bytes_saved`
+    /// gauges next to the byte gauges.
     fn report_memory(&self, obs: &dyn Observer) {
         self.memory_footprint().report(obs);
         obs.gauge("space.intern.load_x1000", index_load_x1000(&self.index));
+        obs.gauge("space.pack.bytes_saved", self.store.bytes_saved());
     }
 }
 
@@ -680,14 +1399,14 @@ fn balanced_chunks<T>(items: &[T], parts: usize) -> impl Iterator<Item = &[T]> {
 /// canonical representatives, successor lists are CSR-packed, and the
 /// parallel expansion path is bit-identical to the sequential one (workers
 /// compute *and canonicalize* successors for disjoint frontier chunks —
-/// both pure — and the merge happens on the calling thread in frontier
-/// order).
+/// both pure — staging novel orbits in the sharded index, and the dense
+/// renumbering happens on the calling thread in frontier order).
 pub struct QuotientSpace<M: Symmetric> {
-    /// Canonical representatives, indexed by [`StateId`].
-    states: Vec<M::State>,
+    /// Canonical representatives, packed or boxed, indexed by [`StateId`].
+    store: Store<M::State>,
     /// Orbit size of each representative (distinct renamings of it).
     orbit_sizes: Vec<u64>,
-    index: FxHashMap<u64, Vec<StateId>>,
+    index: ShardedIndex<M::State>,
     succ: Vec<Option<SuccRange>>,
     edges: Vec<StateId>,
     /// Per-edge witnessing permutation, parallel to `edges`: for the edge
@@ -706,7 +1425,8 @@ pub struct QuotientSpace<M: Symmetric> {
 type CanonSucc<M> = (<M as LayeredModel>::State, PidPerm, u64);
 
 impl<M: Symmetric> QuotientSpace<M> {
-    /// An empty quotient arena for `model`.
+    /// An empty quotient arena for `model`, storing representatives packed
+    /// when the model provides a [`StatePacker`], boxed otherwise.
     ///
     /// # Panics
     ///
@@ -715,15 +1435,34 @@ impl<M: Symmetric> QuotientSpace<M> {
     /// prefix-based layering would silently prune reachable orbits.
     #[must_use]
     pub fn new(model: &M) -> Self {
+        let store = match model.state_packer() {
+            Some(p) => Store::packed(p),
+            None => Store::boxed(),
+        };
+        Self::with_store(model, store)
+    }
+
+    /// An empty quotient arena with boxed storage even when the model
+    /// packs (the packed-vs-boxed cross-check path).
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`QuotientSpace::new`] on a non-equivariant layering.
+    #[must_use]
+    pub fn new_boxed(model: &M) -> Self {
+        Self::with_store(model, Store::boxed())
+    }
+
+    fn with_store(model: &M, store: Store<M::State>) -> Self {
         assert!(
             model.symmetric_layering(),
             "QuotientSpace requires an equivariant layering \
              (use the model's full/symmetric layering variant)"
         );
         QuotientSpace {
-            states: Vec::new(),
+            store,
             orbit_sizes: Vec::new(),
-            index: FxHashMap::default(),
+            index: ShardedIndex::new(),
             succ: Vec::new(),
             edges: Vec::new(),
             edge_perms: Vec::new(),
@@ -734,13 +1473,13 @@ impl<M: Symmetric> QuotientSpace<M> {
     /// Number of orbits interned so far.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.states.len()
+        self.store.len()
     }
 
     /// Whether no orbit has been interned yet.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.store.len() == 0
     }
 
     /// Total successor edges cached so far (with multiplicity).
@@ -757,36 +1496,32 @@ impl<M: Symmetric> QuotientSpace<M> {
         self.orbit_sizes.iter().sum()
     }
 
-    fn hash_of(s: &M::State) -> u64 {
-        let mut h = FxHasher::default();
-        s.hash(&mut h);
-        h.finish()
-    }
-
     /// Interns a state that is *already* a canonical representative with a
     /// known orbit size. Internal: callers go through `intern_with`.
     fn intern_canonical(&mut self, rep: &M::State, orbit: u64, obs: &dyn Observer) -> StateId {
-        let h = Self::hash_of(rep);
-        if let Probe::Hit(id, _) = probe_bucket(&self.states, &self.index, h, rep) {
+        let key = self.store.key_of(rep);
+        let shard = self.index.shard_mut(key.hash);
+        if let Probe::Hit(id, _) = probe_dense(&self.store, shard.buckets.get(&key.hash), &key, rep)
+        {
             obs.counter("space.canon.hits", 1);
             return id;
         }
-        let id = StateId(u32::try_from(self.states.len()).expect("more than u32::MAX orbits"));
-        self.states.push(rep.clone());
+        let id = u32::try_from(self.store.len()).expect("more than u32::MAX orbits");
+        self.store.push(&key, rep);
         self.orbit_sizes.push(orbit);
         self.succ.push(None);
         self.succ_fp.push(0);
-        self.index.entry(h).or_default().push(id);
+        shard.buckets.entry(key.hash).or_default().push(id);
         obs.counter("space.canon.orbit_states", orbit);
-        obs.gauge("space.states", self.states.len() as u64);
+        obs.gauge("space.states", self.store.len() as u64);
         // Mean orbit size in fixed-point thousandths (a reading of 5920
         // means each interned representative stands for 5.92 full-space
         // states on average) — see the units table in `telemetry::names`.
         obs.gauge(
             "space.quotient.mean_orbit_x1000",
-            self.covered_states() * 1000 / self.states.len() as u64,
+            self.covered_states() * 1000 / self.store.len() as u64,
         );
-        id
+        StateId(id)
     }
 
     /// Interns the orbit of `x`, returning the representative's id and a
@@ -807,9 +1542,7 @@ impl<M: Symmetric> QuotientSpace<M> {
     ) -> (StateId, PidPerm) {
         let (rep, perm, orbit) = {
             let _span = Span::enter(obs, "space.canonicalize");
-            let (rep, perm) = model.canonicalize(x);
-            let orbit = crate::sym::orbit_size(model, x) as u64;
-            (rep, perm, orbit)
+            model.canonicalize_with_orbit(x)
         };
         let id = self.intern_canonical(&rep, orbit, obs);
         (id, perm)
@@ -820,20 +1553,23 @@ impl<M: Symmetric> QuotientSpace<M> {
     #[must_use]
     pub fn get(&self, model: &M, x: &M::State) -> Option<StateId> {
         let (rep, _) = model.canonicalize(x);
-        match probe_bucket(&self.states, &self.index, Self::hash_of(&rep), &rep) {
+        let key = self.store.key_of(&rep);
+        let shard = self.index.shard(key.hash);
+        match probe_dense(&self.store, shard.buckets.get(&key.hash), &key, &rep) {
             Probe::Hit(id, _) => Some(id),
             Probe::Miss(_) => None,
         }
     }
 
-    /// The canonical representative behind `id`.
+    /// The canonical representative behind `id`, owned: unpacked from the
+    /// packed word, or cloned out of the boxed store.
     ///
     /// # Panics
     ///
     /// Panics if `id` was not produced by this space.
     #[must_use]
-    pub fn resolve(&self, id: StateId) -> &M::State {
-        &self.states[id.index()]
+    pub fn resolve(&self, id: StateId) -> M::State {
+        self.store.get(id.index())
     }
 
     /// The orbit size of the representative behind `id`.
@@ -842,10 +1578,10 @@ impl<M: Symmetric> QuotientSpace<M> {
         self.orbit_sizes[id.index()]
     }
 
-    /// Clones the representatives behind `ids` out of the arena.
+    /// The representatives behind `ids`, owned.
     #[must_use]
     pub fn materialize(&self, ids: &[StateId]) -> Vec<M::State> {
-        ids.iter().map(|&id| self.resolve(id).clone()).collect()
+        ids.iter().map(|&id| self.resolve(id)).collect()
     }
 
     /// The cached successor list of `id` (orbit representatives), or `None`
@@ -869,22 +1605,45 @@ impl<M: Symmetric> QuotientSpace<M> {
     }
 
     /// Canonicalizes the raw successors of the representative behind `id`
-    /// (pure; used directly by parallel workers). Also returns the
-    /// fingerprint of the *raw* successor list — computed before
-    /// canonicalization so a protocol change is detected even when the
-    /// canonical images happen to coincide.
+    /// (pure). Also returns the fingerprint of the *raw* successor list —
+    /// computed before canonicalization so a protocol change is detected
+    /// even when the canonical images happen to coincide.
     fn canon_successors_of(&self, model: &M, id: StateId) -> (Vec<CanonSucc<M>>, u64) {
-        let raw = model.successors(&self.states[id.index()]);
+        let x = self.store.get(id.index());
+        let raw = model.successors(&x);
         let fp = successor_fingerprint(&raw);
         let canon = raw
-            .into_iter()
-            .map(|y| {
-                let (rep, perm) = model.canonicalize(&y);
-                let orbit = crate::sym::orbit_size(model, &y) as u64;
-                (rep, perm, orbit)
-            })
+            .iter()
+            .map(|y| model.canonicalize_with_orbit(y))
             .collect();
         (canon, fp)
+    }
+
+    /// Packs already-resolved successor entries of `id` into the edge
+    /// arrays, deduplicating by representative id (first witness wins).
+    /// No-op if `id`'s successors are already cached.
+    fn record_canon_ids(
+        &mut self,
+        id: StateId,
+        entries: &[(StateId, PidPerm)],
+        fp: u64,
+        obs: &dyn Observer,
+    ) {
+        if self.succ[id.index()].is_some() {
+            return;
+        }
+        let start = u32::try_from(self.edges.len()).expect("more than u32::MAX edges");
+        let mut seen: HashSet<StateId> = HashSet::new();
+        for (yid, perm) in entries {
+            if seen.insert(*yid) {
+                self.edges.push(*yid);
+                self.edge_perms.push(perm.clone());
+            }
+        }
+        let len = u32::try_from(seen.len()).expect("layer larger than u32::MAX");
+        self.succ[id.index()] = Some(SuccRange { start, len });
+        self.succ_fp[id.index()] = fp;
+        obs.histogram("space.succ_fanout", len.into());
     }
 
     /// Interns pre-canonicalized successors of `id` into the edge arrays,
@@ -901,19 +1660,11 @@ impl<M: Symmetric> QuotientSpace<M> {
         if self.succ[id.index()].is_some() {
             return;
         }
-        let start = u32::try_from(self.edges.len()).expect("more than u32::MAX edges");
-        let mut seen: HashSet<StateId> = HashSet::new();
-        for (rep, perm, orbit) in succs {
-            let yid = self.intern_canonical(rep, *orbit, obs);
-            if seen.insert(yid) {
-                self.edges.push(yid);
-                self.edge_perms.push(perm.clone());
-            }
-        }
-        let len = u32::try_from(seen.len()).expect("layer larger than u32::MAX");
-        self.succ[id.index()] = Some(SuccRange { start, len });
-        self.succ_fp[id.index()] = fp;
-        obs.histogram("space.succ_fanout", len.into());
+        let entries: Vec<(StateId, PidPerm)> = succs
+            .iter()
+            .map(|(rep, perm, orbit)| (self.intern_canonical(rep, *orbit, obs), perm.clone()))
+            .collect();
+        self.record_canon_ids(id, &entries, fp, obs);
     }
 
     /// The successor orbit ids of `id` under `model`'s layering, computing,
@@ -948,7 +1699,7 @@ impl<M: Symmetric> QuotientSpace<M> {
     /// counters.
     pub fn refresh_differential(&mut self, model: &M, obs: &dyn Observer) -> DiffReport {
         let _span = Span::enter(obs, "space.resume.refresh");
-        let old_len = self.states.len();
+        let old_len = self.store.len();
         let old_succ = std::mem::take(&mut self.succ);
         let old_edges = std::mem::take(&mut self.edges);
         let old_perms = std::mem::take(&mut self.edge_perms);
@@ -958,7 +1709,8 @@ impl<M: Symmetric> QuotientSpace<M> {
         let mut report = DiffReport::default();
         for k in 0..old_len {
             let Some(range) = old_succ[k] else { continue };
-            let raw = model.successors(&self.states[k]);
+            let x = self.store.get(k);
+            let raw = model.successors(&x);
             let fp = successor_fingerprint(&raw);
             if fp == old_fp[k] {
                 let start = u32::try_from(self.edges.len()).expect("more than u32::MAX edges");
@@ -973,30 +1725,142 @@ impl<M: Symmetric> QuotientSpace<M> {
                 report.reused += 1;
             } else {
                 let canon: Vec<CanonSucc<M>> = raw
-                    .into_iter()
-                    .map(|y| {
-                        let (rep, perm) = model.canonicalize(&y);
-                        let orbit = crate::sym::orbit_size(model, &y) as u64;
-                        (rep, perm, orbit)
-                    })
+                    .iter()
+                    .map(|y| model.canonicalize_with_orbit(y))
                     .collect();
                 self.record_successors(StateId(k as u32), &canon, fp, obs);
                 report.recomputed += 1;
             }
         }
-        report.new_states = self.states.len() - old_len;
+        report.new_states = self.store.len() - old_len;
         obs.counter("space.resume.orbits_reused", report.reused as u64);
         obs.counter("space.resume.orbits_recomputed", report.recomputed as u64);
         report
     }
 
+    /// The subset of `ids` whose successor lists are not cached yet.
+    fn pending_of(&self, ids: &[StateId]) -> Vec<StateId> {
+        ids.iter()
+            .copied()
+            .filter(|id| self.succ[id.index()].is_none())
+            .collect()
+    }
+
+    /// Renumbers, publishes and records the results of one bulk quotient
+    /// expansion (see [`StateSpace::finish_bulk`]); staged orbit sizes are
+    /// published alongside the representatives.
+    #[allow(clippy::type_complexity)]
+    fn finish_bulk(
+        &mut self,
+        pending: &[StateId],
+        rows: Vec<(Vec<(u64, PidPerm)>, u64)>,
+        stats: InternStats,
+        obs: &dyn Observer,
+    ) {
+        let base = u32::try_from(self.store.len()).expect("more than u32::MAX orbits");
+        let mut map = ProvMap::new(&self.index.pending_lens(), base);
+        let resolved: Vec<(Vec<(StateId, PidPerm)>, u64)> = rows
+            .into_iter()
+            .map(|(entries, fp)| {
+                (
+                    entries
+                        .into_iter()
+                        .map(|(p, perm)| (map.resolve(p), perm))
+                        .collect(),
+                    fp,
+                )
+            })
+            .collect();
+        let orbits = self.index.publish(&mut self.store, &map);
+        obs.counter("space.canon.hits", stats.hits);
+        obs.counter("space.canon.orbit_states", orbits.iter().sum());
+        obs.counter("space.shard.contention", stats.contention);
+        obs.counter("space.intern.cas_retries", stats.retries);
+        for orbit in orbits {
+            self.orbit_sizes.push(orbit);
+            self.succ.push(None);
+            self.succ_fp.push(0);
+        }
+        obs.gauge("space.states", self.store.len() as u64);
+        if self.store.len() > 0 {
+            obs.gauge(
+                "space.quotient.mean_orbit_x1000",
+                self.covered_states() * 1000 / self.store.len() as u64,
+            );
+        }
+        for (&id, (entries, fp)) in pending.iter().zip(&resolved) {
+            self.record_canon_ids(id, entries, *fp, obs);
+        }
+    }
+
+    /// Sequential bulk expansion of `ids` (no `Sync` bounds): the exact
+    /// same probe-stage-renumber-publish path the parallel variant uses,
+    /// run inline.
+    fn bulk_seq(&mut self, model: &M, ids: &[StateId], obs: &dyn Observer) {
+        let pending = self.pending_of(ids);
+        if pending.is_empty() {
+            return;
+        }
+        let (rows, stats) = canon_chunk(model, &self.store, &self.index, &pending);
+        self.finish_bulk(&pending, rows, stats, obs);
+    }
+
+    /// Parallel bulk expansion of `ids` across up to `threads` scoped
+    /// workers canonicalizing and probing the sharded index concurrently.
+    fn bulk_par(&mut self, model: &M, ids: &[StateId], threads: usize, obs: &dyn Observer)
+    where
+        M: Sync,
+        M::State: Send + Sync,
+    {
+        let pending = self.pending_of(ids);
+        if pending.is_empty() {
+            return;
+        }
+        let threads = threads.max(1).min(pending.len());
+        if threads == 1 {
+            let (rows, stats) = canon_chunk(model, &self.store, &self.index, &pending);
+            self.finish_bulk(&pending, rows, stats, obs);
+            return;
+        }
+        let (store, index) = (&self.store, &self.index);
+        let parent = trace::current_span_id();
+        type ChunkOut = (Vec<(Vec<(u64, PidPerm)>, u64)>, InternStats);
+        let chunked: Vec<ChunkOut> = std::thread::scope(|scope| {
+            let handles: Vec<_> = balanced_chunks(&pending, threads)
+                .map(|part| {
+                    scope.spawn(move || {
+                        let _span = Span::enter_under(
+                            obs,
+                            "space.prefetch_chunk",
+                            parent,
+                            &[("chunk_len", part.len() as u64)],
+                        );
+                        canon_chunk(model, store, index, part)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("canonicalization worker panicked"))
+                .collect()
+        });
+        let mut rows = Vec::with_capacity(pending.len());
+        let mut stats = InternStats::default();
+        for (r, s) in chunked {
+            rows.extend(r);
+            stats.merge(&s);
+        }
+        self.finish_bulk(&pending, rows, stats, obs);
+    }
+
     /// Eagerly computes, canonicalizes and caches the successor lists of
     /// `ids`, fanning the per-orbit work (`model.successors` plus the
-    /// `n!`-enumeration canonicalization of every raw successor — the
-    /// expensive part of quotient expansion) across up to `threads` scoped
-    /// workers. Deterministic for the same reason as
-    /// [`StateSpace::prefetch_successors`]: workers only run pure
-    /// functions, and the merge happens in frontier order.
+    /// canonicalization of every raw successor — the expensive part of
+    /// quotient expansion) across up to `threads` scoped workers that
+    /// intern through the sharded index as they expand. Deterministic for
+    /// the same reason as [`StateSpace::prefetch_successors`]: dense ids
+    /// are only assigned by the frontier-order renumbering pass on the
+    /// calling thread.
     pub fn prefetch_successors(
         &mut self,
         model: &M,
@@ -1007,48 +1871,7 @@ impl<M: Symmetric> QuotientSpace<M> {
         M: Sync,
         M::State: Send + Sync,
     {
-        let pending: Vec<StateId> = ids
-            .iter()
-            .copied()
-            .filter(|id| self.succ[id.index()].is_none())
-            .collect();
-        if pending.is_empty() {
-            return;
-        }
-        let threads = threads.max(1).min(pending.len());
-        if threads == 1 {
-            for &id in &pending {
-                let (succs, fp) = self.canon_successors_of(model, id);
-                self.record_successors(id, &succs, fp, obs);
-            }
-            return;
-        }
-        let this = &*self;
-        let parent = trace::current_span_id();
-        let computed: Vec<Vec<(Vec<CanonSucc<M>>, u64)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = balanced_chunks(&pending, threads)
-                .map(|part| {
-                    scope.spawn(move || {
-                        let _span = Span::enter_under(
-                            obs,
-                            "space.prefetch_chunk",
-                            parent,
-                            &[("chunk_len", part.len() as u64)],
-                        );
-                        part.iter()
-                            .map(|&id| this.canon_successors_of(model, id))
-                            .collect()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("canonicalization worker panicked"))
-                .collect()
-        });
-        for (&id, (succs, fp)) in pending.iter().zip(computed.iter().flatten()) {
-            self.record_successors(id, succs, *fp, obs);
-        }
+        self.bulk_par(model, ids, threads, obs);
     }
 
     /// Breadth-first expansion of the *quotient* graph from `roots` for
@@ -1065,7 +1888,9 @@ impl<M: Symmetric> QuotientSpace<M> {
         horizon: usize,
         obs: &dyn Observer,
     ) -> Vec<Vec<StateId>> {
-        self.expand_with(model, roots, horizon, obs, |_, _| {})
+        self.expand_with(model, roots, horizon, obs, |space, frontier| {
+            space.bulk_seq(model, frontier, obs);
+        })
     }
 
     /// [`QuotientSpace::expand_layers`] with per-level successor
@@ -1084,7 +1909,7 @@ impl<M: Symmetric> QuotientSpace<M> {
         M::State: Send + Sync,
     {
         self.expand_with(model, roots, horizon, obs, |space, frontier| {
-            space.prefetch_successors(model, frontier, threads, obs);
+            space.bulk_par(model, frontier, threads, obs);
         })
     }
 
@@ -1097,6 +1922,7 @@ impl<M: Symmetric> QuotientSpace<M> {
         mut prefetch: impl FnMut(&mut Self, &[StateId]),
     ) -> Vec<Vec<StateId>> {
         let _span = Span::enter(obs, "space.build");
+        obs.gauge("space.shard.count", SHARD_COUNT as u64);
         let mut levels: Vec<Vec<StateId>> = Vec::with_capacity(horizon + 1);
         let mut frontier: Vec<StateId> = Vec::new();
         let mut seen: HashSet<StateId> = HashSet::new();
@@ -1174,13 +2000,13 @@ impl<M: Symmetric> QuotientSpace<M> {
     #[must_use]
     pub fn dequotient_path(&self, model: &M, path: &[StateId]) -> Option<Vec<M::State>> {
         let first = path.first()?;
-        let mut out = vec![self.resolve(*first).clone()];
+        let mut out = vec![self.resolve(*first)];
         let mut rho = PidPerm::identity(model.num_processes());
         for pair in path.windows(2) {
             let (succs, perms) = self.cached_successors_with_perms(pair[0])?;
             let pos = succs.iter().position(|&s| s == pair[1])?;
             rho = rho.compose(&perms[pos].inverse());
-            out.push(model.permute_state(self.resolve(pair[1]), &rho));
+            out.push(model.permute_state(&self.resolve(pair[1]), &rho));
         }
         Some(out)
     }
@@ -1195,13 +2021,13 @@ mod tests {
     #[test]
     fn intern_round_trips_and_deduplicates() {
         let m = CounterModel::new(2, 4);
-        let mut space: StateSpace<CounterModel> = StateSpace::new();
+        let mut space: StateSpace<CounterModel> = StateSpace::for_model(&m);
         let states = m.initial_states();
         let ids: Vec<StateId> = states.iter().map(|s| space.intern(s)).collect();
         // Dense, contiguous, in interning order.
         for (k, id) in ids.iter().enumerate() {
             assert_eq!(id.index(), k);
-            assert_eq!(space.resolve(*id), &states[k]);
+            assert_eq!(space.resolve(*id), states[k]);
         }
         // Double interning returns the same ids and allocates nothing.
         let before = space.len();
@@ -1215,7 +2041,7 @@ mod tests {
     #[test]
     fn successor_lists_are_cached_once() {
         let m = CounterModel::new(2, 4);
-        let mut space: StateSpace<CounterModel> = StateSpace::new();
+        let mut space: StateSpace<CounterModel> = StateSpace::for_model(&m);
         let x0 = m.initial_states().remove(0);
         let id = space.intern(&x0);
         assert!(space.cached_successors(id).is_none());
@@ -1231,7 +2057,7 @@ mod tests {
     fn expand_layers_matches_model_exploration() {
         let m = CounterModel::new(3, 4);
         let roots = m.initial_states();
-        let mut space: StateSpace<CounterModel> = StateSpace::new();
+        let mut space: StateSpace<CounterModel> = StateSpace::for_model(&m);
         let levels = space.expand_layers(&m, &roots, 3, &NOOP);
         let reference = crate::explore(&m, &roots, 3);
         assert_eq!(levels.len(), reference.levels.len());
@@ -1244,10 +2070,10 @@ mod tests {
     fn parallel_expansion_is_bit_identical() {
         let m = CounterModel::new(3, 4);
         let roots = m.initial_states();
-        let mut seq: StateSpace<CounterModel> = StateSpace::new();
+        let mut seq: StateSpace<CounterModel> = StateSpace::for_model(&m);
         let seq_levels = seq.expand_layers(&m, &roots, 3, &NOOP);
         for threads in [2, 3, 8] {
-            let mut par: StateSpace<CounterModel> = StateSpace::new();
+            let mut par: StateSpace<CounterModel> = StateSpace::for_model(&m);
             let par_levels = par.expand_layers_parallel(&m, &roots, 3, threads, &NOOP);
             assert_eq!(seq_levels, par_levels, "threads={threads}");
             assert_eq!(seq.len(), par.len());
@@ -1260,9 +2086,49 @@ mod tests {
     }
 
     #[test]
+    fn packed_and_boxed_arenas_agree() {
+        // Packing is a pure representation change: the packed arena (what
+        // `for_model` picks for CounterModel) and a boxed arena assign
+        // identical ids, levels and successor lists.
+        let m = CounterModel::new(3, 4);
+        let roots = m.initial_states();
+        let mut packed: StateSpace<CounterModel> = StateSpace::for_model(&m);
+        let mut boxed: StateSpace<CounterModel> = StateSpace::new();
+        assert!(packed.store.is_packed());
+        assert!(!boxed.store.is_packed());
+        let a = packed.expand_layers(&m, &roots, 3, &NOOP);
+        let b = boxed.expand_layers(&m, &roots, 3, &NOOP);
+        assert_eq!(a, b);
+        assert_eq!(packed.len(), boxed.len());
+        for k in 0..packed.len() {
+            let id = StateId(k as u32);
+            assert_eq!(packed.resolve(id), boxed.resolve(id));
+            assert_eq!(packed.cached_successors(id), boxed.cached_successors(id));
+        }
+        assert!(packed.store.bytes_saved() > 0, "counter states shrink");
+    }
+
+    #[test]
+    fn packed_arena_spills_wide_states() {
+        // Value 9 exceeds the 2-bit input lane, so the state spills — and
+        // still round-trips through the arena.
+        let m = CounterModel::new(2, 4);
+        let mut space: StateSpace<CounterModel> = StateSpace::for_model(&m);
+        let wide = m.initial_state(&[crate::Value::new(9), crate::Value::ZERO]);
+        let narrow = m.initial_state(&[crate::Value::ONE, crate::Value::ZERO]);
+        let wid = space.intern(&wide);
+        let nid = space.intern(&narrow);
+        assert_eq!(space.store.spill_len(), 1, "only the wide state spills");
+        assert_eq!(space.resolve(wid), wide);
+        assert_eq!(space.resolve(nid), narrow);
+        assert_eq!(space.intern(&wide), wid, "spilled states dedup too");
+        assert_eq!(space.get(&wide), Some(wid));
+    }
+
+    #[test]
     fn prefetch_marks_all_requested_states() {
         let m = CounterModel::new(2, 4);
-        let mut space: StateSpace<CounterModel> = StateSpace::new();
+        let mut space: StateSpace<CounterModel> = StateSpace::for_model(&m);
         let ids: Vec<StateId> = m.initial_states().iter().map(|s| space.intern(s)).collect();
         space.prefetch_successors(&m, &ids, 4, &NOOP);
         for &id in &ids {
@@ -1298,7 +2164,7 @@ mod tests {
                 let (id, perm) = q.intern(&m, &m.initial_state(&inputs));
                 // The witness maps the state onto the stored representative.
                 assert_eq!(
-                    &m.permute_state(&m.initial_state(&inputs), &perm),
+                    m.permute_state(&m.initial_state(&inputs), &perm),
                     q.resolve(id)
                 );
                 ids.push(id);
@@ -1318,12 +2184,20 @@ mod tests {
         let levels = q.expand_layers(&m, &roots, 2, &NOOP);
         // 2^3 = 8 input vectors collapse to 4 orbits (0..=3 ones).
         assert_eq!(levels[0].len(), 4);
-        // Parallel expansion is bit-identical.
+        // Parallel expansion is bit-identical; so is the boxed arena.
         for threads in [2, 3, 8] {
             let mut par: QuotientSpace<CounterModel> = QuotientSpace::new(&m);
             let par_levels = par.expand_layers_parallel(&m, &roots, 2, threads, &NOOP);
             assert_eq!(levels, par_levels, "threads={threads}");
             assert_eq!(q.len(), par.len());
+        }
+        let mut boxed: QuotientSpace<CounterModel> = QuotientSpace::new_boxed(&m);
+        let boxed_levels = boxed.expand_layers(&m, &roots, 2, &NOOP);
+        assert_eq!(levels, boxed_levels);
+        for k in 0..q.len() {
+            let id = StateId(k as u32);
+            assert_eq!(q.resolve(id), boxed.resolve(id));
+            assert_eq!(q.orbit_size_of(id), boxed.orbit_size_of(id));
         }
         // Any root-to-leaf id path de-quotients into a genuine execution.
         let path = vec![levels[0][0], q.cached_successors(levels[0][0]).unwrap()[1]];
@@ -1359,7 +2233,7 @@ mod tests {
     fn interning_telemetry_counts_hits_and_misses() {
         let m = CounterModel::new(2, 4);
         let reg = MetricsRegistry::new();
-        let mut space: StateSpace<CounterModel> = StateSpace::new();
+        let mut space: StateSpace<CounterModel> = StateSpace::for_model(&m);
         let x0 = m.initial_states().remove(0);
         space.intern_with(&x0, &reg);
         space.intern_with(&x0, &reg);
@@ -1367,5 +2241,25 @@ mod tests {
         assert_eq!(snap.counter("space.intern.misses"), 1);
         assert_eq!(snap.counter("space.intern.hits"), 1);
         assert_eq!(snap.gauge_max("space.states"), 1);
+    }
+
+    #[test]
+    fn bulk_interning_counts_match_sequential_interning() {
+        // hits/misses from the bulk path are thread-count-invariant.
+        let m = CounterModel::new(3, 4);
+        let roots = m.initial_states();
+        let mut counts = Vec::new();
+        for threads in [1, 2, 8] {
+            let reg = MetricsRegistry::new();
+            let mut space: StateSpace<CounterModel> = StateSpace::for_model(&m);
+            space.expand_layers_parallel(&m, &roots, 3, threads, &reg);
+            let snap = reg.snapshot();
+            counts.push((
+                snap.counter("space.intern.hits"),
+                snap.counter("space.intern.misses"),
+            ));
+        }
+        assert_eq!(counts[0], counts[1], "1 vs 2 threads");
+        assert_eq!(counts[0], counts[2], "1 vs 8 threads");
     }
 }

@@ -8,15 +8,20 @@
 //!
 //! ```text
 //! {"body_len":…,"depth":…,"edges":…,"format":"layered-arena","horizon":…,
-//!  "kind":"state"|"quotient","layering":…,"model":…,"n":…,"protocol":…,
-//!  "sha256":"…","states":…,"version":1}\n
+//!  "kind":"state"|"quotient","layering":…,"model":…,"n":…,"packed":0|1,
+//!  "protocol":…,"sha256":"…","states":…,"version":2}\n
 //! <body bytes>
 //! ```
 //!
 //! The body sections, in order:
 //!
-//! 1. **States** — each interned state in id order, encoded by its
-//!    [`SnapshotState`] codec.
+//! 1. **States** — each interned state in id order. When the header's
+//!    `packed` flag is 0, each state is encoded by its [`SnapshotState`]
+//!    codec (the version-1 layout). When it is 1 (a packed arena), each
+//!    state is a `u8` tag: `0` followed by the 16-byte little-endian packed
+//!    word, or `1` followed by the [`SnapshotState`] encoding of a state
+//!    that spilled the codec. The loader follows the *blob's* flag, so a
+//!    boxed snapshot loads into a boxed arena even under a packing model.
 //! 2. **Intern index** — `u32` bucket count, then each `(u64 hash,
 //!    u32 len, len × u32 id)` bucket sorted by hash. The index is fully
 //!    derivable from section 1; storing it lets the loader cross-check the
@@ -51,20 +56,21 @@
 use std::collections::BTreeMap;
 use std::hash::Hash;
 
-use fxhash::FxHashMap;
-
-use super::{probe_bucket, Probe, QuotientSpace, StateId, StateSpace, SuccRange};
+use super::pack::{StatePacker, SPILL_TAG};
+use super::{QuotientSpace, ShardedIndex, Slot, StateId, StateSpace, Store, SuccRange};
 use crate::hash::{is_hash, sha256_hex};
 use crate::sym::{PidPerm, Symmetric};
 use crate::telemetry::json::Json;
 use crate::telemetry::{clock, Observer, Span};
 use crate::{LayeredModel, Pid, Value};
 
-/// The arenas' hash-bucketed intern index (state hash → candidate ids).
-type InternIndex = FxHashMap<u64, Vec<StateId>>;
+/// The sorted bucket view the index sections are encoded from and checked
+/// against (hash → dense ids, ascending).
+type IndexBuckets = BTreeMap<u64, Vec<StateId>>;
 
-/// Snapshot format version this module writes and accepts.
-pub const SNAPSHOT_VERSION: u64 = 1;
+/// Snapshot format version this module writes and accepts. Version 2 added
+/// the header's `packed` flag and the tagged packed-word states section.
+pub const SNAPSHOT_VERSION: u64 = 2;
 
 /// The `format` field every snapshot header carries.
 pub const SNAPSHOT_FORMAT: &str = "layered-arena";
@@ -101,7 +107,8 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})"
+                    "unsupported snapshot version {v}: this build reads version \
+                     {SNAPSHOT_VERSION}; regenerate the snapshot with --snapshot"
                 )
             }
             SnapshotError::WrongKind { expected, found } => {
@@ -386,6 +393,7 @@ fn decode_perm(r: &mut SnapshotReader<'_>, n: u64) -> Result<PidPerm, SnapshotEr
 fn header_fields(
     kind: &str,
     meta: &ArenaMeta,
+    packed: bool,
     states: u64,
     edges: u64,
     body_len: u64,
@@ -400,6 +408,7 @@ fn header_fields(
         ("horizon".into(), Json::from(meta.horizon)),
         ("depth".into(), Json::from(meta.depth)),
         ("layering".into(), Json::from(meta.layering.as_str())),
+        ("packed".into(), Json::from(u64::from(packed))),
         ("states".into(), Json::from(states)),
         ("edges".into(), Json::from(edges)),
         ("body_len".into(), Json::from(body_len)),
@@ -444,6 +453,7 @@ fn header_u64(json: &Json, key: &'static str) -> Result<u64, SnapshotError> {
 /// counts, the body slice and the integrity digest.
 struct VerifiedHeader<'a> {
     meta: ArenaMeta,
+    packed: bool,
     states: u64,
     edges: u64,
     body: &'a [u8],
@@ -510,8 +520,14 @@ fn open<'a>(
         depth: header_u64(&json, "depth")?,
         layering: header_str(&json, "layering")?.to_string(),
     };
+    let packed = match header_u64(&json, "packed")? {
+        0 => false,
+        1 => true,
+        _ => return Err(SnapshotError::BadHeader("packed flag not 0 or 1")),
+    };
     Ok(VerifiedHeader {
         meta,
+        packed,
         states: header_u64(&json, "states")?,
         edges: header_u64(&json, "edges")?,
         body,
@@ -520,10 +536,8 @@ fn open<'a>(
 }
 
 /// Encodes the intern index sorted by bucket hash (bucket contents stay
-/// in interning order).
-fn encode_index(index: &InternIndex, out: &mut Vec<u8>) {
-    // Map iteration order is erased by collecting into an ordered map.
-    let buckets = index.iter().collect::<BTreeMap<_, _>>();
+/// in interning order, which is ascending id order).
+fn encode_index(buckets: &IndexBuckets, out: &mut Vec<u8>) {
     (buckets.len() as u32).encode(out);
     for (h, ids) in buckets {
         h.encode(out);
@@ -538,7 +552,7 @@ fn encode_index(index: &InternIndex, out: &mut Vec<u8>) {
 /// index derived from the decoded states themselves. Disagreement means
 /// the snapshot is internally inconsistent (a buggy or adversarial
 /// encoder; random corruption is already caught by the hash).
-fn check_index(r: &mut SnapshotReader<'_>, rebuilt: &InternIndex) -> Result<(), SnapshotError> {
+fn check_index(r: &mut SnapshotReader<'_>, rebuilt: &IndexBuckets) -> Result<(), SnapshotError> {
     let buckets = r.u32()? as usize;
     if buckets != rebuilt.len() {
         return Err(SnapshotError::Malformed("index bucket count"));
@@ -619,26 +633,91 @@ fn decode_csr(
     Ok((succ, edges))
 }
 
-/// Decodes the states section and rebuilds the intern index in interning
-/// order, rejecting duplicate states (two ids for one state would break
-/// the hash-consing invariant).
-fn decode_states<S: SnapshotState + Hash + PartialEq>(
+/// Encodes the states section in id order: plain codecs for a boxed
+/// arena, tagged word-or-spill slots for a packed one.
+fn encode_store<S: SnapshotState + Clone + Eq + Hash>(store: &Store<S>, out: &mut Vec<u8>) {
+    let packed = store.is_packed();
+    for i in 0..store.len() {
+        match store.slot(i) {
+            Slot::Word(w) => {
+                out.push(0);
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+            Slot::State(s) => {
+                if packed {
+                    out.push(1);
+                }
+                s.encode(out);
+            }
+        }
+    }
+}
+
+/// Decodes the states section, following the *blob's* `packed` flag: a
+/// boxed blob loads into a boxed store even when the model packs, so old
+/// boxed snapshots of a now-packing model stay loadable (and re-save
+/// byte-identically). Slots are validated against the codec: a tagged
+/// word must not carry the spill tag, and a spilled state must genuinely
+/// not fit the codec — otherwise re-saving would not reproduce the blob.
+fn decode_store<S>(
     r: &mut SnapshotReader<'_>,
     count: usize,
-    hash_of: impl Fn(&S) -> u64,
-) -> Result<(Vec<S>, InternIndex), SnapshotError> {
-    let mut states: Vec<S> = Vec::with_capacity(count);
-    let mut index: InternIndex = FxHashMap::default();
-    for k in 0..count {
-        let s = S::decode(r)?;
-        let h = hash_of(&s);
-        if let Probe::Hit(..) = probe_bucket(&states, &index, h, &s) {
+    packed: bool,
+    packer: Option<StatePacker<S>>,
+) -> Result<Store<S>, SnapshotError>
+where
+    S: SnapshotState + Clone + Eq + Hash,
+{
+    if !packed {
+        let mut store = Store::boxed();
+        for _ in 0..count {
+            store.push_spilled(S::decode(r)?);
+        }
+        return Ok(store);
+    }
+    let packer = packer.ok_or(SnapshotError::Malformed(
+        "packed snapshot but the model has no state packer",
+    ))?;
+    let mut store = Store::packed(packer);
+    for _ in 0..count {
+        match r.u8()? {
+            0 => {
+                let b = r.take(16)?;
+                let mut bytes = [0u8; 16];
+                bytes.copy_from_slice(b);
+                let w = u128::from_le_bytes(bytes);
+                if w & SPILL_TAG != 0 {
+                    return Err(SnapshotError::Malformed(
+                        "packed word has the spill tag set",
+                    ));
+                }
+                store.push_word(w);
+            }
+            1 => {
+                let s = S::decode(r)?;
+                if store.packs(&s) {
+                    return Err(SnapshotError::Malformed("spilled state fits the codec"));
+                }
+                store.push_spilled(s);
+            }
+            _ => return Err(SnapshotError::Malformed("state tag not 0 or 1")),
+        }
+    }
+    Ok(store)
+}
+
+/// Rebuilds the intern index from the decoded store — each slot hashed
+/// and bucketed in id order, exactly the interning order — rejecting
+/// duplicate states (two ids for one state would break the hash-consing
+/// invariant).
+fn rebuild_index<S: Clone + Eq + Hash>(store: &Store<S>) -> Result<ShardedIndex<S>, SnapshotError> {
+    let mut index = ShardedIndex::new();
+    for i in 0..store.len() {
+        if !index.insert_slot(store, i) {
             return Err(SnapshotError::Malformed("duplicate interned state"));
         }
-        states.push(s);
-        index.entry(h).or_default().push(StateId(k as u32));
     }
-    Ok((states, index))
+    Ok(index)
 }
 
 /// Reports snapshot-save telemetry: the `space.snapshot.save` span wraps
@@ -702,10 +781,8 @@ where
 {
     measured_save(obs, || {
         let mut body = Vec::new();
-        for s in &space.states {
-            s.encode(&mut body);
-        }
-        encode_index(&space.index, &mut body);
+        encode_store(&space.store, &mut body);
+        encode_index(&space.index.bucket_snapshot(), &mut body);
         encode_csr(&space.succ, &space.edges, &mut body);
         for fp in &space.succ_fp {
             fp.encode(&mut body);
@@ -713,7 +790,8 @@ where
         let fields = header_fields(
             "state",
             meta,
-            space.states.len() as u64,
+            space.store.is_packed(),
+            space.store.len() as u64,
             space.edges.len() as u64,
             body.len() as u64,
         );
@@ -721,10 +799,14 @@ where
     })
 }
 
-/// Deserializes a [`StateSpace`] snapshot, verifying the integrity hash
-/// and every structural invariant before the arena is handed back.
-/// Returns the arena, its recorded provenance, and the integrity hash.
+/// Deserializes a [`StateSpace`] snapshot for `model`, verifying the
+/// integrity hash and every structural invariant before the arena is
+/// handed back. The store mode follows the blob's `packed` flag, so the
+/// model is only consulted for its [`StatePacker`] when the blob needs
+/// one. Returns the arena, its recorded provenance, and the integrity
+/// hash.
 pub fn load_space<M>(
+    model: &M,
     bytes: &[u8],
     obs: &dyn Observer,
 ) -> Result<(StateSpace<M>, ArenaMeta, String), SnapshotError>
@@ -734,20 +816,21 @@ where
 {
     measured_load(obs, || {
         let h = open(bytes, "state")?;
-        let states = usize::try_from(h.states).map_err(|_| SnapshotError::Malformed("states"))?;
+        let count = usize::try_from(h.states).map_err(|_| SnapshotError::Malformed("states"))?;
         let mut r = SnapshotReader::new(h.body);
-        let (states, index) = decode_states(&mut r, states, StateSpace::<M>::hash_of)?;
-        check_index(&mut r, &index)?;
-        let (succ, edges) = decode_csr(&mut r, states.len(), h.edges)?;
-        let mut succ_fp = Vec::with_capacity(states.len());
-        for _ in 0..states.len() {
+        let store = decode_store(&mut r, count, h.packed, model.state_packer())?;
+        let index = rebuild_index(&store)?;
+        check_index(&mut r, &index.bucket_snapshot())?;
+        let (succ, edges) = decode_csr(&mut r, count, h.edges)?;
+        let mut succ_fp = Vec::with_capacity(count);
+        for _ in 0..count {
             succ_fp.push(r.u64()?);
         }
         if r.remaining() != 0 {
             return Err(SnapshotError::Malformed("trailing bytes"));
         }
         let space = StateSpace {
-            states,
+            store,
             index,
             succ,
             edges,
@@ -770,10 +853,8 @@ where
 {
     measured_save(obs, || {
         let mut body = Vec::new();
-        for s in &space.states {
-            s.encode(&mut body);
-        }
-        encode_index(&space.index, &mut body);
+        encode_store(&space.store, &mut body);
+        encode_index(&space.index.bucket_snapshot(), &mut body);
         encode_csr(&space.succ, &space.edges, &mut body);
         for fp in &space.succ_fp {
             fp.encode(&mut body);
@@ -787,7 +868,8 @@ where
         let fields = header_fields(
             "quotient",
             meta,
-            space.states.len() as u64,
+            space.store.is_packed(),
+            space.store.len() as u64,
             space.edges.len() as u64,
             body.len() as u64,
         );
@@ -825,17 +907,18 @@ where
         if h.meta.n != model.num_processes() as u64 {
             return Err(SnapshotError::Malformed("snapshot n does not match model"));
         }
-        let states = usize::try_from(h.states).map_err(|_| SnapshotError::Malformed("states"))?;
+        let count = usize::try_from(h.states).map_err(|_| SnapshotError::Malformed("states"))?;
         let mut r = SnapshotReader::new(h.body);
-        let (states, index) = decode_states(&mut r, states, QuotientSpace::<M>::hash_of)?;
-        check_index(&mut r, &index)?;
-        let (succ, edges) = decode_csr(&mut r, states.len(), h.edges)?;
-        let mut succ_fp = Vec::with_capacity(states.len());
-        for _ in 0..states.len() {
+        let store = decode_store(&mut r, count, h.packed, model.state_packer())?;
+        let index = rebuild_index(&store)?;
+        check_index(&mut r, &index.bucket_snapshot())?;
+        let (succ, edges) = decode_csr(&mut r, count, h.edges)?;
+        let mut succ_fp = Vec::with_capacity(count);
+        for _ in 0..count {
             succ_fp.push(r.u64()?);
         }
-        let mut orbit_sizes = Vec::with_capacity(states.len());
-        for _ in 0..states.len() {
+        let mut orbit_sizes = Vec::with_capacity(count);
+        for _ in 0..count {
             let orbit = r.u64()?;
             if orbit == 0 {
                 return Err(SnapshotError::Malformed("orbit size zero"));
@@ -850,7 +933,7 @@ where
             return Err(SnapshotError::Malformed("trailing bytes"));
         }
         let space = QuotientSpace {
-            states,
+            store,
             orbit_sizes,
             index,
             succ,
@@ -882,17 +965,16 @@ mod tests {
     fn built_space() -> (CounterModel, StateSpace<CounterModel>) {
         let m = CounterModel::new(3, 4);
         let roots = m.initial_states();
-        let mut space: StateSpace<CounterModel> = StateSpace::new();
+        let mut space = StateSpace::for_model(&m);
         space.expand_layers(&m, &roots, 3, &NOOP);
         (m, space)
     }
 
     #[test]
     fn state_space_round_trips() {
-        let (_, space) = built_space();
+        let (m, space) = built_space();
         let (bytes, digest) = save_space(&space, &meta(), &NOOP);
-        let (loaded, got_meta, got_digest) =
-            load_space::<CounterModel>(&bytes, &NOOP).expect("loads");
+        let (loaded, got_meta, got_digest) = load_space(&m, &bytes, &NOOP).expect("loads");
         assert_eq!(got_meta, meta());
         assert_eq!(got_digest, digest);
         assert_eq!(loaded.len(), space.len());
@@ -913,10 +995,10 @@ mod tests {
 
     #[test]
     fn snapshot_telemetry_moves() {
-        let (_, space) = built_space();
+        let (m, space) = built_space();
         let reg = MetricsRegistry::new();
         let (bytes, _) = save_space(&space, &meta(), &reg);
-        load_space::<CounterModel>(&bytes, &reg).expect("loads");
+        load_space(&m, &bytes, &reg).expect("loads");
         let snap = reg.snapshot();
         assert_eq!(
             snap.gauge_max("space.snapshot.bytes_written"),
@@ -935,6 +1017,54 @@ mod tests {
             Err(e) => e,
         };
         assert!(matches!(err, SnapshotError::WrongKind { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn old_version_rejected_before_hash_check() {
+        // A version-1 header whose digest is deliberately wrong: the
+        // loader must fail on the version — with the actionable
+        // "regenerate" message — not stumble into a hash mismatch.
+        let header = concat!(
+            "{\"format\":\"layered-arena\",\"kind\":\"state\",\"sha256\":\"",
+            "0000000000000000000000000000000000000000000000000000000000000000",
+            "\",\"version\":1}\n"
+        );
+        let m = CounterModel::new(3, 4);
+        let err = match load_space(&m, header.as_bytes(), &NOOP) {
+            Ok(_) => panic!("version-1 snapshot loaded"),
+            Err(e) => e,
+        };
+        assert_eq!(err, SnapshotError::UnsupportedVersion(1));
+        assert!(err.to_string().contains("--snapshot"), "{err}");
+    }
+
+    #[test]
+    fn packed_blob_round_trips_and_declares_packing() {
+        let (m, space) = built_space();
+        assert!(space.store.is_packed(), "CounterModel provides a packer");
+        let (bytes, _) = save_space(&space, &meta(), &NOOP);
+        let nl = bytes.iter().position(|&b| b == b'\n').expect("header line");
+        let header = std::str::from_utf8(&bytes[..nl]).expect("UTF-8 header");
+        assert!(header.contains("\"packed\":1"), "{header}");
+        let (loaded, _, _) = load_space(&m, &bytes, &NOOP).expect("loads");
+        assert!(loaded.store.is_packed());
+    }
+
+    #[test]
+    fn boxed_blob_loads_boxed_even_under_a_packing_model() {
+        let m = CounterModel::new(3, 4);
+        let roots = m.initial_states();
+        let mut space: StateSpace<CounterModel> = StateSpace::new();
+        space.expand_layers(&m, &roots, 3, &NOOP);
+        let (bytes, _) = save_space(&space, &meta(), &NOOP);
+        let nl = bytes.iter().position(|&b| b == b'\n').expect("header line");
+        let header = std::str::from_utf8(&bytes[..nl]).expect("UTF-8 header");
+        assert!(header.contains("\"packed\":0"), "{header}");
+        let (loaded, _, _) = load_space(&m, &bytes, &NOOP).expect("loads");
+        assert!(!loaded.store.is_packed(), "loader follows the blob's flag");
+        // Byte-identical re-save through the boxed path.
+        let (again, _) = save_space(&loaded, &meta(), &NOOP);
+        assert_eq!(again, bytes);
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 use std::collections::HashSet;
 
+use crate::space::pack::StatePacker;
 use crate::{LayeredModel, Pid};
 
 /// A permutation `π` of the process identifiers `0..n`, stored in map form:
@@ -219,6 +220,24 @@ pub trait Symmetric: LayeredModel {
     /// The canonical representative of `x`'s orbit, plus a permutation `π`
     /// with `permute_state(x, π) == representative`.
     fn canonicalize(&self, x: &Self::State) -> (Self::State, PidPerm);
+
+    /// [`canonicalize`](Self::canonicalize) fused with [`orbit_size`]: the
+    /// representative, the witnessing permutation, and the number of
+    /// distinct states in `x`'s orbit.
+    ///
+    /// The default runs the two passes separately; models whose packers
+    /// carry a renaming shuffle override it with
+    /// [`canonicalize_packed`], which answers all three questions in a
+    /// single sweep over `n!` packed words — the hot path of quotient
+    /// interning.
+    fn canonicalize_with_orbit(&self, x: &Self::State) -> (Self::State, PidPerm, u64)
+    where
+        Self: Sized,
+    {
+        let (rep, pi) = self.canonicalize(x);
+        let orbit = orbit_size(self, x) as u64;
+        (rep, pi, orbit)
+    }
 }
 
 /// The default canonical representative: the lexicographically least state
@@ -250,6 +269,59 @@ pub fn orbit_size<M: Symmetric>(model: &M, x: &M::State) -> usize {
         seen.insert(model.permute_state(x, &perm));
     }
     seen.len()
+}
+
+/// Packed-word canonicalization: representative, witnessing permutation and
+/// orbit size in **one** sweep over the precomputed permutation list,
+/// touching only `u128` words.
+///
+/// The representative is the orbit member with the **smallest packed word**
+/// — a different (but equally canonical) choice than
+/// [`canonicalize_by_min`]'s `Ord`-least state. Consistency only requires
+/// that every member of an orbit maps to the same representative, which
+/// holds because the packer's renaming shuffle is equivariant and
+/// packability is permutation-invariant (see the
+/// [`pack`](crate::space::pack) contract): the whole orbit packs, and the
+/// minimum over `{permute_word(pack(x), π)}` is orbit-determined.
+///
+/// Returns `None` — caller falls back to the unpacked path — when the
+/// packer has no shuffle or `x` does not pack.
+pub fn canonicalize_packed<M: Symmetric>(
+    model: &M,
+    packer: &StatePacker<M::State>,
+    perms: &[PidPerm],
+    x: &M::State,
+) -> Option<(M::State, PidPerm, u64)> {
+    if !packer.permutes() {
+        return None;
+    }
+    let w = packer.pack(x)?;
+    debug_assert_eq!(perms.len(), {
+        let n = model.num_processes();
+        (1..=n).product::<usize>()
+    });
+    let mut best_word = u128::MAX;
+    let mut best_perm: Option<&PidPerm> = None;
+    let mut orbit: Vec<u128> = Vec::with_capacity(perms.len());
+    for perm in perms {
+        let y = packer
+            .permute_word(w, perm)
+            .expect("permutes() checked above");
+        if y < best_word {
+            best_word = y;
+            best_perm = Some(perm);
+        }
+        orbit.push(y);
+    }
+    orbit.sort_unstable();
+    orbit.dedup();
+    let perm = best_perm.expect("n >= 1, so the orbit is non-empty");
+    debug_assert_eq!(
+        packer.pack(&model.permute_state(x, perm)),
+        Some(best_word),
+        "packer shuffle must be equivariant with permute_state"
+    );
+    Some((packer.unpack(best_word), perm.clone(), orbit.len() as u64))
 }
 
 #[cfg(test)]
@@ -332,6 +404,29 @@ mod tests {
         for perm in PidPerm::all(3) {
             let y = m.permute_state(&x, &perm);
             assert_eq!(m.canonicalize(&y).0, rep);
+        }
+    }
+
+    #[test]
+    fn packed_canonicalization_is_orbit_consistent() {
+        let m = CounterModel::new(3, 2);
+        let packer = m.state_packer().expect("CounterModel packs");
+        let perms = PidPerm::all(3);
+        let x = m.initial_state(&[Value::ONE, Value::ZERO, Value::ONE]);
+        let (rep, pi, orbit) = canonicalize_packed(&m, &packer, &perms, &x).expect("x packs");
+        // The witness transports x onto the representative.
+        assert_eq!(m.permute_state(&x, &pi), rep);
+        // Orbit size matches the brute-force enumeration.
+        assert_eq!(orbit, orbit_size(&m, &x) as u64);
+        // Every orbit member maps to the same representative with a valid
+        // witness and the same orbit size.
+        for p in &perms {
+            let y = m.permute_state(&x, p);
+            let (rep_y, pi_y, orbit_y) =
+                canonicalize_packed(&m, &packer, &perms, &y).expect("orbit members pack");
+            assert_eq!(rep_y, rep);
+            assert_eq!(m.permute_state(&y, &pi_y), rep);
+            assert_eq!(orbit_y, orbit);
         }
     }
 }

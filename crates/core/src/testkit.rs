@@ -14,6 +14,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use crate::space::pack::StatePacker;
 use crate::space::snapshot::{SnapshotError, SnapshotReader, SnapshotState};
 use crate::space::{StateId, StateSpace};
 use crate::sym::{canonicalize_by_min, PidPerm, Symmetric};
@@ -30,7 +31,7 @@ pub fn reachable_space<M: LayeredModel>(
     model: &M,
     horizon: usize,
 ) -> (StateSpace<M>, Vec<Vec<StateId>>) {
-    let mut space = StateSpace::new();
+    let mut space = StateSpace::for_model(model);
     let roots = model.initial_states();
     let levels = space.expand_layers(model, &roots, horizon, &NOOP);
     (space, levels)
@@ -142,6 +143,48 @@ impl LayeredModel for CounterModel {
             depth: x.depth + 1,
             label: 0,
         }
+    }
+
+    /// Packs a counter state as `n` two-bit input lanes (values below 4),
+    /// then 8 bits of depth and 8 bits of label. The lane shuffle matches
+    /// [`PidPerm::permute_vec`]: input lane `i` lands at lane `π(i)`.
+    fn state_packer(&self) -> Option<StatePacker<CounterState>> {
+        let n = self.n;
+        if 2 * n + 16 > 127 {
+            return None;
+        }
+        let pack = move |x: &CounterState| {
+            if x.inputs.len() != n {
+                return None;
+            }
+            let mut w = 0u128;
+            for i in 0..n {
+                let v = x.inputs[i].get();
+                if v >= 4 {
+                    return None;
+                }
+                w |= u128::from(v) << (2 * i);
+            }
+            w |= u128::from(x.depth) << (2 * n);
+            w |= u128::from(x.label) << (2 * n + 8);
+            Some(w)
+        };
+        let unpack = move |w: u128| CounterState {
+            inputs: (0..n)
+                .map(|i| Value::new(((w >> (2 * i)) & 0b11) as u32))
+                .collect(),
+            depth: ((w >> (2 * n)) & 0xFF) as u8,
+            label: ((w >> (2 * n + 8)) & 0xFF) as u8,
+        };
+        let permute = move |w: u128, perm: &PidPerm| {
+            let mut out = w >> (2 * n) << (2 * n);
+            for i in 0..n {
+                let lane = (w >> (2 * i)) & 0b11;
+                out |= lane << (2 * perm.apply(Pid::new(i)).index());
+            }
+            out
+        };
+        Some(StatePacker::new(pack, unpack).with_permute(permute))
     }
 }
 

@@ -142,7 +142,7 @@ impl<'a, M: LayeredModel> ValenceSolver<'a, M> {
         ValenceSolver {
             model,
             horizon,
-            space: StateSpace::new(),
+            space: StateSpace::for_model(model),
             memo: Vec::new(),
             obs,
         }
@@ -228,7 +228,7 @@ impl<'a, M: LayeredModel> ValenceSolver<'a, M> {
         }
         let (mut flags, depth) = {
             let x = self.space.resolve(id);
-            (self.local_valences(x), self.model.depth(x))
+            (self.local_valences(&x), self.model.depth(&x))
         };
         if depth < self.horizon && !(flags.zero && flags.one) {
             for y in self.successor_ids(id) {
@@ -462,8 +462,8 @@ impl<'a, M: Symmetric> QuotientSolver<'a, M> {
         let (mut flags, depth) = {
             let x = self.space.resolve(id);
             (
-                local_valence_flags(self.model, x, self.obs),
-                self.model.depth(x),
+                local_valence_flags(self.model, &x, self.obs),
+                self.model.depth(&x),
             )
         };
         if depth < self.horizon && !(flags.zero && flags.one) {

@@ -68,7 +68,7 @@ proptest! {
             prop_assert_eq!(covered, fl.len() as u64);
             for &id in fl {
                 let x = full.resolve(id);
-                let (rep, _) = m.canonicalize(x);
+                let (rep, _) = m.canonicalize(&x);
                 prop_assert!(quot.get(&m, &rep).is_some(), "missing orbit of {x:?}");
             }
         }

@@ -33,7 +33,7 @@ fn built_state_space(
 ) -> (CounterModel, StateSpace<CounterModel>, Vec<Vec<StateId>>) {
     let m = CounterModel::new(n, branch);
     let roots = m.initial_states();
-    let mut space: StateSpace<CounterModel> = StateSpace::new();
+    let mut space = StateSpace::for_model(&m);
     let levels = space.expand_layers(&m, &roots, depth, &NOOP);
     (m, space, levels)
 }
@@ -62,18 +62,18 @@ proptest! {
         branch in 1u8..4,
         depth in 0usize..4,
     ) {
-        let (_, space, levels) = built_state_space(n, branch, depth);
+        let (model, space, levels) = built_state_space(n, branch, depth);
         let m = meta(n as u64, depth as u64);
         let (bytes, digest) = save_space(&space, &m, &NOOP);
         let (loaded, got_meta, got_digest) =
-            load_space::<CounterModel>(&bytes, &NOOP).expect("pristine blob loads");
+            load_space(&model, &bytes, &NOOP).expect("pristine blob loads");
         prop_assert_eq!(got_meta, m.clone());
         prop_assert_eq!(got_digest, digest);
         prop_assert_eq!(loaded.len(), space.len());
         prop_assert_eq!(loaded.edge_count(), space.edge_count());
         for id in levels.iter().flatten().copied() {
             prop_assert_eq!(loaded.resolve(id), space.resolve(id));
-            prop_assert_eq!(loaded.get(space.resolve(id)), Some(id));
+            prop_assert_eq!(loaded.get(&space.resolve(id)), Some(id));
             prop_assert_eq!(loaded.cached_successors(id), space.cached_successors(id));
             prop_assert_eq!(
                 loaded.successor_fingerprint_of(id),
@@ -125,7 +125,7 @@ proptest! {
 /// fingerprints — is rejected; no tampered blob ever loads.
 #[test]
 fn corrupted_bytes_are_rejected() {
-    let (_, space, _) = built_state_space(3, 3, 3);
+    let (model, space, _) = built_state_space(3, 3, 3);
     let (pristine, _) = save_space(&space, &meta(3, 3), &NOOP);
     // Flip one bit at a spread of positions (every 7th byte keeps the test
     // fast while still covering header, index, CSR, and fingerprint
@@ -134,12 +134,12 @@ fn corrupted_bytes_are_rejected() {
         let mut tampered = pristine.clone();
         tampered[pos] ^= 0x01;
         assert!(
-            load_space::<CounterModel>(&tampered, &NOOP).is_err(),
+            load_space(&model, &tampered, &NOOP).is_err(),
             "tampering at byte {pos} not caught"
         );
     }
     // The pristine bytes still load.
-    load_space::<CounterModel>(&pristine, &NOOP).expect("pristine blob loads");
+    load_space(&model, &pristine, &NOOP).expect("pristine blob loads");
 }
 
 /// The quotient loader rejects the same bit flips, including in the
@@ -163,7 +163,7 @@ fn corrupted_quotient_bytes_are_rejected() {
 /// are trailing garbage bytes.
 #[test]
 fn truncated_and_padded_blobs_are_rejected() {
-    let (_, space, _) = built_state_space(3, 2, 2);
+    let (model, space, _) = built_state_space(3, 2, 2);
     let (pristine, _) = save_space(&space, &meta(3, 2), &NOOP);
     for len in [
         0,
@@ -173,14 +173,14 @@ fn truncated_and_padded_blobs_are_rejected() {
         pristine.len() - 1,
     ] {
         assert!(
-            load_space::<CounterModel>(&pristine[..len], &NOOP).is_err(),
+            load_space(&model, &pristine[..len], &NOOP).is_err(),
             "truncation to {len} bytes not caught"
         );
     }
     let mut padded = pristine.clone();
     padded.push(0);
     assert!(
-        load_space::<CounterModel>(&padded, &NOOP).is_err(),
+        load_space(&model, &padded, &NOOP).is_err(),
         "trailing byte not caught"
     );
 }
@@ -190,18 +190,18 @@ fn truncated_and_padded_blobs_are_rejected() {
 /// readers give actionable errors on new blobs instead of "corrupt".
 #[test]
 fn version_mismatch_is_rejected_before_hashing() {
-    let (_, space, _) = built_state_space(3, 2, 2);
+    let (model, space, _) = built_state_space(3, 2, 2);
     let (pristine, _) = save_space(&space, &meta(3, 2), &NOOP);
-    let needle = b"\"version\":1";
+    let needle = b"\"version\":2";
     let pos = pristine
         .windows(needle.len())
         .position(|w| w == needle)
         .expect("canonical header carries the version");
     let mut tampered = pristine;
-    tampered[pos + needle.len() - 1] = b'2';
-    match load_space::<CounterModel>(&tampered, &NOOP) {
-        Err(SnapshotError::UnsupportedVersion(2)) => {}
-        Err(other) => panic!("expected UnsupportedVersion(2), got {other:?}"),
+    tampered[pos + needle.len() - 1] = b'3';
+    match load_space(&model, &tampered, &NOOP) {
+        Err(SnapshotError::UnsupportedVersion(3)) => {}
+        Err(other) => panic!("expected UnsupportedVersion(3), got {other:?}"),
         Ok(_) => panic!("version-tampered blob loaded"),
     }
 }
@@ -212,7 +212,7 @@ fn version_mismatch_is_rejected_before_hashing() {
 fn wrong_kind_is_rejected_both_ways() {
     let (model, qspace, _) = built_quotient_space(3, 2, 2);
     let (qbytes, _) = save_quotient(&qspace, &meta(3, 2), &NOOP);
-    match load_space::<CounterModel>(&qbytes, &NOOP) {
+    match load_space(&model, &qbytes, &NOOP) {
         Err(SnapshotError::WrongKind { expected, found }) => {
             assert_eq!(expected, "state");
             assert_eq!(found, "quotient");
@@ -236,11 +236,11 @@ fn wrong_kind_is_rejected_both_ways() {
 /// An empty arena (no states interned at all) still round-trips.
 #[test]
 fn empty_space_roundtrips() {
+    let model = CounterModel::new(3, 2);
     let space: StateSpace<CounterModel> = StateSpace::new();
     let m = meta(3, 0);
     let (bytes, _) = save_space(&space, &m, &NOOP);
-    let (loaded, got_meta, _) =
-        load_space::<CounterModel>(&bytes, &NOOP).expect("empty blob loads");
+    let (loaded, got_meta, _) = load_space(&model, &bytes, &NOOP).expect("empty blob loads");
     assert_eq!(got_meta, m);
     assert_eq!(loaded.len(), 0);
     assert_eq!(loaded.edge_count(), 0);

@@ -15,7 +15,7 @@ fn pool() -> Vec<<CounterModel as LayeredModel>::State> {
     levels
         .into_iter()
         .flatten()
-        .map(|id| space.resolve(id).clone())
+        .map(|id| space.resolve(id))
         .collect()
 }
 
@@ -35,7 +35,7 @@ proptest! {
         for &k in &picks {
             let s = &states[k];
             let id = space.intern(s);
-            prop_assert_eq!(space.resolve(id), s);
+            prop_assert_eq!(&space.resolve(id), s);
             let prior = *first_id.entry(k).or_insert(id);
             prop_assert_eq!(prior, id, "double-intern must return the first id");
             prop_assert_eq!(space.get(s), Some(id));

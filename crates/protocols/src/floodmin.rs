@@ -16,9 +16,56 @@
 
 use std::collections::BTreeSet;
 
-use layered_core::{Pid, SnapshotError, SnapshotReader, SnapshotState, Value};
+use layered_core::{FieldPacker, Pid, SnapshotError, SnapshotReader, SnapshotState, Value};
 
 use crate::traits::{Anonymous, MpProtocol, SmProtocol, SyncProtocol};
+
+/// Width of the value-set bitmask in the packed codecs below: sets over
+/// values `0..4` pack, wider values spill.
+const MASK_BITS: u32 = 4;
+
+/// The 8-bit [`FloodState`] codec every FloodMin variant reports from its
+/// `local_packer` hook: a 4-bit membership mask over values `0..4` in the
+/// low bits, the completed-phase counter (capped at 15) above it.
+fn flood_local_packer() -> FieldPacker<FloodState> {
+    FieldPacker::new(
+        2 * MASK_BITS,
+        |ls: &FloodState| {
+            if ls.completed >= 1 << MASK_BITS {
+                return None;
+            }
+            Some(pack_value_set(&ls.known)? | (u64::from(ls.completed) << MASK_BITS))
+        },
+        |w| FloodState {
+            known: unpack_value_set(w & ((1 << MASK_BITS) - 1)),
+            completed: ((w >> MASK_BITS) & ((1 << MASK_BITS) - 1)) as u16,
+        },
+    )
+}
+
+/// The 4-bit value-set codec the shared-memory and message-passing variants
+/// report for registers and messages (both are `BTreeSet<Value>`).
+fn flood_set_packer() -> FieldPacker<BTreeSet<Value>> {
+    FieldPacker::new(MASK_BITS, pack_value_set, unpack_value_set)
+}
+
+fn pack_value_set(s: &BTreeSet<Value>) -> Option<u64> {
+    let mut mask = 0u64;
+    for v in s {
+        if v.get() >= MASK_BITS {
+            return None;
+        }
+        mask |= 1 << v.get();
+    }
+    Some(mask)
+}
+
+fn unpack_value_set(mask: u64) -> BTreeSet<Value> {
+    (0..MASK_BITS)
+        .filter(|b| mask & (1 << b) != 0)
+        .map(Value::new)
+        .collect()
+}
 
 /// Local state of every FloodMin variant: the set of known input values and
 /// the number of completed rounds/phases.
@@ -138,6 +185,10 @@ impl SyncProtocol for FloodMin {
     fn name(&self) -> String {
         format!("FloodMin(deadline={})", self.rounds)
     }
+
+    fn local_packer(&self) -> Option<FieldPacker<FloodState>> {
+        Some(flood_local_packer())
+    }
 }
 
 // FloodMin's transitions only union value sets and bump a counter; no hook
@@ -179,6 +230,10 @@ impl SyncProtocol for HastyMin {
 
     fn decide(&self, ls: &FloodState) -> Option<Value> {
         Some(ls.min_known())
+    }
+
+    fn local_packer(&self) -> Option<FieldPacker<FloodState>> {
+        Some(flood_local_packer())
     }
 }
 
@@ -240,6 +295,14 @@ impl SmProtocol for SmFloodMin {
 
     fn name(&self) -> String {
         format!("SmFloodMin(deadline={})", self.phases)
+    }
+
+    fn local_packer(&self) -> Option<FieldPacker<FloodState>> {
+        Some(flood_local_packer())
+    }
+
+    fn reg_packer(&self) -> Option<FieldPacker<BTreeSet<Value>>> {
+        Some(flood_set_packer())
     }
 }
 
@@ -310,6 +373,14 @@ impl MpProtocol for MpFloodMin {
     fn name(&self) -> String {
         format!("MpFloodMin(deadline={})", self.phases)
     }
+
+    fn local_packer(&self) -> Option<FieldPacker<FloodState>> {
+        Some(flood_local_packer())
+    }
+
+    fn msg_packer(&self) -> Option<FieldPacker<BTreeSet<Value>>> {
+        Some(flood_set_packer())
+    }
 }
 
 // The broadcast in `send` enumerates destinations but the *message* is
@@ -359,5 +430,42 @@ mod tests {
     #[should_panic(expected = "at least one round")]
     fn floodmin_zero_rounds_rejected() {
         let _ = FloodMin::new(0);
+    }
+
+    #[test]
+    fn flood_codec_round_trips_and_spills_wide_states() {
+        let p = FloodMin::new(2).local_packer().expect("FloodMin packs");
+        assert_eq!(p.bits(), 8);
+        for mask in 1u64..16 {
+            for completed in 0u16..16 {
+                let s = FloodState {
+                    known: unpack_value_set(mask),
+                    completed,
+                };
+                let w = p.pack(&s).expect("in-range state packs");
+                assert_eq!(p.unpack(w), s);
+            }
+        }
+        let wide_value = FloodState {
+            known: BTreeSet::from([Value::new(4)]),
+            completed: 0,
+        };
+        assert_eq!(p.pack(&wide_value), None, "values above 3 spill");
+        let deep = FloodState {
+            known: BTreeSet::from([Value::ZERO]),
+            completed: 16,
+        };
+        assert_eq!(p.pack(&deep), None, "phase counters above 15 spill");
+    }
+
+    #[test]
+    fn flood_set_codec_round_trips() {
+        let p = SmFloodMin::new(1)
+            .reg_packer()
+            .expect("SmFloodMin packs regs");
+        let set = BTreeSet::from([Value::ZERO, Value::new(2)]);
+        let w = p.pack(&set).expect("small set packs");
+        assert_eq!(p.unpack(w), set);
+        assert_eq!(p.pack(&BTreeSet::from([Value::new(9)])), None);
     }
 }

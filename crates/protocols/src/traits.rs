@@ -15,7 +15,7 @@
 use std::fmt::Debug;
 use std::hash::Hash;
 
-use layered_core::{Pid, Value};
+use layered_core::{FieldPacker, Pid, Value};
 
 /// The default for the `name` hooks below: the implementing type's bare name
 /// (no module path), for labeling simulation records and reports.
@@ -60,9 +60,9 @@ pub trait Anonymous {}
 /// its own message.
 pub trait SyncProtocol {
     /// The protocol's local state.
-    type LocalState: Clone + Eq + Hash + Debug;
+    type LocalState: Clone + Eq + Hash + Debug + 'static;
     /// The message type.
-    type Msg: Clone + Eq + Hash + Debug;
+    type Msg: Clone + Eq + Hash + Debug + 'static;
 
     /// Initial local state of process `me` with input `input` in an
     /// `n`-process system.
@@ -94,6 +94,15 @@ pub trait SyncProtocol {
     {
         type_short_name::<Self>()
     }
+
+    /// A fixed-width bitfield codec for the local state, if the protocol's
+    /// reachable local states fit one (see
+    /// [`FieldPacker`]'s contract). Models compose it into per-process
+    /// lanes of a packed arena word; the default `None` keeps boxed
+    /// storage.
+    fn local_packer(&self) -> Option<FieldPacker<Self::LocalState>> {
+        None
+    }
 }
 
 /// A protocol for the asynchronous single-writer/multi-reader shared-memory
@@ -106,9 +115,9 @@ pub trait SyncProtocol {
 /// to write and how to absorb the read vector.
 pub trait SmProtocol {
     /// The protocol's local state.
-    type LocalState: Clone + Eq + Hash + Debug;
+    type LocalState: Clone + Eq + Hash + Debug + 'static;
     /// The register value type (contents of the single-writer variables).
-    type Reg: Clone + Eq + Hash + Debug;
+    type Reg: Clone + Eq + Hash + Debug + 'static;
 
     /// Initial local state of process `me` with input `input`.
     fn init(&self, n: usize, me: Pid, input: Value) -> Self::LocalState;
@@ -133,6 +142,18 @@ pub trait SmProtocol {
     {
         type_short_name::<Self>()
     }
+
+    /// A fixed-width bitfield codec for the local state (see
+    /// [`SyncProtocol::local_packer`]). Default `None`.
+    fn local_packer(&self) -> Option<FieldPacker<Self::LocalState>> {
+        None
+    }
+
+    /// A fixed-width bitfield codec for register contents, used by packed
+    /// arena words to encode the shared-memory array. Default `None`.
+    fn reg_packer(&self) -> Option<FieldPacker<Self::Reg>> {
+        None
+    }
 }
 
 /// A protocol for the asynchronous message-passing model under the
@@ -150,9 +171,9 @@ pub trait SmProtocol {
 /// states similar (Section 5.1).
 pub trait MpProtocol {
     /// The protocol's local state.
-    type LocalState: Clone + Eq + Hash + Debug;
+    type LocalState: Clone + Eq + Hash + Debug + 'static;
     /// The message type.
-    type Msg: Clone + Eq + Hash + Debug;
+    type Msg: Clone + Eq + Hash + Debug + 'static;
 
     /// Initial local state of process `me` with input `input`.
     fn init(&self, n: usize, me: Pid, input: Value) -> Self::LocalState;
@@ -180,5 +201,17 @@ pub trait MpProtocol {
         Self: Sized,
     {
         type_short_name::<Self>()
+    }
+
+    /// A fixed-width bitfield codec for the local state (see
+    /// [`SyncProtocol::local_packer`]). Default `None`.
+    fn local_packer(&self) -> Option<FieldPacker<Self::LocalState>> {
+        None
+    }
+
+    /// A fixed-width bitfield codec for message payloads, used by packed
+    /// arena words to encode in-flight mailboxes. Default `None`.
+    fn msg_packer(&self) -> Option<FieldPacker<Self::Msg>> {
+        None
     }
 }

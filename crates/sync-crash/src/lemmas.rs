@@ -82,10 +82,10 @@ pub fn check_lemma_6_4<P: SyncProtocol>(
             // Only executions with at most k failures by round k qualify.
             let qualifies = solver.space().resolve(id).failure_count() <= k;
             if qualifies {
-                let y = model.apply(solver.space().resolve(id), None); // failure-free round k+1
+                let y = model.apply(&solver.space().resolve(id), None); // failure-free round k+1
                 let yid = solver.intern(&y);
                 if solver.is_bivalent_id(yid) {
-                    return Some(solver.space().resolve(yid).clone());
+                    return Some(solver.space().resolve(yid));
                 }
             }
             next.extend(solver.successor_ids(id));
@@ -134,11 +134,11 @@ pub fn check_display_below_budget<P: SyncProtocol>(
                     continue;
                 }
                 for j in Pid::all(n) {
-                    if !model.agree_modulo(x, y, j) {
+                    if !model.agree_modulo(&x, &y, j) {
                         continue;
                     }
-                    let cx = model.crash_step(x, j);
-                    let cy = model.crash_step(y, j);
+                    let cx = model.crash_step(&x, j);
+                    let cy = model.crash_step(&y, j);
                     if !model.agree_modulo(&cx, &cy, j) {
                         return Some((x.clone(), y.clone(), j));
                     }

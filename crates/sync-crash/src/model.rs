@@ -27,7 +27,10 @@
 
 use std::collections::HashSet;
 
-use layered_core::{canonicalize_by_min, LayeredModel, Pid, PidPerm, Symmetric, Value};
+use layered_core::{
+    canonicalize_by_min, canonicalize_packed, orbit_size, pack_decision, unpack_decision,
+    LayeredModel, Pid, PidPerm, StatePacker, Symmetric, Value, DECISION_BITS,
+};
 use layered_protocols::{Anonymous, SyncProtocol};
 
 use crate::state::CrashState;
@@ -72,6 +75,8 @@ pub struct CrashModel<P: SyncProtocol> {
     t: usize,
     protocol: P,
     layering: CrashLayering,
+    packer: Option<StatePacker<CrashState<P::LocalState>>>,
+    perms: Vec<PidPerm>,
 }
 
 impl<P: SyncProtocol> CrashModel<P> {
@@ -85,11 +90,19 @@ impl<P: SyncProtocol> CrashModel<P> {
     pub fn new(n: usize, t: usize, protocol: P) -> Self {
         assert!(n >= 3, "the Section 6 analysis assumes n >= 3");
         assert!((1..=n - 2).contains(&t), "requires 1 <= t <= n - 2");
+        let packer = build_packer(n, &protocol);
+        let perms = if packer.is_some() && n <= 8 {
+            PidPerm::all(n)
+        } else {
+            Vec::new()
+        };
         CrashModel {
             n,
             t,
             protocol,
             layering: CrashLayering::Prefix,
+            packer,
+            perms,
         }
     }
 
@@ -248,6 +261,103 @@ impl<P: SyncProtocol> CrashModel<P> {
     }
 }
 
+/// Builds the packed codec for an `n`-process crash model, if the protocol
+/// packs its local states and the lanes fit one word. Layout, low bits
+/// first: `n` lanes of `2` input bits, [`DECISION_BITS`] decision bits and
+/// the protocol's local codec; then 8 round bits; then the environment's
+/// failure record as an `n`-bit membership mask.
+fn build_packer<P: SyncProtocol>(
+    n: usize,
+    protocol: &P,
+) -> Option<StatePacker<CrashState<P::LocalState>>> {
+    let lp = protocol.local_packer()?;
+    let lane = 2 + DECISION_BITS + lp.bits();
+    let head = n as u32 * lane;
+    if head + 8 + n as u32 > 127 {
+        return None;
+    }
+    let pack = {
+        let lp = lp.clone();
+        move |x: &CrashState<P::LocalState>| {
+            if x.locals.len() != n || x.round >= 1 << 8 {
+                return None;
+            }
+            let mut w = u128::from(x.round) << head;
+            for p in &x.failed {
+                w |= 1 << (head + 8 + p.index() as u32);
+            }
+            for i in 0..n {
+                let off = i as u32 * lane;
+                let inp = u64::from(x.inputs[i].get());
+                if inp >= 4 {
+                    return None;
+                }
+                let dec = pack_decision(x.decided[i])?;
+                let loc = lp.pack(&x.locals[i])?;
+                w |= u128::from(inp) << off;
+                w |= u128::from(dec) << (off + 2);
+                w |= u128::from(loc) << (off + 2 + DECISION_BITS);
+            }
+            Some(w)
+        }
+    };
+    let unpack = move |w: u128| {
+        let mut inputs = Vec::with_capacity(n);
+        let mut decided = Vec::with_capacity(n);
+        let mut locals = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = i as u32 * lane;
+            inputs.push(Value::new(((w >> off) & 0b11) as u32));
+            decided.push(unpack_decision(
+                ((w >> (off + 2)) as u64) & ((1 << DECISION_BITS) - 1),
+            ));
+            locals.push(lp.unpack(((w >> (off + 2 + DECISION_BITS)) as u64) & lp.mask()));
+        }
+        CrashState {
+            round: ((w >> head) & 0xFF) as u16,
+            inputs,
+            locals,
+            decided,
+            failed: (0..n)
+                .filter(|i| w >> (head + 8 + *i as u32) & 1 == 1)
+                .map(Pid::new)
+                .collect(),
+        }
+    };
+    let permute = move |w: u128, perm: &PidPerm| {
+        let lane_mask = (1u128 << lane) - 1;
+        // Round bits stay put; lanes and failure-mask bits relocate.
+        let mut out = (w >> head & 0xFF) << head;
+        for i in 0..n {
+            let to = perm.apply(Pid::new(i)).index() as u32;
+            let bits = (w >> (i as u32 * lane)) & lane_mask;
+            out |= bits << (to * lane);
+            out |= (w >> (head + 8 + i as u32) & 1) << (head + 8 + to);
+        }
+        out
+    };
+    Some(StatePacker::new(pack, unpack).with_permute(permute))
+}
+
+impl<P> CrashModel<P>
+where
+    P: SyncProtocol + Anonymous,
+    P::LocalState: Ord,
+{
+    /// The single-sweep packed canonicalization, when the codec and the
+    /// cached permutation table are available and `x` packs.
+    fn packed_canon(
+        &self,
+        x: &CrashState<P::LocalState>,
+    ) -> Option<(CrashState<P::LocalState>, PidPerm, u64)> {
+        let packer = self.packer.as_ref()?;
+        if self.perms.is_empty() {
+            return None;
+        }
+        canonicalize_packed(self, packer, &self.perms, x)
+    }
+}
+
 impl<P: SyncProtocol> LayeredModel for CrashModel<P> {
     type State = CrashState<P::LocalState>;
 
@@ -328,6 +438,10 @@ impl<P: SyncProtocol> LayeredModel for CrashModel<P> {
     fn obligated(&self, x: &Self::State) -> Vec<Pid> {
         self.non_failed(x)
     }
+
+    fn state_packer(&self) -> Option<StatePacker<Self::State>> {
+        self.packer.clone()
+    }
 }
 
 // Renaming relocates the per-process vectors and relabels the environment's
@@ -356,8 +470,21 @@ where
         self.layering == CrashLayering::Full
     }
 
+    // Packed fast path first, brute-force minimum as fallback; packability
+    // is orbit-invariant, so each orbit sees exactly one rep rule.
     fn canonicalize(&self, x: &Self::State) -> (Self::State, PidPerm) {
+        if let Some((rep, pi, _)) = self.packed_canon(x) {
+            return (rep, pi);
+        }
         canonicalize_by_min(self, x)
+    }
+
+    fn canonicalize_with_orbit(&self, x: &Self::State) -> (Self::State, PidPerm, u64) {
+        if let Some(out) = self.packed_canon(x) {
+            return out;
+        }
+        let (rep, pi) = canonicalize_by_min(self, x);
+        (rep, pi, orbit_size(self, x) as u64)
     }
 }
 

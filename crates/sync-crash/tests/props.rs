@@ -3,9 +3,9 @@
 
 use proptest::prelude::*;
 
-use layered_core::{LayeredModel, Value};
+use layered_core::{orbit_size, LayeredModel, PidPerm, Symmetric, Value};
 use layered_protocols::{FloodMin, SyncProtocol};
-use layered_sync_crash::{CrashModel, CrashState};
+use layered_sync_crash::{CrashLayering, CrashModel, CrashState};
 
 type State = CrashState<<FloodMin as SyncProtocol>::LocalState>;
 
@@ -40,6 +40,48 @@ proptest! {
             prop_assert!(w[1].failure_count() <= t);
             prop_assert!(w[1].failure_count() <= w[0].failure_count() + 1);
         }
+    }
+
+    /// The packed codec round-trips every state of a random run — failure
+    /// record included — and the word shuffle commutes with renaming.
+    #[test]
+    fn packed_codec_round_trips_and_commutes(
+        inputs in arb_inputs(4),
+        choices in proptest::collection::vec(0usize..64, 0..3),
+        perm_ix in 0usize..24,
+    ) {
+        let m = CrashModel::new(4, 2, FloodMin::new(3));
+        let packer = m.state_packer().expect("FloodMin crash states pack");
+        let perm = &PidPerm::all(4)[perm_ix];
+        for x in walk(&m, &inputs, &choices) {
+            let w = packer.pack(&x).expect("reachable states pack");
+            prop_assert_eq!(packer.unpack(w), x.clone());
+            let shuffled = packer.permute_word(w, perm).expect("shuffle present");
+            prop_assert_eq!(
+                packer.unpack(shuffled),
+                m.permute_state(&x, perm),
+                "word shuffle must relocate lanes and the failure mask"
+            );
+        }
+    }
+
+    /// Packed canonicalization: valid witness, brute-force orbit size, and
+    /// an orbit-invariant representative.
+    #[test]
+    fn packed_canonicalization_is_orbit_consistent(
+        inputs in arb_inputs(3),
+        choices in proptest::collection::vec(0usize..64, 0..2),
+        perm_ix in 0usize..6,
+    ) {
+        let m = CrashModel::new(3, 1, FloodMin::new(2)).with_layering(CrashLayering::Full);
+        let x = walk(&m, &inputs, &choices).pop().unwrap();
+        let (rep, pi, orbit) = m.canonicalize_with_orbit(&x);
+        prop_assert_eq!(&m.permute_state(&x, &pi), &rep);
+        prop_assert_eq!(orbit, orbit_size(&m, &x) as u64);
+        let y = m.permute_state(&x, &PidPerm::all(3)[perm_ix]);
+        let (rep_y, pi_y) = m.canonicalize(&y);
+        prop_assert_eq!(&rep_y, &rep);
+        prop_assert_eq!(&m.permute_state(&y, &pi_y), &rep);
     }
 
     /// Once the budget is exhausted, the layer is the singleton

@@ -27,7 +27,7 @@ fn interned_arena_roundtrips_at_n3() {
     let levels = space.expand_layers(&m, &roots, 2, &NOOP);
     let (bytes, digest) = save_space(&space, &meta(), &NOOP);
     let (loaded, got_meta, got_digest) =
-        load_space::<CrashModel<FloodMin>>(&bytes, &NOOP).expect("pristine blob loads");
+        load_space(&m, &bytes, &NOOP).expect("pristine blob loads");
     assert_eq!(got_meta, meta());
     assert_eq!(got_digest, digest);
     assert_eq!(loaded.len(), space.len());
@@ -55,7 +55,7 @@ fn tampered_blobs_are_rejected() {
         let mut tampered = pristine.clone();
         tampered[pos] ^= 0x01;
         assert!(
-            load_space::<CrashModel<FloodMin>>(&tampered, &NOOP).is_err(),
+            load_space(&m, &tampered, &NOOP).is_err(),
             "tampering at byte {pos} not caught"
         );
     }

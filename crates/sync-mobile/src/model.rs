@@ -16,7 +16,10 @@
 
 use std::collections::HashSet;
 
-use layered_core::{canonicalize_by_min, LayeredModel, Pid, PidPerm, Symmetric, Value};
+use layered_core::{
+    canonicalize_by_min, canonicalize_packed, orbit_size, pack_decision, unpack_decision,
+    LayeredModel, Pid, PidPerm, StatePacker, Symmetric, Value, DECISION_BITS,
+};
 use layered_protocols::{Anonymous, SyncProtocol};
 
 use crate::state::MobileState;
@@ -56,6 +59,8 @@ pub struct MobileModel<P: SyncProtocol> {
     n: usize,
     protocol: P,
     layering: MobileLayering,
+    packer: Option<StatePacker<MobileState<P::LocalState>>>,
+    perms: Vec<PidPerm>,
 }
 
 impl<P: SyncProtocol> MobileModel<P> {
@@ -67,10 +72,18 @@ impl<P: SyncProtocol> MobileModel<P> {
     #[must_use]
     pub fn new(n: usize, protocol: P) -> Self {
         assert!(n >= 2, "the paper assumes n >= 2");
+        let packer = build_packer(n, &protocol);
+        let perms = if packer.is_some() && n <= 8 {
+            PidPerm::all(n)
+        } else {
+            Vec::new()
+        };
         MobileModel {
             n,
             protocol,
             layering: MobileLayering::S1,
+            packer,
+            perms,
         }
     }
 
@@ -179,6 +192,92 @@ impl<P: SyncProtocol> MobileModel<P> {
     }
 }
 
+/// Builds the packed codec for an `n`-process mobile model, if the protocol
+/// packs its local states and the lanes fit one word. Layout, low bits
+/// first: `n` lanes of `2` input bits, [`DECISION_BITS`] decision bits and
+/// the protocol's local codec, then 8 round bits on top.
+fn build_packer<P: SyncProtocol>(
+    n: usize,
+    protocol: &P,
+) -> Option<StatePacker<MobileState<P::LocalState>>> {
+    let lp = protocol.local_packer()?;
+    let lane = 2 + DECISION_BITS + lp.bits();
+    let head = n as u32 * lane;
+    if head + 8 > 127 {
+        return None;
+    }
+    let pack = {
+        let lp = lp.clone();
+        move |x: &MobileState<P::LocalState>| {
+            if x.locals.len() != n || x.round >= 1 << 8 {
+                return None;
+            }
+            let mut w = u128::from(x.round) << head;
+            for i in 0..n {
+                let off = i as u32 * lane;
+                let inp = u64::from(x.inputs[i].get());
+                if inp >= 4 {
+                    return None;
+                }
+                let dec = pack_decision(x.decided[i])?;
+                let loc = lp.pack(&x.locals[i])?;
+                w |= u128::from(inp) << off;
+                w |= u128::from(dec) << (off + 2);
+                w |= u128::from(loc) << (off + 2 + DECISION_BITS);
+            }
+            Some(w)
+        }
+    };
+    let unpack = move |w: u128| {
+        let mut inputs = Vec::with_capacity(n);
+        let mut decided = Vec::with_capacity(n);
+        let mut locals = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = i as u32 * lane;
+            inputs.push(Value::new(((w >> off) & 0b11) as u32));
+            decided.push(unpack_decision(
+                ((w >> (off + 2)) as u64) & ((1 << DECISION_BITS) - 1),
+            ));
+            locals.push(lp.unpack(((w >> (off + 2 + DECISION_BITS)) as u64) & lp.mask()));
+        }
+        MobileState {
+            round: ((w >> head) & 0xFF) as u16,
+            inputs,
+            locals,
+            decided,
+        }
+    };
+    let permute = move |w: u128, perm: &PidPerm| {
+        let lane_mask = (1u128 << lane) - 1;
+        let mut out = w >> head << head;
+        for i in 0..n {
+            let bits = (w >> (i as u32 * lane)) & lane_mask;
+            out |= bits << (perm.apply(Pid::new(i)).index() as u32 * lane);
+        }
+        out
+    };
+    Some(StatePacker::new(pack, unpack).with_permute(permute))
+}
+
+impl<P> MobileModel<P>
+where
+    P: SyncProtocol + Anonymous,
+    P::LocalState: Ord,
+{
+    /// The single-sweep packed canonicalization, when the codec and the
+    /// cached permutation table are available and `x` packs.
+    fn packed_canon(
+        &self,
+        x: &MobileState<P::LocalState>,
+    ) -> Option<(MobileState<P::LocalState>, PidPerm, u64)> {
+        let packer = self.packer.as_ref()?;
+        if self.perms.is_empty() {
+            return None;
+        }
+        canonicalize_packed(self, packer, &self.perms, x)
+    }
+}
+
 impl<P: SyncProtocol> LayeredModel for MobileModel<P> {
     type State = MobileState<P::LocalState>;
 
@@ -247,6 +346,10 @@ impl<P: SyncProtocol> LayeredModel for MobileModel<P> {
         let everyone: Vec<Pid> = Pid::all(self.n).collect();
         self.apply(x, j, &everyone)
     }
+
+    fn state_packer(&self) -> Option<StatePacker<Self::State>> {
+        self.packer.clone()
+    }
 }
 
 // Process renaming acts on M^mf states by relocating every per-process
@@ -276,8 +379,24 @@ where
         self.layering == MobileLayering::Full
     }
 
+    // Both canonicalization entry points take the packed fast path first
+    // and fall back to the brute-force minimum. Packability is
+    // orbit-invariant, so a given orbit is canonicalized by exactly one of
+    // the two rules wherever it is encountered — the rep is well defined
+    // even though the rules pick different (equally canonical) members.
     fn canonicalize(&self, x: &Self::State) -> (Self::State, PidPerm) {
+        if let Some((rep, pi, _)) = self.packed_canon(x) {
+            return (rep, pi);
+        }
         canonicalize_by_min(self, x)
+    }
+
+    fn canonicalize_with_orbit(&self, x: &Self::State) -> (Self::State, PidPerm, u64) {
+        if let Some(out) = self.packed_canon(x) {
+            return out;
+        }
+        let (rep, pi) = canonicalize_by_min(self, x);
+        (rep, pi, orbit_size(self, x) as u64)
     }
 }
 

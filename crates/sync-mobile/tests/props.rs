@@ -3,9 +3,9 @@
 
 use proptest::prelude::*;
 
-use layered_core::{LayeredModel, Pid, Value};
+use layered_core::{orbit_size, LayeredModel, Pid, PidPerm, Symmetric, Value};
 use layered_protocols::{FloodMin, SyncProtocol};
-use layered_sync_mobile::{MobileModel, MobileState};
+use layered_sync_mobile::{MobileLayering, MobileModel, MobileState};
 
 type State = MobileState<<FloodMin as SyncProtocol>::LocalState>;
 
@@ -81,6 +81,49 @@ proptest! {
         let j = Pid::new(j);
         prop_assert!(m.agree_modulo(&x, &x, j));
         prop_assert_eq!(m.agree_modulo(&x, &y, j), m.agree_modulo(&y, &x, j));
+    }
+
+    /// The packed codec round-trips every state of a random run, and the
+    /// word-level renaming shuffle commutes with `permute_state`.
+    #[test]
+    fn packed_codec_round_trips_and_commutes(
+        inputs in arb_inputs(3),
+        actions in proptest::collection::vec(arb_action(3), 0..3),
+        perm_ix in 0usize..6,
+    ) {
+        let m = MobileModel::new(3, FloodMin::new(2));
+        let packer = m.state_packer().expect("FloodMin mobile states pack");
+        let perm = &PidPerm::all(3)[perm_ix];
+        for x in walk(&m, &inputs, &actions) {
+            let w = packer.pack(&x).expect("reachable states pack");
+            prop_assert_eq!(packer.unpack(w), x.clone());
+            let shuffled = packer.permute_word(w, perm).expect("shuffle present");
+            prop_assert_eq!(
+                packer.unpack(shuffled),
+                m.permute_state(&x, perm),
+                "word shuffle must match the state-level renaming"
+            );
+        }
+    }
+
+    /// The packed canonicalization agrees with the brute-force one: same
+    /// orbit size, a valid transport witness, and an orbit-invariant rep.
+    #[test]
+    fn packed_canonicalization_is_orbit_consistent(
+        inputs in arb_inputs(3),
+        actions in proptest::collection::vec(arb_action(3), 0..2),
+        perm_ix in 0usize..6,
+    ) {
+        let m = MobileModel::new(3, FloodMin::new(2)).with_layering(MobileLayering::Full);
+        let x = walk(&m, &inputs, &actions).pop().unwrap();
+        let (rep, pi, orbit) = m.canonicalize_with_orbit(&x);
+        prop_assert_eq!(&m.permute_state(&x, &pi), &rep);
+        prop_assert_eq!(orbit, orbit_size(&m, &x) as u64);
+        // Every orbit member canonicalizes to the same representative.
+        let y = m.permute_state(&x, &PidPerm::all(3)[perm_ix]);
+        let (rep_y, pi_y) = m.canonicalize(&y);
+        prop_assert_eq!(&rep_y, &rep);
+        prop_assert_eq!(&m.permute_state(&y, &pi_y), &rep);
     }
 
     /// The clean action (no losses) is independent of the chosen j, at any

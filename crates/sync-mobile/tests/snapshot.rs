@@ -34,8 +34,7 @@ fn interned_arena_roundtrips_at_n3() {
     let mut space: StateSpace<MobileModel<FloodMin>> = StateSpace::new();
     let levels = space.expand_layers(&m, &roots, 2, &NOOP);
     let (bytes, _) = save_space(&space, &meta(3, 3, 2, "s1"), &NOOP);
-    let (loaded, _, _) =
-        load_space::<MobileModel<FloodMin>>(&bytes, &NOOP).expect("pristine blob loads");
+    let (loaded, _, _) = load_space(&m, &bytes, &NOOP).expect("pristine blob loads");
     assert_eq!(loaded.len(), space.len());
     assert_eq!(loaded.edge_count(), space.edge_count());
     for id in levels.iter().flatten().copied() {
@@ -89,8 +88,7 @@ fn resumed_interned_scan_is_bit_identical_at_n4() {
     assert_eq!(cold_seq, cold_par, "seq/par cold scans disagree");
 
     for threads in [0, 4] {
-        let (space, _, _) =
-            load_space::<MobileModel<FloodMin>>(&bytes, &NOOP).expect("snapshot reloads");
+        let (space, _, _) = load_space(&m, &bytes, &NOOP).expect("snapshot reloads");
         let mut resumed = ValenceSolver::with_space(&m, horizon, space, &NOOP);
         let scan = if threads == 0 {
             scan_layer_valence_connectivity(&mut resumed, 2, true)
