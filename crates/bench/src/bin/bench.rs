@@ -18,6 +18,11 @@
 //!   experiments (the hook the negative test uses).
 //! * `--out <path>` — write the fresh records to `<path>` (the next
 //!   committed `BENCH_PR<k>.json`).
+//! * `--lint-budget-ms <k>` — wall budget for the lint gate (default
+//!   10000; 0 disables it). The gate runs the whole-workspace
+//!   static-analysis pass — both tiers, including the call-graph rules —
+//!   and fails if it regresses past the budget or finds anything: the
+//!   lint must stay cheap enough to run on every push.
 
 use layered_bench::regress::{
     collect_baselines, compare, verdict_table, BenchRecord, Tolerance, Verdict,
@@ -29,6 +34,7 @@ struct Options {
     fresh: Option<String>,
     out: Option<String>,
     tol: Tolerance,
+    lint_budget_ms: u64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -43,6 +49,7 @@ fn parse_args() -> Result<Options, String> {
         fresh: None,
         out: None,
         tol: Tolerance::default(),
+        lint_budget_ms: 10_000,
     };
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| args.next().ok_or(format!("{flag} requires a value"));
@@ -62,6 +69,9 @@ fn parse_args() -> Result<Options, String> {
                 opts.tol.counter_ratio_x100 =
                     numeric("--counter-ratio-x100", &value("--counter-ratio-x100")?)?;
             }
+            "--lint-budget-ms" => {
+                opts.lint_budget_ms = numeric("--lint-budget-ms", &value("--lint-budget-ms")?)?;
+            }
             other => return Err(format!("unrecognized argument `{other}`")),
         }
     }
@@ -76,6 +86,42 @@ fn parse_args() -> Result<Options, String> {
 
 fn numeric(flag: &str, text: &str) -> Result<u64, String> {
     text.parse::<u64>().map_err(|e| format!("{flag}: {e}"))
+}
+
+/// The lint wall-time gate: the whole-workspace static-analysis pass —
+/// both tiers, including call-graph construction — must stay within the
+/// budget *and* clean. A lint that outgrows its budget stops being run
+/// on every push, which is how determinism bugs sneak back in.
+fn lint_gate(budget_ms: u64) -> Result<(), String> {
+    let root = layered_lint::default_root();
+    let t0 = layered_core::telemetry::clock::monotonic_ns();
+    let report = layered_lint::lint_workspace(&root);
+    let wall_ms = (layered_core::telemetry::clock::monotonic_ns() - t0) / 1_000_000;
+    println!(
+        "Lint gate: {} file(s), {} finding(s), {} suppressed, {wall_ms} ms (budget {budget_ms} ms).",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed.len(),
+    );
+    if report.files_scanned < 50 {
+        return Err(format!(
+            "lint walked only {} file(s) under {root:?} — wrong working directory?",
+            report.files_scanned
+        ));
+    }
+    if !report.is_clean() {
+        return Err(format!(
+            "{} unsuppressed lint finding(s) — run `cargo run -p layered-lint` for the list",
+            report.findings.len()
+        ));
+    }
+    if wall_ms > budget_ms {
+        return Err(format!(
+            "lint pass took {wall_ms} ms > {budget_ms} ms budget — the pass must stay cheap \
+             enough for every push"
+        ));
+    }
+    Ok(())
 }
 
 /// Every `BENCH_*.json` in the current directory, sorted for determinism.
@@ -134,7 +180,7 @@ fn main() {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: bench regress [--baseline <path>]... [--fresh <path>] [--out <path>] [--wall-ratio-x100 <k>] [--wall-floor-ms <k>] [--counter-ratio-x100 <k>]"
+                "usage: bench regress [--baseline <path>]... [--fresh <path>] [--out <path>] [--wall-ratio-x100 <k>] [--wall-floor-ms <k>] [--counter-ratio-x100 <k>] [--lint-budget-ms <k>]"
             );
             std::process::exit(2);
         }
@@ -197,5 +243,12 @@ fn main() {
             }
         }
         std::process::exit(1);
+    }
+
+    if opts.lint_budget_ms > 0 {
+        if let Err(msg) = lint_gate(opts.lint_budget_ms) {
+            eprintln!("error: lint gate: {msg}");
+            std::process::exit(1);
+        }
     }
 }

@@ -109,7 +109,10 @@ pub fn state_violations<M: LayeredModel>(model: &M, x: &M::State) -> Vec<Violati
                 inputs: inputs.clone(),
             });
         }
-        for &(q, vq) in &decided[idx + 1..] {
+        let later = decided
+            .get(idx + 1..)
+            .expect("idx comes from enumerate, so idx + 1 <= decided.len()");
+        for &(q, vq) in later {
             if vp != vq {
                 out.push(Violation::Agreement {
                     state: x.clone(),

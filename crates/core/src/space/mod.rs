@@ -921,7 +921,9 @@ impl<M: LayeredModel> StateSpace<M> {
     pub fn cached_successors(&self, id: StateId) -> Option<&[StateId]> {
         self.succ[id.index()].map(|r| {
             let start = r.start as usize;
-            &self.edges[start..start + r.len as usize]
+            self.edges
+                .get(start..start + r.len as usize)
+                .expect("SuccRange lies within the edge array by construction")
         })
     }
 
@@ -991,8 +993,11 @@ impl<M: LayeredModel> StateSpace<M> {
             if fp == old_fp[k] {
                 let start = u32::try_from(self.edges.len()).expect("more than u32::MAX edges");
                 let s = range.start as usize;
-                self.edges
-                    .extend_from_slice(&old_edges[s..s + range.len as usize]);
+                self.edges.extend_from_slice(
+                    old_edges
+                        .get(s..s + range.len as usize)
+                        .expect("resumed SuccRange lies within the loaded edge array"),
+                );
                 self.succ[k] = Some(SuccRange {
                     start,
                     len: range.len,
@@ -1367,7 +1372,9 @@ fn balanced_chunks<T>(items: &[T], parts: usize) -> impl Iterator<Item = &[T]> {
     let mut start = 0;
     (0..parts).map(move |k| {
         let len = base + usize::from(k < extra);
-        let part = &items[start..start + len];
+        let part = items
+            .get(start..start + len)
+            .expect("chunk arithmetic partitions the slice exactly");
         start += len;
         part
     })
@@ -1590,7 +1597,9 @@ impl<M: Symmetric> QuotientSpace<M> {
     pub fn cached_successors(&self, id: StateId) -> Option<&[StateId]> {
         self.succ[id.index()].map(|r| {
             let start = r.start as usize;
-            &self.edges[start..start + r.len as usize]
+            self.edges
+                .get(start..start + r.len as usize)
+                .expect("SuccRange lies within the edge array by construction")
         })
     }
 

@@ -171,7 +171,10 @@ impl<'a> SnapshotReader<'a> {
         if self.remaining() < n {
             return Err(SnapshotError::Truncated);
         }
-        let out = &self.bytes[self.pos..self.pos + n];
+        let out = self
+            .bytes
+            .get(self.pos..self.pos + n)
+            .expect("bounds checked against remaining() above");
         self.pos += n;
         Ok(out)
     }
@@ -472,7 +475,9 @@ fn open<'a>(
         .ok_or(SnapshotError::BadHeader("no header line"))?;
     let header = std::str::from_utf8(&bytes[..nl])
         .map_err(|_| SnapshotError::BadHeader("header is not UTF-8"))?;
-    let body = &bytes[nl + 1..];
+    let body = bytes
+        .get(nl + 1..)
+        .expect("nl is a newline index found by position()");
     let json = Json::parse(header).map_err(|_| SnapshotError::BadHeader("unparseable JSON"))?;
     if header_str(&json, "format")? != SNAPSHOT_FORMAT {
         return Err(SnapshotError::BadHeader("format is not layered-arena"));

@@ -1,0 +1,973 @@
+//! A lightweight item parser on top of the lexer: the symbol table the
+//! whole-program rules resolve against.
+//!
+//! Where the token rules (L001–L006) pattern-match a single file's token
+//! stream, the call-graph rules (L007–L010) need to know *what* the
+//! workspace defines: which functions exist (and where their bodies
+//! are), which `impl` blocks attach them to which types and traits,
+//! which struct fields hold unordered hash containers, and how `use`
+//! declarations alias names across crates. This module recovers exactly
+//! that — and nothing more — from the lossy token stream:
+//!
+//! * `fn` items with their name, enclosing module path, `impl` context
+//!   (self type + trait), visibility, and body token range;
+//! * `impl` blocks (`impl Type`, `impl Trait for Type`), generics
+//!   stripped;
+//! * `trait` blocks, whose provided methods parse like impl methods;
+//! * `struct` fields, marked when their declared type mentions an
+//!   unordered hash container;
+//! * `use` aliases mapping a local name to its full path;
+//! * inline `mod name { … }` nesting, composed with the module path the
+//!   file's location implies.
+//!
+//! The parser is approximate in the same documented way the lexer is:
+//! no macro expansion, no type inference, and name resolution only good
+//! enough for intra-workspace paths. Items under a `#[cfg(test)]`
+//! attribute are skipped entirely — test code is exempt from every
+//! whole-program rule, so it must not contribute nodes or edges.
+
+use crate::lexer::{lex, matching, Lexed, Suppression, Tok, TokKind};
+use crate::rules::FileKind;
+
+/// Rust keywords that can never be a call target or item name. Raw
+/// identifiers (`r#type`) keep their `r#` prefix through the lexer, so
+/// they never collide with this list.
+pub const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "static", "struct", "super", "trait", "true", "type",
+    "unsafe", "use", "where", "while",
+];
+
+/// Whether `name` is a Rust keyword (see [`KEYWORDS`]).
+#[must_use]
+pub fn is_keyword(name: &str) -> bool {
+    KEYWORDS.contains(&name)
+}
+
+/// One parsed source file: its tokens, suppressions, and location-derived
+/// identity (crate + base module path).
+#[derive(Clone, Debug)]
+pub struct ParsedFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// The file's classification.
+    pub kind: FileKind,
+    /// The owning crate's *library* name with underscores
+    /// (`layered_core`), as it appears in `use` paths.
+    pub crate_name: String,
+    /// Module path implied by the file's location (`src/space/mod.rs`
+    /// → `["space"]`), before any inline `mod` nesting.
+    pub base_module: Vec<String>,
+    /// The file's token stream.
+    pub toks: Vec<Tok>,
+    /// The file's `lint:allow` suppression comments.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// One `fn` item (free, impl method, or trait method).
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Index of the defining file in [`Workspace::files`].
+    pub file: usize,
+    /// Full module path: the file's base module plus inline `mod`s.
+    pub module: Vec<String>,
+    /// The `impl`/`trait` type this method belongs to, generics
+    /// stripped; `None` for free functions.
+    pub self_ty: Option<String>,
+    /// The trait implemented by the enclosing `impl Trait for Type`
+    /// block (or declared by the enclosing `trait`), if any.
+    pub trait_name: Option<String>,
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index range of the body *between* its braces (exclusive of
+    /// both); `None` for bodyless trait declarations.
+    pub body: Option<(usize, usize)>,
+    /// Whether the item carries a `pub` qualifier.
+    pub is_pub: bool,
+}
+
+impl FnDef {
+    /// Display name: `Type::name` for methods, plain `name` otherwise.
+    #[must_use]
+    pub fn qualified_name(&self) -> String {
+        match &self.self_ty {
+            Some(ty) => format!("{ty}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One `impl` block header.
+#[derive(Clone, Debug)]
+pub struct ImplDef {
+    /// Index of the defining file in [`Workspace::files`].
+    pub file: usize,
+    /// The implementing type, generics stripped (`MpModel`).
+    pub self_ty: String,
+    /// The implemented trait, generics stripped, for
+    /// `impl Trait for Type` blocks.
+    pub trait_name: Option<String>,
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+}
+
+/// One named struct field.
+#[derive(Clone, Debug)]
+pub struct FieldDef {
+    /// Index of the defining file in [`Workspace::files`].
+    pub file: usize,
+    /// The declaring struct's name.
+    pub struct_name: String,
+    /// The field's name.
+    pub name: String,
+    /// Whether the declared type mentions an unordered hash container
+    /// (`HashMap`/`HashSet`/`FxHashMap`/`FxHashSet`).
+    pub unordered: bool,
+    /// 1-based line of the field name.
+    pub line: u32,
+}
+
+/// One `use` alias: the local name a `use` declaration introduces, and
+/// the full path it stands for.
+#[derive(Clone, Debug)]
+pub struct UseDef {
+    /// Index of the declaring file in [`Workspace::files`].
+    pub file: usize,
+    /// The local name (the path's last segment, or the `as` rename).
+    pub alias: String,
+    /// Full path segments, leading `crate`/`self`/`super` kept verbatim.
+    pub path: Vec<String>,
+}
+
+/// The parsed workspace: every library/binary file's items, indexed for
+/// the call-graph pass.
+#[derive(Clone, Debug, Default)]
+pub struct Workspace {
+    /// Parsed files, in the deterministic walk order.
+    pub files: Vec<ParsedFile>,
+    /// Every `fn` item, in file-then-token order.
+    pub fns: Vec<FnDef>,
+    /// Every `impl` block header.
+    pub impls: Vec<ImplDef>,
+    /// Every named struct field.
+    pub fields: Vec<FieldDef>,
+    /// Every `use` alias.
+    pub uses: Vec<UseDef>,
+}
+
+impl Workspace {
+    /// Parses a set of sources. Each entry is `(rel path, kind, src)`;
+    /// only [`FileKind::Library`] and [`FileKind::Bin`] files contribute
+    /// items (tests, benches and examples are exempt from the
+    /// whole-program rules by construction).
+    #[must_use]
+    pub fn parse(sources: &[(String, FileKind, &str)]) -> Workspace {
+        let mut ws = Workspace::default();
+        for (rel, kind, src) in sources {
+            if !matches!(kind, FileKind::Library | FileKind::Bin) {
+                continue;
+            }
+            let Lexed { toks, suppressions } = lex(src);
+            let file_idx = ws.files.len();
+            ws.files.push(ParsedFile {
+                rel: rel.clone(),
+                kind: *kind,
+                crate_name: crate_name_of(rel),
+                base_module: base_module_of(rel),
+                toks,
+                suppressions,
+            });
+            let file = ws.files[file_idx].clone();
+            let mut p = Parser {
+                ws: &mut ws,
+                file: file_idx,
+                toks: &file.toks,
+            };
+            let module = file.base_module.clone();
+            p.items(0, file.toks.len(), &module, None);
+        }
+        ws
+    }
+
+    /// The functions defined in `file`, in token order.
+    pub fn fns_in_file(&self, file: usize) -> impl Iterator<Item = (usize, &FnDef)> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(move |(_, f)| f.file == file)
+    }
+}
+
+/// The crate's library name (underscored, as it appears in paths) from a
+/// workspace-relative file path: `crates/core/…` → `layered_core`, the
+/// root `src/…` → `layered_consensus`.
+#[must_use]
+pub fn crate_name_of(rel: &str) -> String {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        if let Some((dir, _)) = rest.split_once('/') {
+            return format!("layered_{}", dir.replace('-', "_"));
+        }
+    }
+    "layered_consensus".to_string()
+}
+
+/// The module path a file's location implies: `src/space/mod.rs` →
+/// `["space"]`, `src/space/pack.rs` → `["space", "pack"]`, crate roots
+/// and binaries → `[]`.
+#[must_use]
+pub fn base_module_of(rel: &str) -> Vec<String> {
+    let after_src = match rel.find("src/") {
+        Some(i) => &rel[i + 4..],
+        None => rel,
+    };
+    let mut segs: Vec<String> = after_src.split('/').map(str::to_string).collect();
+    let last = segs.pop().unwrap_or_default();
+    match last.as_str() {
+        "lib.rs" | "main.rs" | "mod.rs" => {}
+        other => {
+            if let Some(stem) = other.strip_suffix(".rs") {
+                segs.push(stem.to_string());
+            }
+        }
+    }
+    // `src/bin/<name>.rs` binaries are their own roots, not modules.
+    if segs.first().is_some_and(|s| s == "bin") {
+        return Vec::new();
+    }
+    segs
+}
+
+/// The enclosing `impl`/`trait` context while parsing.
+#[derive(Clone, Debug)]
+struct ImplCtx {
+    self_ty: Option<String>,
+    trait_name: Option<String>,
+}
+
+struct Parser<'a> {
+    ws: &'a mut Workspace,
+    file: usize,
+    toks: &'a [Tok],
+}
+
+impl Parser<'_> {
+    /// Scans `[start, end)` for items, in module `module`, inside the
+    /// given `impl`/`trait` context.
+    fn items(&mut self, start: usize, end: usize, module: &[String], ctx: Option<&ImplCtx>) {
+        let toks = self.toks;
+        let mut i = start;
+        let mut pending_pub = false;
+        let mut skip_next_item = false; // set by #[cfg(test)]
+        while i < end {
+            let t = &toks[i];
+            // Attributes: record #[cfg(test)], then skip the attribute.
+            if t.is_punct('#')
+                && i + 1 < end
+                && (toks[i + 1].is_punct('[') || toks[i + 1].is_punct('!'))
+            {
+                let open = if toks[i + 1].is_punct('[') {
+                    i + 1
+                } else {
+                    i + 2
+                };
+                let Some(close) = matching(toks, open, '[', ']') else {
+                    return; // unbalanced — degrade gracefully
+                };
+                let attr = &toks[open + 1..close];
+                let is_cfg_test = attr.iter().any(|t| t.is_ident("cfg"))
+                    && attr.iter().any(|t| t.is_ident("test"))
+                    && !attr.iter().any(|t| t.is_ident("not"));
+                skip_next_item = skip_next_item || is_cfg_test;
+                i = close + 1;
+                continue;
+            }
+            if t.is_ident("pub") {
+                pending_pub = true;
+                // Skip a `pub(crate)` / `pub(in path)` qualifier.
+                if i + 1 < end && toks[i + 1].is_punct('(') {
+                    match matching(toks, i + 1, '(', ')') {
+                        Some(close) => i = close + 1,
+                        None => return,
+                    }
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "mod" => {
+                        i = self.module(i, end, module, skip_next_item);
+                        (pending_pub, skip_next_item) = (false, false);
+                        continue;
+                    }
+                    "fn" => {
+                        i = self.function(i, end, module, ctx, pending_pub, skip_next_item);
+                        (pending_pub, skip_next_item) = (false, false);
+                        continue;
+                    }
+                    "impl" => {
+                        i = self.impl_block(i, end, module, skip_next_item);
+                        (pending_pub, skip_next_item) = (false, false);
+                        continue;
+                    }
+                    "trait" => {
+                        i = self.trait_block(i, end, module, skip_next_item);
+                        (pending_pub, skip_next_item) = (false, false);
+                        continue;
+                    }
+                    "struct" => {
+                        i = self.struct_item(i, end, skip_next_item);
+                        (pending_pub, skip_next_item) = (false, false);
+                        continue;
+                    }
+                    "use" => {
+                        i = self.use_item(i, end, skip_next_item);
+                        (pending_pub, skip_next_item) = (false, false);
+                        continue;
+                    }
+                    "macro_rules" => {
+                        // `macro_rules! name { … }` — arbitrary token soup;
+                        // skip the whole definition.
+                        i = skip_to_block_end(toks, i, end);
+                        (pending_pub, skip_next_item) = (false, false);
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            // Qualifiers like `unsafe fn` / `async fn` / `const fn` keep
+            // both flags alive; any other token attaches whatever came
+            // before to itself, clearing them.
+            let is_qualifier = t.kind == TokKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "unsafe" | "async" | "const" | "extern" | "default"
+                );
+            if !is_qualifier {
+                pending_pub = false;
+                skip_next_item = false;
+            }
+            i += 1;
+        }
+    }
+
+    /// Parses `mod name { … }` (recursing) or `mod name;` (skipping).
+    /// Returns the index after the item.
+    fn module(&mut self, at: usize, end: usize, module: &[String], skip: bool) -> usize {
+        let toks = self.toks;
+        let Some(name_tok) = toks.get(at + 1).filter(|t| t.kind == TokKind::Ident) else {
+            return at + 1;
+        };
+        let name = name_tok.text.clone();
+        let mut j = at + 2;
+        while j < end && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+            j += 1;
+        }
+        if j >= end || toks[j].is_punct(';') {
+            return j + 1;
+        }
+        let Some(close) = matching(toks, j, '{', '}') else {
+            return end;
+        };
+        if !skip {
+            let mut inner = module.to_vec();
+            inner.push(name);
+            self.items(j + 1, close, &inner, None);
+        }
+        close + 1
+    }
+
+    /// Parses one `fn` item; returns the index after it.
+    #[allow(clippy::too_many_arguments)]
+    fn function(
+        &mut self,
+        at: usize,
+        end: usize,
+        module: &[String],
+        ctx: Option<&ImplCtx>,
+        is_pub: bool,
+        skip: bool,
+    ) -> usize {
+        let toks = self.toks;
+        // `fn` must head an item: the next token is the name. (In a
+        // fn-pointer type the next token is `(`.)
+        let Some(name_tok) = toks.get(at + 1).filter(|t| t.kind == TokKind::Ident) else {
+            return at + 1;
+        };
+        let name = name_tok.text.clone();
+        let line = toks[at].line;
+        // Skip generics between the name and the parameter list.
+        let mut j = at + 2;
+        if j < end && toks[j].is_punct('<') {
+            let mut depth = 0i32;
+            while j < end {
+                if toks[j].is_punct('<') {
+                    depth += 1;
+                } else if toks[j].is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if j >= end || !toks[j].is_punct('(') {
+            return at + 1;
+        }
+        let Some(params_close) = matching(toks, j, '(', ')') else {
+            return end;
+        };
+        // Return type and where clause: scan to the body `{` or the `;`
+        // of a bodyless trait method. `->` and `where` never contain
+        // braces in this workspace's surface syntax.
+        let mut k = params_close + 1;
+        while k < end && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+            k += 1;
+        }
+        if k >= end {
+            return end;
+        }
+        if toks[k].is_punct(';') {
+            if !skip {
+                self.push_fn(module, ctx, name, line, None, is_pub);
+            }
+            return k + 1;
+        }
+        let Some(close) = matching(toks, k, '{', '}') else {
+            return end;
+        };
+        if !skip {
+            self.push_fn(module, ctx, name, line, Some((k + 1, close)), is_pub);
+            // Nested items (fns, impls) inside the body become their own
+            // defs; the graph pass subtracts their ranges from this body.
+            self.items(k + 1, close, module, None);
+        }
+        close + 1
+    }
+
+    fn push_fn(
+        &mut self,
+        module: &[String],
+        ctx: Option<&ImplCtx>,
+        name: String,
+        line: u32,
+        body: Option<(usize, usize)>,
+        is_pub: bool,
+    ) {
+        self.ws.fns.push(FnDef {
+            file: self.file,
+            module: module.to_vec(),
+            self_ty: ctx.and_then(|c| c.self_ty.clone()),
+            trait_name: ctx.and_then(|c| c.trait_name.clone()),
+            name,
+            line,
+            body,
+            is_pub,
+        });
+    }
+
+    /// Parses an `impl` block header and recurses into its body.
+    fn impl_block(&mut self, at: usize, end: usize, module: &[String], skip: bool) -> usize {
+        let toks = self.toks;
+        let line = toks[at].line;
+        // Skip the generic parameter list directly after `impl`.
+        let mut j = at + 1;
+        if j < end && toks[j].is_punct('<') {
+            let mut depth = 0i32;
+            while j < end {
+                if toks[j].is_punct('<') {
+                    depth += 1;
+                } else if toks[j].is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Header: tokens up to the `{`.
+        let header_start = j;
+        while j < end && !toks[j].is_punct('{') {
+            j += 1;
+        }
+        if j >= end {
+            return end;
+        }
+        let header = &toks[header_start..j];
+        let (self_ty, trait_name) = parse_impl_header(header);
+        let Some(close) = matching(toks, j, '{', '}') else {
+            return end;
+        };
+        if !skip {
+            if let Some(self_ty) = self_ty {
+                self.ws.impls.push(ImplDef {
+                    file: self.file,
+                    self_ty: self_ty.clone(),
+                    trait_name: trait_name.clone(),
+                    line,
+                });
+                let ctx = ImplCtx {
+                    self_ty: Some(self_ty),
+                    trait_name,
+                };
+                self.items(j + 1, close, module, Some(&ctx));
+            }
+        }
+        close + 1
+    }
+
+    /// Parses a `trait` block; provided methods parse with the trait as
+    /// their self type.
+    fn trait_block(&mut self, at: usize, end: usize, module: &[String], skip: bool) -> usize {
+        let toks = self.toks;
+        let Some(name_tok) = toks.get(at + 1).filter(|t| t.kind == TokKind::Ident) else {
+            return at + 1;
+        };
+        let name = name_tok.text.clone();
+        let mut j = at + 2;
+        while j < end && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+            j += 1;
+        }
+        if j >= end || toks[j].is_punct(';') {
+            return j + 1;
+        }
+        let Some(close) = matching(toks, j, '{', '}') else {
+            return end;
+        };
+        if !skip {
+            let ctx = ImplCtx {
+                self_ty: Some(name.clone()),
+                trait_name: Some(name),
+            };
+            self.items(j + 1, close, module, Some(&ctx));
+        }
+        close + 1
+    }
+
+    /// Parses a `struct` item, recording named fields.
+    fn struct_item(&mut self, at: usize, end: usize, skip: bool) -> usize {
+        let toks = self.toks;
+        let Some(name_tok) = toks.get(at + 1).filter(|t| t.kind == TokKind::Ident) else {
+            return at + 1;
+        };
+        let struct_name = name_tok.text.clone();
+        let mut j = at + 2;
+        // Find the field block, the tuple parens, or the unit `;` —
+        // skipping generics and where clauses.
+        while j < end && !toks[j].is_punct('{') && !toks[j].is_punct(';') && !toks[j].is_punct('(')
+        {
+            j += 1;
+        }
+        if j >= end {
+            return end;
+        }
+        if toks[j].is_punct(';') {
+            return j + 1;
+        }
+        if toks[j].is_punct('(') {
+            // Tuple struct: no named fields to record.
+            return matching(toks, j, '(', ')').map_or(end, |c| c + 1);
+        }
+        let Some(close) = matching(toks, j, '{', '}') else {
+            return end;
+        };
+        if !skip {
+            self.struct_fields(&struct_name, j + 1, close);
+        }
+        close + 1
+    }
+
+    /// Records the named fields of `struct_name` declared in `[start,
+    /// end)` (the token range between the struct's braces).
+    fn struct_fields(&mut self, struct_name: &str, start: usize, end: usize) {
+        let toks = self.toks;
+        let mut i = start;
+        while i < end {
+            // Skip attributes and visibility.
+            if toks[i].is_punct('#') && i + 1 < end && toks[i + 1].is_punct('[') {
+                match matching(toks, i + 1, '[', ']') {
+                    Some(c) => i = c + 1,
+                    None => return,
+                }
+                continue;
+            }
+            if toks[i].is_ident("pub") {
+                if i + 1 < end && toks[i + 1].is_punct('(') {
+                    match matching(toks, i + 1, '(', ')') {
+                        Some(c) => i = c + 1,
+                        None => return,
+                    }
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            // `name : type-tokens ,` at nesting depth 0.
+            if toks[i].kind == TokKind::Ident
+                && i + 1 < end
+                && toks[i + 1].is_punct(':')
+                && !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                let name = toks[i].text.clone();
+                let line = toks[i].line;
+                // Scan the type until a comma at depth 0.
+                let mut depth = 0i32;
+                let mut j = i + 2;
+                let mut unordered = false;
+                while j < end {
+                    let t = &toks[j];
+                    if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct('>') || t.is_punct(')') || t.is_punct(']') {
+                        depth -= 1;
+                    } else if t.is_punct(',') && depth <= 0 {
+                        break;
+                    }
+                    if t.kind == TokKind::Ident
+                        && crate::rules::UNORDERED_TYPES.iter().any(|u| t.is_ident(u))
+                    {
+                        unordered = true;
+                    }
+                    j += 1;
+                }
+                self.ws.fields.push(FieldDef {
+                    file: self.file,
+                    struct_name: struct_name.to_string(),
+                    name,
+                    unordered,
+                    line,
+                });
+                i = j + 1;
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    /// Parses a `use` declaration into [`UseDef`] aliases.
+    fn use_item(&mut self, at: usize, end: usize, skip: bool) -> usize {
+        let toks = self.toks;
+        // Find the terminating `;`, tracking brace groups.
+        let mut j = at + 1;
+        let mut depth = 0i32;
+        while j < end {
+            if toks[j].is_punct('{') {
+                depth += 1;
+            } else if toks[j].is_punct('}') {
+                depth -= 1;
+            } else if toks[j].is_punct(';') && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        if !skip {
+            let body = &toks[at + 1..j.min(end)];
+            let mut prefix = Vec::new();
+            let file = self.file;
+            collect_uses(body, &mut prefix, &mut |alias, path| {
+                self.ws.uses.push(UseDef { file, alias, path });
+            });
+        }
+        j + 1
+    }
+}
+
+/// Recursively flattens a `use` tree (`a::b::{c, d as e}`) into
+/// `(alias, full path)` pairs. Glob imports (`::*`) are dropped — the
+/// call-graph pass falls back to name-only resolution anyway.
+fn collect_uses(toks: &[Tok], prefix: &mut Vec<String>, out: &mut impl FnMut(String, Vec<String>)) {
+    let depth_before = prefix.len();
+    let mut i = 0;
+    let mut segs: Vec<String> = Vec::new();
+    let flush = |segs: &mut Vec<String>,
+                 prefix: &[String],
+                 out: &mut dyn FnMut(String, Vec<String>),
+                 alias: Option<String>| {
+        if segs.is_empty() {
+            return;
+        }
+        let mut path: Vec<String> = prefix.to_vec();
+        path.extend(segs.iter().cloned());
+        let name = alias.unwrap_or_else(|| segs[segs.len() - 1].clone());
+        if name != "*" {
+            out(name, path);
+        }
+        segs.clear();
+    };
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && !t.is_ident("as") {
+            segs.push(t.text.clone());
+            i += 1;
+        } else if t.is_punct('*') {
+            segs.push("*".to_string());
+            i += 1;
+        } else if t.is_punct(':') {
+            i += 1; // path separator (two `:` tokens)
+        } else if t.is_ident("as") {
+            let alias = toks
+                .get(i + 1)
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone());
+            flush(&mut segs, prefix, out, alias);
+            i += 2;
+        } else if t.is_punct(',') {
+            flush(&mut segs, prefix, out, None);
+            i += 1;
+        } else if t.is_punct('{') {
+            let Some(close) = matching(toks, i, '{', '}') else {
+                return;
+            };
+            prefix.append(&mut segs);
+            collect_uses(&toks[i + 1..close], prefix, out);
+            prefix.truncate(depth_before);
+            i = close + 1;
+        } else {
+            i += 1;
+        }
+    }
+    flush(&mut segs, prefix, out, None);
+}
+
+/// Splits an `impl` header (the tokens between `impl<…>` and `{`) into
+/// `(self type, trait name)`, both with generics stripped.
+fn parse_impl_header(header: &[Tok]) -> (Option<String>, Option<String>) {
+    // Split on a top-level `for` (angle-depth 0): trait before, type
+    // after. `for<'a>` higher-ranked binders don't occur at depth 0 in
+    // impl headers in this workspace.
+    let mut depth = 0i32;
+    let mut for_at: Option<usize> = None;
+    for (i, t) in header.iter().enumerate() {
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') {
+            depth -= 1;
+        } else if depth == 0 && t.is_ident("for") {
+            for_at = Some(i);
+            break;
+        } else if depth == 0 && t.is_ident("where") {
+            break;
+        }
+    }
+    let last_path_seg = |toks: &[Tok]| -> Option<String> {
+        let mut depth = 0i32;
+        let mut last = None;
+        for t in toks {
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                depth -= 1;
+            } else if depth == 0 && t.kind == TokKind::Ident && !is_keyword(&t.text) {
+                last = Some(t.text.clone());
+            } else if depth == 0 && t.is_ident("where") {
+                break;
+            }
+        }
+        last
+    };
+    let first_type_name = |toks: &[Tok]| -> Option<String> {
+        let mut depth = 0i32;
+        for t in toks {
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                depth -= 1;
+            } else if depth == 0
+                && t.kind == TokKind::Ident
+                && !matches!(t.text.as_str(), "dyn" | "mut")
+                && !is_keyword(&t.text)
+            {
+                return Some(t.text.clone());
+            }
+        }
+        None
+    };
+    match for_at {
+        Some(f) => (
+            first_type_name(&header[f + 1..]),
+            last_path_seg(&header[..f]),
+        ),
+        None => (first_type_name(header), None),
+    }
+}
+
+/// Skips a `name ! ident? { … }`-shaped block starting at `at`; returns
+/// the index after the closing brace (or `end`).
+fn skip_to_block_end(toks: &[Tok], at: usize, end: usize) -> usize {
+    let mut j = at;
+    while j < end && !toks[j].is_punct('{') {
+        j += 1;
+    }
+    if j >= end {
+        return end;
+    }
+    matching(toks, j, '{', '}').map_or(end, |c| c + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(rel: &str, src: &str) -> Workspace {
+        Workspace::parse(&[(rel.to_string(), FileKind::Library, src)])
+    }
+
+    #[test]
+    fn crate_and_module_paths_from_layout() {
+        assert_eq!(
+            crate_name_of("crates/core/src/space/mod.rs"),
+            "layered_core"
+        );
+        assert_eq!(
+            crate_name_of("crates/async-mp/src/model.rs"),
+            "layered_async_mp"
+        );
+        assert_eq!(crate_name_of("src/lib.rs"), "layered_consensus");
+        assert_eq!(
+            base_module_of("crates/core/src/space/mod.rs"),
+            vec!["space"]
+        );
+        assert_eq!(
+            base_module_of("crates/core/src/space/pack.rs"),
+            vec!["space", "pack"]
+        );
+        assert!(base_module_of("crates/core/src/lib.rs").is_empty());
+        assert!(base_module_of("crates/bench/src/bin/experiments.rs").is_empty());
+    }
+
+    #[test]
+    fn free_fns_methods_and_traits_parse() {
+        let ws = parse_one(
+            "crates/x/src/lib.rs",
+            "pub fn free() { helper(); }\n\
+             fn helper() {}\n\
+             struct T { field: u32 }\n\
+             impl T { pub fn method(&self) {} }\n\
+             trait Tr { fn provided(&self) { self.required(); } fn required(&self); }\n\
+             impl Tr for T { fn required(&self) {} }",
+        );
+        let names: Vec<(String, Option<String>, Option<String>)> = ws
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.self_ty.clone(), f.trait_name.clone()))
+            .collect();
+        assert!(names.contains(&("free".into(), None, None)));
+        assert!(names.contains(&("helper".into(), None, None)));
+        assert!(names.contains(&("method".into(), Some("T".into()), None)));
+        assert!(names.contains(&("provided".into(), Some("Tr".into()), Some("Tr".into()))));
+        assert!(names.contains(&("required".into(), Some("T".into()), Some("Tr".into()))));
+        let free = ws.fns.iter().find(|f| f.name == "free").unwrap();
+        assert!(free.is_pub);
+        assert!(free.body.is_some());
+        let required_decl = ws
+            .fns
+            .iter()
+            .find(|f| f.name == "required" && f.self_ty.as_deref() == Some("Tr"))
+            .unwrap();
+        assert!(required_decl.body.is_none(), "bodyless trait method");
+    }
+
+    #[test]
+    fn impl_headers_strip_generics() {
+        let ws = parse_one(
+            "crates/x/src/lib.rs",
+            "impl<P: Proto> SimModel for MpModel<P> { fn moves(&self) {} }\n\
+             impl<S> Space<S> where S: Clone { fn len(&self) -> usize { 0 } }",
+        );
+        assert_eq!(ws.impls.len(), 2);
+        assert_eq!(ws.impls[0].self_ty, "MpModel");
+        assert_eq!(ws.impls[0].trait_name.as_deref(), Some("SimModel"));
+        assert_eq!(ws.impls[1].self_ty, "Space");
+        assert_eq!(ws.impls[1].trait_name, None);
+        let len = ws.fns.iter().find(|f| f.name == "len").unwrap();
+        assert_eq!(len.self_ty.as_deref(), Some("Space"));
+    }
+
+    #[test]
+    fn inline_mods_extend_the_module_path() {
+        let ws = parse_one(
+            "crates/core/src/space/mod.rs",
+            "pub fn outer() {}\nmod inner { pub fn nested() {} }",
+        );
+        let outer = ws.fns.iter().find(|f| f.name == "outer").unwrap();
+        assert_eq!(outer.module, vec!["space"]);
+        let nested = ws.fns.iter().find(|f| f.name == "nested").unwrap();
+        assert_eq!(nested.module, vec!["space", "inner"]);
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let ws = parse_one(
+            "crates/x/src/lib.rs",
+            "pub fn real() {}\n#[cfg(test)]\nmod tests { fn test_helper() {} }\n\
+             #[cfg(test)] fn lone_test_fn() {}\npub fn also_real() {}",
+        );
+        let names: Vec<&str> = ws.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real", "also_real"]);
+    }
+
+    #[test]
+    fn struct_fields_mark_unordered_containers() {
+        let ws = parse_one(
+            "crates/x/src/lib.rs",
+            "struct Shard { buckets: FxHashMap<u64, Vec<u32>>, pending: Vec<(u64, u32)> }",
+        );
+        let buckets = ws.fields.iter().find(|f| f.name == "buckets").unwrap();
+        assert!(buckets.unordered);
+        assert_eq!(buckets.struct_name, "Shard");
+        let pending = ws.fields.iter().find(|f| f.name == "pending").unwrap();
+        assert!(!pending.unordered, "Vec fields are ordered");
+    }
+
+    #[test]
+    fn use_trees_flatten_to_aliases() {
+        let ws = parse_one(
+            "crates/x/src/lib.rs",
+            "use layered_core::space::{StateSpace, snapshot::SnapshotState};\n\
+             use layered_core::telemetry::json::Json as J;\nuse std::collections::*;",
+        );
+        let find = |alias: &str| ws.uses.iter().find(|u| u.alias == alias);
+        assert_eq!(
+            find("StateSpace").unwrap().path,
+            vec!["layered_core", "space", "StateSpace"]
+        );
+        assert_eq!(
+            find("SnapshotState").unwrap().path,
+            vec!["layered_core", "space", "snapshot", "SnapshotState"]
+        );
+        assert_eq!(
+            find("J").unwrap().path,
+            vec!["layered_core", "telemetry", "json", "Json"]
+        );
+        assert!(find("*").is_none(), "globs are dropped");
+    }
+
+    #[test]
+    fn raw_identifier_fns_parse_without_phantom_keywords() {
+        let ws = parse_one(
+            "crates/x/src/lib.rs",
+            "pub fn r#type() {}\npub fn caller() { r#type(); }",
+        );
+        let names: Vec<&str> = ws.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["r#type", "caller"]);
+    }
+
+    #[test]
+    fn nested_fns_become_their_own_defs() {
+        let ws = parse_one(
+            "crates/x/src/lib.rs",
+            "pub fn outer() { fn inner() {} inner(); }",
+        );
+        let names: Vec<&str> = ws.fns.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"outer"));
+        assert!(names.contains(&"inner"));
+    }
+}

@@ -17,13 +17,18 @@
 //!   never looks like a call to `.unwrap()`;
 //! * nested block comments and doc comments are skipped entirely, so
 //!   example code in `///` docs is never linted;
+//! * raw identifiers (`r#type`, `r#fn`) are single [`TokKind::Ident`]
+//!   tokens whose text keeps the `r#` prefix — they are *names*, never
+//!   keywords, and never the start of a raw string;
 //! * every token carries the 1-based source line it starts on, and line
 //!   counts stay correct across multi-line strings and comments.
 
 /// The token classes the rules distinguish.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TokKind {
-    /// An identifier or keyword (`let`, `HashMap`, `unwrap`, …).
+    /// An identifier or keyword (`let`, `HashMap`, `unwrap`, …). Raw
+    /// identifiers keep their `r#` prefix (`r#type`), so they never
+    /// compare equal to the bare keyword.
     Ident,
     /// A string literal (normal, raw, or byte), escapes decoded.
     Str,
@@ -314,7 +319,10 @@ impl Lexer {
         {
             text.push(self.bump().expect("peeked"));
         }
-        // r"…" / r#"…"# / b"…" / br#"…"# are string literals, not idents.
+        // r"…" / r#"…"# / b"…" / br#"…"# are string literals, not idents —
+        // but r#ident is a *raw identifier* and must stay one token, or the
+        // item parser would see a phantom keyword (`r#fn` as `fn`, `r#type`
+        // as `type`) and misparse everything after it.
         let is_raw_prefix = matches!(text.as_str(), "r" | "br" | "rb");
         let is_byte_prefix = text == "b";
         match self.peek(0) {
@@ -322,10 +330,47 @@ impl Lexer {
             Some('#') if is_raw_prefix && is_raw_start(&self.chars[self.pos..]) => {
                 self.raw_string();
             }
+            Some('#') if text == "r" && self.raw_ident_follows() => {
+                self.bump(); // the #
+                text.push('#');
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c == '_' || c.is_alphanumeric())
+                {
+                    text.push(self.bump().expect("peeked"));
+                }
+                self.push(TokKind::Ident, text, line);
+            }
             Some('"') if is_byte_prefix => self.string(true),
             _ => self.push(TokKind::Ident, text, line),
         }
     }
+
+    /// Whether the cursor (at a `#` after a lone `r`) starts a raw
+    /// identifier: `#` followed directly by an identifier character.
+    fn raw_ident_follows(&self) -> bool {
+        self.peek(1).is_some_and(|c| c == '_' || c.is_alphabetic())
+    }
+}
+
+/// Index of the delimiter matching the opener at `open` (which must hold
+/// `open_c`), or `None` if unbalanced. Shared by the token rules and the
+/// item parser; operates purely on [`TokKind::Punct`] tokens, so string
+/// and char contents never unbalance it.
+#[must_use]
+pub fn matching(toks: &[Tok], open: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (idx, tok) in toks.iter().enumerate().skip(open) {
+        if tok.is_punct(open_c) {
+            depth += 1;
+        } else if tok.is_punct(close_c) {
+            depth = depth.checked_sub(1)?;
+            if depth == 0 {
+                return Some(idx);
+            }
+        }
+    }
+    None
 }
 
 /// Whether `rest` (starting at a `#`) begins `#…#"`, i.e. a raw-string
@@ -439,6 +484,42 @@ mod tests {
         assert_eq!(lexed.suppressions[0].reason, "");
         assert!(lex("// lint:allow()").suppressions.is_empty());
         assert!(lex("// plain comment").suppressions.is_empty());
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_tokens_not_raw_strings() {
+        // Regression: `r#type` must not be mistaken for a raw-string
+        // start (which would swallow the rest of the file), nor split
+        // into `r`, `#`, `type` (which would plant a phantom keyword in
+        // front of the item parser).
+        let toks = kinds("let r#type = 1; let s = \"str\"; end();");
+        assert!(toks.contains(&(TokKind::Ident, "r#type".to_string())));
+        assert!(toks.contains(&(TokKind::Str, "str".to_string())));
+        assert!(toks.contains(&(TokKind::Ident, "end".to_string())));
+        assert!(!toks.contains(&(TokKind::Ident, "type".to_string())));
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Punct && t == "#"));
+    }
+
+    #[test]
+    fn raw_identifier_fn_names_do_not_shadow_keywords() {
+        let toks = kinds("fn r#fn() { body(); } fn r#match(x: u8) {}");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokKind::Ident && t == "fn")
+                .count(),
+            2,
+            "only the two real `fn` keywords remain"
+        );
+        assert!(toks.contains(&(TokKind::Ident, "r#fn".to_string())));
+        assert!(toks.contains(&(TokKind::Ident, "r#match".to_string())));
+    }
+
+    #[test]
+    fn raw_strings_still_lex_after_the_raw_ident_fix() {
+        let toks = kinds("r#\"raw\"# r\"plain\" r#_ident");
+        assert_eq!(toks[0], (TokKind::Str, "raw".to_string()));
+        assert_eq!(toks[1], (TokKind::Str, "plain".to_string()));
+        assert_eq!(toks[2], (TokKind::Ident, "r#_ident".to_string()));
     }
 
     #[test]

@@ -29,9 +29,12 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod wholeprog;
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -119,31 +122,57 @@ pub fn classify(rel: &str) -> FileKind {
     }
 }
 
-/// Lints every workspace source under `root` against the full catalog,
-/// validating telemetry names against the compiled-in
-/// [`layered_core::telemetry::names::NAMES`] registry.
+/// Lints a set of in-memory sources — both tiers: the per-file token
+/// rules (L001–L006) and the whole-program call-graph rules
+/// (L007–L010). Each entry is `(rel path, src)`; classification is
+/// derived from the path exactly as for on-disk files.
+///
+/// This is the engine behind [`lint_workspace`] and the fixture suites'
+/// way of exercising multi-file rules without touching disk.
 #[must_use]
-pub fn lint_workspace(root: &Path) -> Report {
+pub fn lint_sources(sources: &[(String, String)], names: &[&str]) -> Report {
     let mut result = Report::default();
-    for file in workspace_files(root) {
-        let Ok(src) = fs::read_to_string(&file.abs) else {
-            continue;
-        };
+    for (rel, src) in sources {
         let outcome = check_file(
             &FileInput {
-                path: file.rel,
-                kind: file.kind,
-                crate_root: file.crate_root,
-                src: &src,
+                path: rel.clone(),
+                kind: classify(rel),
+                crate_root: rel.ends_with("src/lib.rs"),
+                src,
             },
-            layered_core::telemetry::names::NAMES,
+            names,
         );
         result.findings.extend(outcome.findings);
         result.suppressed.extend(outcome.suppressed);
         result.files_scanned += 1;
     }
+    let typed: Vec<(String, FileKind, &str)> = sources
+        .iter()
+        .map(|(rel, src)| (rel.clone(), classify(rel), src.as_str()))
+        .collect();
+    let (whole, stats) = wholeprog::check_workspace(&typed, names);
+    result.findings.extend(whole.findings);
+    result.suppressed.extend(whole.suppressed);
+    result.graph = Some(stats);
     result.sort();
     result
+}
+
+/// Lints every workspace source under `root` against the full catalog
+/// (token rules and call-graph rules), validating telemetry names
+/// against the compiled-in [`layered_core::telemetry::names::NAMES`]
+/// registry.
+#[must_use]
+pub fn lint_workspace(root: &Path) -> Report {
+    let sources: Vec<(String, String)> = workspace_files(root)
+        .into_iter()
+        .filter_map(|file| {
+            fs::read_to_string(&file.abs)
+                .ok()
+                .map(|src| (file.rel, src))
+        })
+        .collect();
+    lint_sources(&sources, layered_core::telemetry::names::NAMES)
 }
 
 /// Locates the workspace root: `--root`'s value if given, else the

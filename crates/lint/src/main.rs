@@ -1,8 +1,10 @@
 //! The `layered-lint` binary: lint the workspace, print findings, and
-//! optionally emit the machine-readable JSON report.
+//! optionally emit machine-readable reports.
 //!
 //! ```text
-//! layered-lint [--root <dir>] [--json <path>] [--quiet]
+//! layered-lint [--root <dir>] [--json <path>] [--sarif <path>]
+//!              [--graph-stats] [--quiet]
+//! layered-lint --explain L007
 //! ```
 //!
 //! Exits 0 when the tree is lint-clean (no unsuppressed findings),
@@ -14,19 +16,28 @@
 use std::io::Write;
 use std::path::PathBuf;
 
-use layered_lint::{default_root, lint_workspace};
+use layered_lint::{default_root, lint_workspace, rules};
 
 struct Options {
     root: PathBuf,
     json_path: Option<String>,
+    sarif_path: Option<String>,
+    graph_stats: bool,
     quiet: bool,
+    explain: Option<String>,
 }
+
+const USAGE: &str = "usage: layered-lint [--root <dir>] [--json <path>] [--sarif <path>] \
+                     [--graph-stats] [--quiet] | --explain <rule>";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         root: default_root(),
         json_path: None,
+        sarif_path: None,
+        graph_stats: false,
         quiet: false,
+        explain: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -37,6 +48,13 @@ fn parse_args() -> Result<Options, String> {
             "--json" => {
                 opts.json_path = Some(args.next().ok_or("--json requires a path")?);
             }
+            "--sarif" => {
+                opts.sarif_path = Some(args.next().ok_or("--sarif requires a path")?);
+            }
+            "--graph-stats" => opts.graph_stats = true,
+            "--explain" => {
+                opts.explain = Some(args.next().ok_or("--explain requires a rule id")?);
+            }
             "--quiet" => opts.quiet = true,
             other => return Err(format!("unrecognized argument `{other}`")),
         }
@@ -44,31 +62,53 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+fn write_file(path: &str, rendered: &str) {
+    let write = std::fs::File::create(path).and_then(|f| {
+        let mut out = std::io::BufWriter::new(f);
+        writeln!(out, "{rendered}")?;
+        out.flush()
+    });
+    if let Err(e) = write {
+        eprintln!("error: writing {path}: {e}");
+        std::process::exit(2);
+    }
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(opts) => opts,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: layered-lint [--root <dir>] [--json <path>] [--quiet]");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     };
 
+    if let Some(id) = &opts.explain {
+        match rules::explain(id) {
+            Some(prose) => {
+                println!("{prose}");
+                std::process::exit(0);
+            }
+            None => {
+                eprintln!("error: unknown rule `{id}` (rules are L001..L010)");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let report = lint_workspace(&opts.root);
 
     if let Some(path) = &opts.json_path {
-        let rendered = report.to_json().to_string();
-        let write = std::fs::File::create(path).and_then(|f| {
-            let mut out = std::io::BufWriter::new(f);
-            writeln!(out, "{rendered}")?;
-            out.flush()
-        });
-        if let Err(e) = write {
-            eprintln!("error: writing {path}: {e}");
-            std::process::exit(2);
-        }
+        write_file(path, &report.to_json().to_string());
         if !opts.quiet {
             println!("Wrote JSON report to {path}.");
+        }
+    }
+    if let Some(path) = &opts.sarif_path {
+        write_file(path, &report.to_sarif().to_string());
+        if !opts.quiet {
+            println!("Wrote SARIF report to {path}.");
         }
     }
 
@@ -89,6 +129,18 @@ fn main() {
             report.findings.len(),
             report.suppressed.len()
         );
+        if opts.graph_stats {
+            if let Some(g) = &report.graph {
+                println!(
+                    "call graph: {} file(s), {} fn(s), {} edge(s), {} entry point(s), \
+                     {} reachable fn(s).",
+                    g.files, g.fns, g.edges, g.entries, g.reachable
+                );
+                for &(name, local, summary) in &g.per_effect {
+                    println!("  effect {name}: {local} local site(s), {summary} fn summary(ies)");
+                }
+            }
+        }
     }
 
     std::process::exit(i32::from(!report.is_clean()));

@@ -7,7 +7,8 @@
 
 use layered_core::telemetry::json::Json;
 
-use crate::rules::{Finding, SuppressedFinding, RULES};
+use crate::graph::GraphStats;
+use crate::rules::{Finding, Severity, SuppressedFinding, RULES};
 
 /// The outcome of linting a whole workspace.
 #[derive(Clone, Debug, Default)]
@@ -18,6 +19,9 @@ pub struct Report {
     pub suppressed: Vec<SuppressedFinding>,
     /// Number of source files scanned.
     pub files_scanned: usize,
+    /// Call-graph census from the whole-program tier (`--graph-stats`);
+    /// `None` when only the token tier ran.
+    pub graph: Option<GraphStats>,
 }
 
 impl Report {
@@ -100,7 +104,7 @@ impl Report {
                 })
                 .collect(),
         );
-        Json::Object(vec![
+        let mut fields = vec![
             ("tool".into(), Json::from("layered-lint")),
             (
                 "files_scanned".into(),
@@ -109,7 +113,135 @@ impl Report {
             ("findings".into(), findings),
             ("suppressed".into(), suppressed),
             ("rules".into(), rules),
+        ];
+        if let Some(g) = &self.graph {
+            fields.push(("graph".into(), graph_json(g)));
+        }
+        Json::Object(fields).canonicalize()
+    }
+
+    /// The report as a SARIF-flavored 2.1.0 document (one run, one
+    /// result per finding, suppressions carried as suppressed results),
+    /// rendered through the same canonical encoder as everything else.
+    ///
+    /// The subset emitted is what CI artifact viewers consume: tool
+    /// driver with the rule catalog, results with `ruleId`, `level`,
+    /// `message.text`, and one physical location each.
+    #[must_use]
+    pub fn to_sarif(&self) -> Json {
+        let rules = Json::Array(
+            RULES
+                .iter()
+                .map(|r| {
+                    Json::Object(vec![
+                        ("id".into(), Json::from(r.id)),
+                        (
+                            "shortDescription".into(),
+                            Json::Object(vec![("text".into(), Json::from(r.summary))]),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let result = |f: &Finding, suppressed: bool| {
+            let mut fields = vec![
+                ("ruleId".into(), Json::from(f.rule)),
+                (
+                    "level".into(),
+                    Json::from(match f.severity {
+                        Severity::Deny => "error",
+                        Severity::Warn => "warning",
+                    }),
+                ),
+                (
+                    "message".into(),
+                    Json::Object(vec![("text".into(), Json::String(f.message.clone()))]),
+                ),
+                (
+                    "locations".into(),
+                    Json::Array(vec![Json::Object(vec![(
+                        "physicalLocation".into(),
+                        Json::Object(vec![
+                            (
+                                "artifactLocation".into(),
+                                Json::Object(vec![("uri".into(), Json::String(f.file.clone()))]),
+                            ),
+                            (
+                                "region".into(),
+                                Json::Object(vec![(
+                                    "startLine".into(),
+                                    Json::from(u64::from(f.line)),
+                                )]),
+                            ),
+                        ]),
+                    )])]),
+                ),
+            ];
+            if suppressed {
+                fields.push((
+                    "suppressions".into(),
+                    Json::Array(vec![Json::Object(vec![(
+                        "kind".into(),
+                        Json::from("inSource"),
+                    )])]),
+                ));
+            }
+            Json::Object(fields)
+        };
+        let mut results: Vec<Json> = self.findings.iter().map(|f| result(f, false)).collect();
+        results.extend(self.suppressed.iter().map(|s| result(&s.finding, true)));
+        Json::Object(vec![
+            (
+                "$schema".into(),
+                Json::from("https://json.schemastore.org/sarif-2.1.0.json"),
+            ),
+            ("version".into(), Json::from("2.1.0")),
+            (
+                "runs".into(),
+                Json::Array(vec![Json::Object(vec![
+                    (
+                        "tool".into(),
+                        Json::Object(vec![(
+                            "driver".into(),
+                            Json::Object(vec![
+                                ("name".into(), Json::from("layered-lint")),
+                                ("rules".into(), rules),
+                            ]),
+                        )]),
+                    ),
+                    ("results".into(), Json::Array(results)),
+                ])]),
+            ),
         ])
         .canonicalize()
     }
+}
+
+/// The call-graph census as a JSON object (embedded in the report and
+/// printed by `--graph-stats`).
+fn graph_json(g: &GraphStats) -> Json {
+    Json::Object(vec![
+        ("files".into(), Json::from(g.files as u64)),
+        ("fns".into(), Json::from(g.fns as u64)),
+        ("edges".into(), Json::from(g.edges as u64)),
+        ("entries".into(), Json::from(g.entries as u64)),
+        ("reachable".into(), Json::from(g.reachable as u64)),
+        (
+            "effects".into(),
+            Json::Object(
+                g.per_effect
+                    .iter()
+                    .map(|&(name, local, summary)| {
+                        (
+                            name.to_string(),
+                            Json::Object(vec![
+                                ("local".into(), Json::from(local as u64)),
+                                ("summary".into(), Json::from(summary as u64)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }

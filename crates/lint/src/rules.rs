@@ -20,7 +20,7 @@
 //! the same or preceding line; suppressions are counted in the report and
 //! the repo-wide lint-clean test requires every one to carry a reason.
 
-use crate::lexer::{lex, Tok, TokKind};
+use crate::lexer::{lex, matching, Tok, TokKind};
 
 /// Where in the workspace a source file lives — decides which rules run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -116,7 +116,120 @@ pub const RULES: &[RuleMeta] = &[
         severity: Severity::Deny,
         summary: "float formatted into JSON text instead of the canonical encoder",
     },
+    RuleMeta {
+        id: "L007",
+        severity: Severity::Deny,
+        summary: "nondeterministic source reachable from a scan/sim/snapshot entry point",
+    },
+    RuleMeta {
+        id: "L008",
+        severity: Severity::Deny,
+        summary: "shard-guard held across another acquisition or a re-entrant call",
+    },
+    RuleMeta {
+        id: "L009",
+        severity: Severity::Warn,
+        summary: "computed-range slice (panic risk) reachable from a scan path",
+    },
+    RuleMeta {
+        id: "L010",
+        severity: Severity::Deny,
+        summary: "model crate missing SnapshotState/StatePacker, or dead telemetry name",
+    },
 ];
+
+/// Long-form `--explain` prose for a rule id, or `None` if unknown.
+#[must_use]
+pub fn explain(id: &str) -> Option<&'static str> {
+    Some(match id {
+        "L001" => {
+            "L001 — unordered iteration (token rule).\n\
+             Iterating a HashMap/HashSet (or the Fx variants) yields platform- and\n\
+             seed-dependent order. If that order can reach output, serialization, or\n\
+             interning, seq/par bit-identity is lost. Fix: use BTreeMap/BTreeSet, or\n\
+             sort before consuming, or consume with an order-insensitive reduction\n\
+             (count/sum/min/max/…). The rule is per-file: it only sees bindings whose\n\
+             unordered type is visible in the same file — the cross-file laundering\n\
+             case is L007's job."
+        }
+        "L002" => {
+            "L002 — wall-clock reads (token rule).\n\
+             Instant::now/SystemTime values differ per run; anywhere outside the\n\
+             telemetry::clock wrapper they can leak into result records and break\n\
+             byte-stability. Fix: route timing through telemetry::clock, whose _ns\n\
+             fields are documented as strippable."
+        }
+        "L003" => {
+            "L003 — unwrap/expect(\"\") in library code (token rule).\n\
+             A panic without a stated invariant is an undocumented proof obligation.\n\
+             Fix: expect(\"<invariant that makes this infallible>\") or handle the\n\
+             error. Tests and the bench harness are exempt."
+        }
+        "L004" => {
+            "L004 — missing crate-root hygiene attributes (token rule).\n\
+             Every crate root must carry #![forbid(unsafe_code)] and\n\
+             #![deny(missing_docs)]: the determinism argument leans on the absence\n\
+             of unsafe aliasing, and the lint itself parses doc comments."
+        }
+        "L005" => {
+            "L005 — unregistered telemetry name (token rule).\n\
+             Observer calls and span constructors must use names listed in\n\
+             layered_core::telemetry::names::NAMES, so records stay greppable and\n\
+             the registry stays the single source of truth. L010 checks the reverse\n\
+             direction (registered but never emitted)."
+        }
+        "L006" => {
+            "L006 — float formatted into JSON text (token rule).\n\
+             Formatting an f64 with {} or {:?} bypasses the canonical JSON encoder's\n\
+             shortest-roundtrip rendering and can differ across platforms. Fix:\n\
+             build a Json value and render it."
+        }
+        "L007" => {
+            "L007 — nondeterminism taint (call-graph rule).\n\
+             A whole-program reachability check: starting from the scan/sim/snapshot\n\
+             entry points (pub fns in space/snapshot/layering/sim modules, the sim\n\
+             crate, and scan_*/expand_*/build_* drivers), any path that reaches a\n\
+             nondeterministic source is flagged at the source, with the full call\n\
+             chain in the message. Sources: Instant/SystemTime outside\n\
+             telemetry::clock, iteration of a struct field holding a\n\
+             HashMap/HashSet in an order-sensitive position (the laundering pattern\n\
+             L001 cannot see across files), and RandomState/thread_rng. A sink into\n\
+             a BTreeMap/BTreeSet or an order-insensitive reduction neutralizes the\n\
+             iteration source."
+        }
+        "L008" => {
+            "L008 — shard-lock discipline (call-graph rule).\n\
+             The 16-way striped intern index is deadlock-free only if a shard guard\n\
+             is never held while acquiring another shard guard, and never held\n\
+             across a call that may re-enter the index. The rule finds let-bound\n\
+             guard acquisitions (lock_counting, or .lock()/.try_lock() in space\n\
+             modules) and flags, within the guard's scope, both direct second\n\
+             acquisitions and calls to functions whose transitive effect summary\n\
+             includes acquires-guard. Fix: drop the guard first, or hoist the\n\
+             re-entrant work out of the critical section."
+        }
+        "L009" => {
+            "L009 — panic-freedom on hot paths (call-graph rule).\n\
+             Extends L003 beyond unwrap: computed-range slicing (v[a..a + n] and\n\
+             friends) panics when the arithmetic is wrong, and on a scan path that\n\
+             tears down a multi-hour run. The rule flags computed-range slices in\n\
+             functions reachable from the entry points. Plain v[i] indexing and\n\
+             full-range v[..] are deliberately out of scope (the workspace uses\n\
+             them pervasively behind checked invariants). Fix:\n\
+             .get(a..a + n).expect(\"<invariant>\") to state the proof obligation."
+        }
+        "L010" => {
+            "L010 — cross-crate conformance (call-graph rule).\n\
+             Two completeness checks that previously relied on reviewer memory:\n\
+             (1) every crate implementing SimModel or Symmetric must also provide a\n\
+             SnapshotState impl and a state_packer definition, so its state spaces\n\
+             are checkpointable and packable like every other model's; (2) every\n\
+             name registered in telemetry::names::NAMES must be emitted somewhere\n\
+             in the workspace — a dead registry entry is a stale contract."
+        }
+        _ => return None,
+    })
+}
 
 /// One lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -199,7 +312,7 @@ pub fn check_file(input: &FileInput<'_>, names: &[&str]) -> FileReport {
 
 /// The first token line strictly after `line` — where a suppression
 /// comment on its own line points.
-fn next_code_line(toks: &[Tok], line: u32) -> Option<u32> {
+pub(crate) fn next_code_line(toks: &[Tok], line: u32) -> Option<u32> {
     toks.iter().map(|t| t.line).find(|&l| l > line)
 }
 
@@ -291,25 +404,10 @@ fn test_line_ranges(toks: &[Tok]) -> Vec<(u32, u32)> {
     ranges
 }
 
-/// Index of the delimiter matching the opener at `open` (which must hold
-/// `open_c`), or `None` if unbalanced.
-fn matching(toks: &[Tok], open: usize, open_c: char, close_c: char) -> Option<usize> {
-    let mut depth = 0usize;
-    for (idx, tok) in toks.iter().enumerate().skip(open) {
-        if tok.is_punct(open_c) {
-            depth += 1;
-        } else if tok.is_punct(close_c) {
-            depth -= 1;
-            if depth == 0 {
-                return Some(idx);
-            }
-        }
-    }
-    None
-}
-
-const UNORDERED_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
-const ITER_METHODS: &[&str] = &[
+/// The unordered hash containers the determinism rules track.
+pub(crate) const UNORDERED_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+/// Iterator-producing methods on those containers.
+pub(crate) const ITER_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "keys",
@@ -322,7 +420,7 @@ const ITER_METHODS: &[&str] = &[
 ];
 /// Consumers that make iteration order unobservable: commutative
 /// reductions, pure membership/size queries, and re-sorting collectors.
-const ORDER_INSENSITIVE: &[&str] = &[
+pub(crate) const ORDER_INSENSITIVE: &[&str] = &[
     "count",
     "sum",
     "product",

@@ -309,5 +309,22 @@ fn trailing_same_line_suppressions_work() {
 #[test]
 fn catalog_is_complete_and_ordered() {
     let ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
-    assert_eq!(ids, vec!["L001", "L002", "L003", "L004", "L005", "L006"]);
+    assert_eq!(
+        ids,
+        vec!["L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010"]
+    );
+}
+
+#[test]
+fn every_rule_has_explain_prose() {
+    for r in RULES {
+        let prose = layered_lint::rules::explain(r.id)
+            .unwrap_or_else(|| panic!("--explain {} has prose", r.id));
+        assert!(
+            prose.starts_with(r.id),
+            "explain text opens with the rule id: {prose}"
+        );
+        assert!(prose.len() > 120, "more than a one-liner for {}", r.id);
+    }
+    assert!(layered_lint::rules::explain("L999").is_none());
 }

@@ -56,13 +56,47 @@ fn json_report_is_canonical_and_consistent() {
         "canonical key order survives"
     );
     // Counts in the report body match the structured totals.
-    let by_rule_total: u64 = ["L001", "L002", "L003", "L004", "L005", "L006"]
-        .iter()
-        .filter_map(|r| reparsed["rules"][*r]["suppressed"].as_u64())
-        .sum();
+    let by_rule_total: u64 = [
+        "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010",
+    ]
+    .iter()
+    .filter_map(|r| reparsed["rules"][*r]["suppressed"].as_u64())
+    .sum();
     assert_eq!(by_rule_total, report.suppressed.len() as u64);
     assert_eq!(
         reparsed["files_scanned"].as_u64(),
         Some(report.files_scanned as u64)
+    );
+    // The graph census from the whole-program tier rides along.
+    let graph = &reparsed["graph"];
+    assert!(graph["fns"].as_u64().unwrap_or(0) > 500, "{graph:?}");
+    assert!(graph["entries"].as_u64().unwrap_or(0) > 20, "{graph:?}");
+}
+
+#[test]
+fn finding_and_suppression_census_is_exact() {
+    // The workspace carries zero findings and exactly one suppression
+    // (the documented `Instant` read inside `telemetry::clock`). A new
+    // suppression is a deliberate act: update this count in the same
+    // change that adds the `lint:allow` and its reason.
+    let report = lint_workspace(&default_root());
+    assert_eq!(report.findings.len(), 0);
+    assert_eq!(
+        report.suppressed.len(),
+        1,
+        "suppression census changed: {:?}",
+        report
+            .suppressed
+            .iter()
+            .map(|s| format!(
+                "{}:{} [{}] {}",
+                s.finding.file, s.finding.line, s.finding.rule, s.reason
+            ))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(report.suppressed[0].finding.rule, "L002");
+    assert_eq!(
+        report.suppressed[0].finding.file,
+        "crates/core/src/telemetry/clock.rs"
     );
 }
